@@ -1,0 +1,410 @@
+(** schedtool — command-line driver for the dagsched library.
+
+    {v
+    schedtool gen -p linpack              # emit a Table-3 workload as assembly
+    schedtool stats file.s                # Table-3 structural statistics
+    schedtool build -a table-forward file.s    # DAG construction + stats
+    schedtool schedule -A warren file.s   # run a published scheduler
+    schedtool compare file.s              # all builders x all schedulers
+    v} *)
+
+open Dagsched
+
+let read_input = function
+  | "-" -> In_channel.input_all In_channel.stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let load_blocks path =
+  let text = read_input path in
+  match Parser.parse_program_result text with
+  | Ok insns -> Cfg_builder.partition insns
+  | Error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      exit 2
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner converters *)
+
+open Cmdliner
+
+let profile_conv =
+  let parse s =
+    match Profiles.by_name s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown profile %S (available: %s)" s
+               (String.concat ", "
+                  (List.map (fun p -> p.Profiles.name) Profiles.all))))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt p.Profiles.name)
+
+let builder_conv =
+  let parse s =
+    match Builder.of_string s with
+    | Some a -> Ok a
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown builder %S (available: %s)" s
+               (String.concat ", " (List.map Builder.to_string Builder.all))))
+  in
+  Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt (Builder.to_string a))
+
+let strategy_conv =
+  let parse s =
+    match Disambiguate.of_string s with
+    | Some x -> Ok x
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown strategy %S (available: %s)" s
+               (String.concat ", " (List.map Disambiguate.to_string Disambiguate.all))))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Disambiguate.to_string s))
+
+let model_conv =
+  let parse s =
+    match Latency.by_name s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown model %S (available: %s)" s
+               (String.concat ", "
+                  (List.map (fun m -> m.Latency.name) Latency.all_models))))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt m.Latency.name)
+
+let scheduler_conv =
+  let parse s =
+    match Published.by_short s with
+    | Some x -> Ok x
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown scheduler %S (available: %s)" s
+               (String.concat ", "
+                  (List.map (fun x -> x.Published.short) Published.all))))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt s.Published.short)
+
+let file_arg =
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Assembly input ('-' for stdin).")
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Latency.simple_risc
+    & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Latency model.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Disambiguate.Base_offset
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Memory disambiguation strategy.")
+
+let builder_arg =
+  Arg.(
+    value
+    & opt builder_conv Builder.Table_forward
+    & info [ "a"; "algorithm" ] ~docv:"ALG" ~doc:"DAG construction algorithm.")
+
+let opts_of model strategy = { Opts.default with Opts.model; strategy }
+
+(* ------------------------------------------------------------------ *)
+(* gen *)
+
+let gen_cmd =
+  let run profile =
+    let blocks = Profiles.generate profile in
+    List.iter
+      (fun b ->
+        Printf.printf "B%d:\n%s" b.Block.id
+          (Parser.print_program (Block.to_list b)))
+      blocks
+  in
+  let profile =
+    Arg.(
+      value
+      & opt profile_conv Profiles.linpack
+      & info [ "p"; "profile" ] ~docv:"PROFILE"
+          ~doc:"Workload profile (a Table-3 benchmark name).")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a calibrated workload as assembly text.")
+    Term.(const run $ profile)
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats_cmd =
+  let run file =
+    let blocks = load_blocks file in
+    let s = Summary.of_blocks blocks in
+    Format.printf "%a@." Summary.pp s
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Table-3 style structural statistics for a program.")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* build *)
+
+let build_cmd =
+  let run alg model strategy verbose file =
+    let blocks = load_blocks file in
+    let opts = opts_of model strategy in
+    let dags = List.map (Builder.build alg opts) blocks in
+    let s = Dag_stats.of_dags dags in
+    Format.printf "%s: %a@." (Builder.to_string alg) Dag_stats.pp s;
+    if verbose then
+      List.iter (fun dag -> Format.printf "%a" Dag.pp dag) dags
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every arc.")
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Construct dependence DAGs and report structure.")
+    Term.(const run $ builder_arg $ model_arg $ strategy_arg $ verbose $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* schedule *)
+
+let schedule_cmd =
+  let run spec model strategy quiet emit file =
+    let blocks = load_blocks file in
+    let opts = opts_of model strategy in
+    let before = ref 0 and after = ref 0 in
+    let schedules =
+      List.map
+        (fun block ->
+          let s = Published.run ~opts spec block in
+          assert (Verify.is_valid s);
+          before := !before + Schedule.original_cycles s;
+          after := !after + Schedule.cycles s;
+          s)
+        blocks
+    in
+    if emit then begin
+      let insns, filled, padded = Emit.emit_program schedules in
+      if not quiet then print_string (Parser.print_program insns);
+      Printf.eprintf "delay slots: %d filled, %d padded with nop\n" filled
+        padded
+    end
+    else if not quiet then
+      List.iter (fun s -> print_endline (Schedule.to_string s)) schedules;
+    Printf.eprintf "%s: %d cycles -> %d cycles (%d blocks)\n"
+      spec.Published.name !before !after (List.length blocks)
+  in
+  let spec =
+    Arg.(
+      value
+      & opt scheduler_conv Published.warren
+      & info [ "A"; "scheduler" ] ~docv:"SCHED"
+          ~doc:"Published scheduling algorithm (Table 2 name).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress scheduled code.")
+  in
+  let emit =
+    Arg.(
+      value & flag
+      & info [ "e"; "emit" ]
+          ~doc:"Emit for a delayed-branch machine: fill or NOP-pad delay slots.")
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Schedule a program with one of the six published algorithms.")
+    Term.(const run $ spec $ model_arg $ strategy_arg $ quiet $ emit $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare *)
+
+let compare_cmd =
+  let run model strategy file =
+    let blocks = load_blocks file in
+    let opts = opts_of model strategy in
+    let t =
+      Table.create ~title:"schedulers"
+        [ "algorithm"; "cycles"; "stalls"; "vs original" ]
+    in
+    let original =
+      List.fold_left
+        (fun acc b -> acc + Pipeline.cycles model b.Block.insns)
+        0 blocks
+    in
+    Table.add_row t [ "(original order)"; string_of_int original; "-"; "1.00" ];
+    List.iter
+      (fun spec ->
+        let cycles, stalls =
+          List.fold_left
+            (fun (c, st) b ->
+              let s = Published.run ~opts spec b in
+              (c + Schedule.cycles s, st + Schedule.stalls s))
+            (0, 0) blocks
+        in
+        Table.add_row t
+          [ spec.Published.name; string_of_int cycles; string_of_int stalls;
+            Printf.sprintf "%.2f" (float_of_int cycles /. float_of_int original) ])
+      Published.all;
+    Table.print t;
+    let bt =
+      Table.create ~title:"builders" [ "builder"; "arcs"; "transitive arcs" ]
+    in
+    List.iter
+      (fun alg ->
+        let dags = List.map (Builder.build alg opts) blocks in
+        let arcs = List.fold_left (fun a d -> a + Dag.n_arcs d) 0 dags in
+        let trans =
+          List.fold_left (fun a d -> a + Closure.count_transitive_arcs d) 0 dags
+        in
+        Table.add_row bt
+          [ Builder.to_string alg; string_of_int arcs; string_of_int trans ])
+      Builder.all;
+    Table.print bt
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare all builders and published schedulers on one program.")
+    Term.(const run $ model_arg $ strategy_arg $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* optimal *)
+
+let optimal_cmd =
+  let run model strategy budget file =
+    let blocks = load_blocks file in
+    let opts = opts_of model strategy in
+    let t =
+      Table.create ~title:""
+        [ "block"; "insns"; "optimal"; "exhaustive"; "nodes explored";
+          "best heuristic" ]
+    in
+    List.iter
+      (fun block ->
+        let dag = Builder.build Builder.Table_forward opts block in
+        let r = Optimal.run ~budget dag in
+        let best_heuristic =
+          List.fold_left
+            (fun acc spec ->
+              let s = Published.run_on_dag spec dag in
+              min acc (Optimal.evaluate dag s.Schedule.order))
+            max_int Published.all
+        in
+        Table.add_row t
+          [ string_of_int block.Block.id;
+            string_of_int (Block.length block);
+            string_of_int r.Optimal.cycles;
+            string_of_bool r.Optimal.optimal;
+            string_of_int r.Optimal.nodes_explored;
+            string_of_int best_heuristic ])
+      blocks;
+    Table.print t
+  in
+  let budget =
+    Arg.(
+      value & opt int 300_000
+      & info [ "b"; "budget" ] ~docv:"N" ~doc:"Search-node budget.")
+  in
+  Cmd.v
+    (Cmd.info "optimal"
+       ~doc:"Branch-and-bound optimal scheduling (small blocks).")
+    Term.(const run $ model_arg $ strategy_arg $ budget $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* chain: cross-block scheduling with inherited latencies *)
+
+let chain_cmd =
+  let run model strategy inherit_latencies file =
+    let blocks = load_blocks file in
+    let opts = opts_of model strategy in
+    let config =
+      {
+        Engine.direction = Dyn_state.Forward;
+        mode = Engine.Winnowing;
+        keys =
+          [ Engine.key Heuristic.Earliest_execution_time;
+            Engine.key Heuristic.Max_delay_to_leaf ];
+      }
+    in
+    let _, insns =
+      Global.schedule_chain ~inherit_latencies ~config ~opts blocks
+    in
+    print_string (Parser.print_program (Array.to_list insns));
+    Printf.eprintf "chain: %d blocks, %d cycles (%s latencies)\n"
+      (List.length blocks)
+      (Global.chain_cycles model insns)
+      (if inherit_latencies then "inherited" else "local")
+  in
+  let inherit_flag =
+    Arg.(
+      value & flag
+      & info [ "g"; "global" ]
+          ~doc:"Seed each block with the previous block's residual latencies.")
+  in
+  Cmd.v
+    (Cmd.info "chain" ~doc:"Schedule a block sequence, optionally with inherited latencies.")
+    Term.(const run $ model_arg $ strategy_arg $ inherit_flag $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot *)
+
+let dot_cmd =
+  let run alg model strategy block_id file =
+    let blocks = load_blocks file in
+    match List.find_opt (fun b -> b.Block.id = block_id) blocks with
+    | None ->
+        Printf.eprintf "no block %d (have %d blocks)\n" block_id
+          (List.length blocks);
+        exit 2
+    | Some block ->
+        let dag = Builder.build alg (opts_of model strategy) block in
+        print_string (Dot.render dag)
+  in
+  let block_id =
+    Arg.(
+      value & opt int 0
+      & info [ "n"; "block" ] ~docv:"N" ~doc:"Block index to export.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export one block's dependence DAG as Graphviz DOT.")
+    Term.(const run $ builder_arg $ model_arg $ strategy_arg $ block_id $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gantt *)
+
+let gantt_cmd =
+  let run spec model strategy file =
+    let blocks = load_blocks file in
+    let opts = opts_of model strategy in
+    List.iter
+      (fun block ->
+        Printf.printf "; block %d, %s\n" block.Block.id spec.Published.name;
+        let s = Published.run ~opts spec block in
+        Gantt.print s)
+      blocks
+  in
+  let spec =
+    Arg.(
+      value
+      & opt scheduler_conv Published.warren
+      & info [ "A"; "scheduler" ] ~docv:"SCHED" ~doc:"Published algorithm.")
+  in
+  Cmd.v
+    (Cmd.info "gantt"
+       ~doc:"Schedule and render per-cycle issue timelines with stalls.")
+    Term.(const run $ spec $ model_arg $ strategy_arg $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "DAG construction and heuristic instruction scheduling (MICRO-24 1991 reproduction)" in
+  let info = Cmd.info "schedtool" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; stats_cmd; build_cmd; schedule_cmd; compare_cmd;
+            optimal_cmd; chain_cmd; dot_cmd; gantt_cmd ]))

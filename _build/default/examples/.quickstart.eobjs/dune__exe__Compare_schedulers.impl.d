@@ -1,0 +1,1 @@
+examples/compare_schedulers.ml: Block Codegen Dagsched Kernels Latency List Opts Pipeline Printf Published Schedule Table Verify

@@ -1,0 +1,1 @@
+examples/explain.ml: Block Builder Cfg_builder Dag Dagsched Engine Gantt Heuristic Insn Latency List Opts Parser Printf Published Schedule Static_pass String

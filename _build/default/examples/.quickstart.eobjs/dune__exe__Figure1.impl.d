@@ -1,0 +1,1 @@
+examples/figure1.ml: Annot Array Builder Cfg_builder Dag Dagsched Dep Latency List Opts Parser Printf Static_pass String

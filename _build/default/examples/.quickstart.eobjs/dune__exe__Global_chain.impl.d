@@ -1,0 +1,1 @@
+examples/global_chain.ml: Array Cfg_builder Dagsched Dyn_state Engine Global Heuristic Latency List Opts Parser Printf Resource

@@ -1,0 +1,1 @@
+examples/large_blocks.ml: Builder Cfg_builder Dag Dagsched Disambiguate List Opts Published Schedule Sweep Table Unix

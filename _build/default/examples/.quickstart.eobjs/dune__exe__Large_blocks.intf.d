@@ -1,0 +1,1 @@
+examples/large_blocks.mli:

@@ -1,0 +1,1 @@
+examples/prepass_registers.ml: Array Block Builder Cfg_builder Dagsched Dyn_state Engine Heuristic Latency List Liveness Opts Parser Pipeline Printf Published Schedule Static_pass String Table Verify

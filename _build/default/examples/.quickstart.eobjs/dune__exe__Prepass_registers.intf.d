@@ -1,0 +1,1 @@
+examples/prepass_registers.mli:

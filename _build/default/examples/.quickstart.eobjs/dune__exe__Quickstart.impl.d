@@ -1,0 +1,1 @@
+examples/quickstart.ml: Block Builder Cfg_builder Dag Dagsched Dep Latency List Opts Parser Pipeline Printf Published Schedule Verify

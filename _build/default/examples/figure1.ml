@@ -1,0 +1,60 @@
+(** Figure 1 of the paper, end to end: why transitive arcs matter.
+
+    The block is the one printed in the paper (with our register names):
+
+      1: DIVF f0,f2 -> f4   (20 cycles)
+      2: ADDF f6,f8 -> f0   (4 cycles; WAR on f0 against 1)
+      3: ADDF f0,f4 -> f10  (RAW on f0 from 2, RAW on f4 from 1)
+
+    The arc 1->3 is *transitive* (1->2->3 exists), yet it carries 20 cycles
+    of latency while the 1->2->3 path carries only 1+4 = 5.  A construction
+    algorithm that prunes all transitive arcs (Landskov, reachability bit
+    maps) therefore computes node 3's earliest start time as 5 instead of
+    20 and misjudges the critical path.
+
+    Run with: dune exec examples/figure1.exe *)
+
+open Dagsched
+
+let source = "
+  fdivd %f0, %f2, %f4     ! 1: DIVF R1,R2 -> R3  (20 cycles)
+  faddd %f6, %f8, %f0     ! 2: ADDF R4,R5 -> R1
+  faddd %f0, %f4, %f10    ! 3: ADDF R1,R3 -> R6
+"
+
+let opts = { Opts.default with Opts.model = Latency.deep_fp }
+
+let describe alg =
+  let block = List.hd (Cfg_builder.partition (Parser.parse_program source)) in
+  let dag = Builder.build alg opts block in
+  let annot = Static_pass.compute dag in
+  Printf.printf "%-15s %d arcs:" (Builder.to_string alg) (Dag.n_arcs dag);
+  Dag.iter_arcs
+    (fun a ->
+      Printf.printf "  %d->%d(%s,%d)" (a.Dag.src + 1) (a.Dag.dst + 1)
+        (Dep.kind_to_string a.Dag.kind) a.Dag.latency)
+    dag;
+  Printf.printf "\n                EST = [%s]   max delay to leaf = [%s]\n"
+    (String.concat "; "
+       (Array.to_list (Array.map string_of_int annot.Annot.est)))
+    (String.concat "; "
+       (Array.to_list (Array.map string_of_int annot.Annot.max_delay_to_leaf)));
+  annot
+
+let () =
+  print_string "Figure 1: DIVF / ADDF / ADDF under deep_fp (FDIV 20, FADD 4, WAR 1)\n\n";
+  let retained = describe Builder.Table_forward in
+  let _ = describe Builder.Table_backward in
+  let _ = describe Builder.N2_forward in
+  print_newline ();
+  let pruned = describe Builder.Landskov in
+  let _ = describe Builder.Reach_backward in
+  Printf.printf
+    "\nWith the transitive arc retained, EST(3) = %d (it must wait for the\n\
+     divide).  With all transitive arcs pruned, EST(3) = %d — wrong by %d\n\
+     cycles, and max-delay-to-leaf of node 1 collapses from %d to %d.\n\
+     This is the paper's conclusion 3: do not prune all transitive arcs;\n\
+     table building keeps exactly the ones that carry timing information.\n"
+    retained.Annot.est.(2) pruned.Annot.est.(2)
+    (retained.Annot.est.(2) - pruned.Annot.est.(2))
+    retained.Annot.max_delay_to_leaf.(0) pruned.Annot.max_delay_to_leaf.(0)

@@ -1,0 +1,70 @@
+(** Inherited cross-block latencies (the paper's §2 "global information"
+    and §7 planned extension), on an adversarial two-block chain.
+
+    Block 1 ends with a 20-cycle divide into %f4; block 2 begins with a
+    consumer of %f4 plus eight independent adds.  A purely local scheduler
+    sees the consumer as free (its earliest execution time is 0 inside the
+    block) and issues it first — the machine then stalls on the in-flight
+    divide.  Seeding the second block's scheduler with the first block's
+    exit residue defers the consumer and fills the divide's shadow.
+
+    Run with: dune exec examples/global_chain.exe *)
+
+open Dagsched
+
+let block1 = "
+  fdivd %f0, %f2, %f4     ! 20 cycles, still in flight at block exit
+"
+
+let block2 = "
+  faddd %f4, %f6, %f8     ! consumer of the in-flight value
+  add %o1, 1, %l0
+  add %o2, 1, %l1
+  add %o3, 1, %l2
+  add %o4, 1, %l3
+  add %o5, 1, %l4
+  add %i0, 1, %l5
+  add %i1, 1, %l6
+  add %i2, 1, %l7
+"
+
+let config =
+  {
+    Engine.direction = Dyn_state.Forward;
+    mode = Engine.Winnowing;
+    keys =
+      [ Engine.key Heuristic.Earliest_execution_time;
+        Engine.key Heuristic.Max_delay_to_leaf ];
+  }
+
+let () =
+  let opts = { Opts.default with Opts.model = Latency.deep_fp } in
+  let blocks =
+    [ List.hd (Cfg_builder.partition (Parser.parse_program block1));
+      List.hd (Cfg_builder.partition (Parser.parse_program block2)) ]
+  in
+  let run inherit_latencies =
+    let schedules, insns =
+      Global.schedule_chain ~inherit_latencies ~config ~opts blocks
+    in
+    (schedules, insns, Global.chain_cycles Latency.deep_fp insns)
+  in
+  let _, local_insns, local = run false in
+  let schedules, inherited_insns, inherited = run true in
+
+  (* what the scheduler was told about block 2's entry state *)
+  let residue = Global.exit_residue (List.hd schedules) in
+  Printf.printf "block 1 exit residue:\n";
+  List.iter
+    (fun (r, k) ->
+      Printf.printf "  %s ready %d cycles into block 2\n" (Resource.to_string r) k)
+    residue.Global.pending;
+
+  Printf.printf "\nlocal scheduling (%d cycles):\n%s" local
+    (Parser.print_program (Array.to_list local_insns));
+  Printf.printf "\nwith inherited latencies (%d cycles):\n%s" inherited
+    (Parser.print_program (Array.to_list inherited_insns));
+  Printf.printf
+    "\nThe seeded scheduler knew %%f4 would not be ready and filled the\n\
+     divide's shadow with the independent adds: %d cycles instead of %d.\n"
+    inherited local

@@ -1,0 +1,94 @@
+(** Prepass scheduling and register pressure: the register-usage
+    heuristics (#registers born, #registers killed, liveness) of Table 1.
+
+    Before register allocation, an aggressive latency-driven schedule can
+    lengthen value lifetimes and raise the number of simultaneously live
+    registers; Warren's algorithm ranks liveness fourth for exactly this
+    reason, and GCC's (Tiemann's) scheduler boosts "birthing" parents.
+    This example schedules a wide FP block two ways and reports both the
+    cycle count and the register-pressure high-water mark.
+
+    Run with: dune exec examples/prepass_registers.exe *)
+
+open Dagsched
+
+(* Register-pressure high-water mark of an instruction sequence: births
+   minus kills, accumulated in order (nothing live out of the block). *)
+let max_live insns =
+  let r = Liveness.compute ~live_out:(fun _ -> false) insns in
+  let live = ref 0 and peak = ref 0 in
+  Array.iteri
+    (fun i _ ->
+      live := !live + r.Liveness.born.(i);
+      if !live > !peak then peak := !live;
+      live := !live - r.Liveness.killed.(i))
+    insns;
+  !peak
+
+(* Eight independent load-multiply-store strands: lots of freedom to trade
+   latency hiding against value lifetimes. *)
+let source =
+  let strand k =
+    Printf.sprintf
+      "  lddf [%%fp - %d], %%f%d\n  lddf [%%fp - %d], %%f%d\n  fmuld %%f%d, %%f%d, %%f%d\n  stdf %%f%d, [%%fp - %d]\n"
+      (16 * k) (4 * (k mod 4))
+      ((16 * k) + 8)
+      ((4 * (k mod 4)) + 2)
+      (4 * (k mod 4))
+      ((4 * (k mod 4)) + 2)
+      (16 + (2 * (k mod 8)))
+      (16 + (2 * (k mod 8)))
+      (256 + (8 * k))
+  in
+  String.concat "" (List.init 8 (fun k -> strand (k + 1)))
+
+let schedule_with keys block =
+  let opts = { Opts.default with Opts.model = Latency.deep_fp } in
+  let dag = Builder.build Builder.Table_forward opts block in
+  let annot = Static_pass.compute dag in
+  let config =
+    { Engine.direction = Dyn_state.Forward; mode = Engine.Winnowing; keys }
+  in
+  Schedule.make dag (Engine.run config ~annot dag)
+
+let () =
+  let block = List.hd (Cfg_builder.partition (Parser.parse_program source)) in
+  Printf.printf "block of %d instructions, 8 independent FP strands\n\n"
+    (Block.length block);
+  let latency_only =
+    [ Engine.key Heuristic.Earliest_execution_time;
+      Engine.key Heuristic.Max_delay_to_leaf ]
+  in
+  let with_liveness =
+    [ Engine.key ~sense:Heuristic.Minimize Heuristic.Liveness;
+      Engine.key Heuristic.Earliest_execution_time;
+      Engine.key Heuristic.Max_delay_to_leaf ]
+  in
+  let t =
+    Table.create ~title:""
+      [ "schedule"; "cycles"; "max live registers" ]
+  in
+  Table.add_row t
+    [ "original order";
+      string_of_int (Pipeline.cycles Latency.deep_fp block.Block.insns);
+      string_of_int (max_live block.Block.insns) ];
+  let report name keys =
+    let s = schedule_with keys block in
+    assert (Verify.is_valid s);
+    Table.add_row t
+      [ name; string_of_int (Schedule.cycles s);
+        string_of_int (max_live (Schedule.insns s)) ]
+  in
+  report "latency-only prepass" latency_only;
+  report "liveness ranked first" with_liveness;
+  let warren = Published.run Published.warren block in
+  Table.add_row t
+    [ "Warren (liveness ranked 4th)";
+      string_of_int (Schedule.cycles warren);
+      string_of_int (max_live (Schedule.insns warren)) ];
+  Table.print t;
+  print_string
+    "\nThe latency-only schedule hides the most cycles but hoists every\n\
+     load first, maximizing simultaneously-live values; ranking the\n\
+     register-usage heuristics earlier trades a few cycles for less\n\
+     pressure — the reason they matter for prepass scheduling.\n"

@@ -1,0 +1,1 @@
+lib/cfg/block.ml: Array Ds_isa Format Hashtbl Insn Mem_expr Opcode

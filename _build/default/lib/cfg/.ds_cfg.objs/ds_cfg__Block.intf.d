@@ -1,0 +1,1 @@
+lib/cfg/block.mli: Ds_isa Format

@@ -1,0 +1,1 @@
+lib/cfg/builder.ml: Array Block Ds_isa Insn List

@@ -1,0 +1,1 @@
+lib/cfg/builder.mli: Block Ds_isa

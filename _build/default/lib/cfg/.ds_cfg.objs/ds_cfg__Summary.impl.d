@@ -1,0 +1,1 @@
+lib/cfg/summary.ml: Block Ds_util Format List

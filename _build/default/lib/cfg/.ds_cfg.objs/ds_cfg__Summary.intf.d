@@ -1,0 +1,1 @@
+lib/cfg/summary.mli: Block Format

@@ -1,0 +1,46 @@
+(** Basic blocks.
+
+    A maximal straight-line instruction sequence.  Following the paper's
+    counting convention, a branch ends its block and the delay-slot
+    instruction after it (including an annulled slot) belongs to the
+    *following* block. *)
+
+open Ds_isa
+
+type t = {
+  id : int;
+  insns : Insn.t array;
+}
+
+let length t = Array.length t.insns
+
+let insn t i = t.insns.(i)
+
+let iter f t = Array.iter f t.insns
+
+let to_list t = Array.to_list t.insns
+
+(** Number of distinct symbolic memory address expressions referenced by
+    loads and stores in the block — the last column of Table 3. *)
+let unique_mem_exprs t =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun insn ->
+      if Opcode.is_load insn.Insn.op || Opcode.is_store insn.Insn.op then
+        match Insn.memory_expr insn with
+        | Some m -> Hashtbl.replace seen (Mem_expr.to_string m) ()
+        | None -> ())
+    t.insns;
+  Hashtbl.length seen
+
+(** Terminating branch, if the block ends in one. *)
+let terminator t =
+  let n = Array.length t.insns in
+  if n = 0 then None
+  else
+    let last = t.insns.(n - 1) in
+    if Insn.is_branch last || Insn.is_call last then Some last else None
+
+let pp fmt t =
+  Format.fprintf fmt "; block %d (%d insns)@\n" t.id (length t);
+  Array.iter (fun i -> Format.fprintf fmt "%s@\n" (Insn.to_string i)) t.insns

@@ -1,0 +1,22 @@
+(** Basic blocks: maximal straight-line instruction sequences.  Following
+    the paper's counting convention, a branch ends its block and the
+    delay-slot instruction after it belongs to the following block. *)
+
+type t = {
+  id : int;
+  insns : Ds_isa.Insn.t array;
+}
+
+val length : t -> int
+val insn : t -> int -> Ds_isa.Insn.t
+val iter : (Ds_isa.Insn.t -> unit) -> t -> unit
+val to_list : t -> Ds_isa.Insn.t list
+
+(** Distinct symbolic memory address expressions referenced by loads and
+    stores — the last column of Table 3. *)
+val unique_mem_exprs : t -> int
+
+(** Terminating branch or call, if the block ends in one. *)
+val terminator : t -> Ds_isa.Insn.t option
+
+val pp : Format.formatter -> t -> unit

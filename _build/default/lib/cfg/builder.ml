@@ -1,0 +1,91 @@
+(** Basic-block partitioning.
+
+    Block boundaries, per the paper's §2:
+    - branches end a block (the branch stays in the block; the delay-slot
+      instruction after it starts the next block, matching the paper's
+      counting convention);
+    - procedure calls end a block unless [calls_end_blocks] is false, in
+      which case conservative call defs/uses create dependence arcs
+      instead;
+    - register-window-altering instructions (SAVE/RESTORE) always end a
+      block, "since register identifiers name different physical resources
+      on different sides of these instructions";
+    - labels begin a block (a label is a potential branch target).
+
+    An optional [max_block_size] splits larger blocks, implementing the
+    instruction-window mitigation the paper applies to fpppp
+    (fpppp-1000/2000/4000 in Tables 3-5). *)
+
+open Ds_isa
+
+type options = {
+  calls_end_blocks : bool;
+  max_block_size : int option;
+}
+
+let default_options = { calls_end_blocks = true; max_block_size = None }
+
+let partition ?(options = default_options) insns =
+  let blocks = ref [] in
+  let current = ref [] in
+  let current_len = ref 0 in
+  let next_id = ref 0 in
+  let flush () =
+    if !current <> [] then begin
+      let arr = Array.of_list (List.rev !current) in
+      blocks := { Block.id = !next_id; insns = arr } :: !blocks;
+      incr next_id;
+      current := [];
+      current_len := 0
+    end
+  in
+  let add insn =
+    current := insn :: !current;
+    incr current_len;
+    match options.max_block_size with
+    | Some limit when !current_len >= limit -> flush ()
+    | Some _ | None -> ()
+  in
+  List.iter
+    (fun insn ->
+      (* a labeled instruction is a leader: close the previous block *)
+      if insn.Insn.label <> None then flush ();
+      add insn;
+      let ends =
+        Insn.is_branch insn
+        || Insn.alters_window insn
+        || (options.calls_end_blocks && Insn.is_call insn)
+      in
+      if ends then flush ())
+    insns;
+  flush ();
+  List.rev !blocks
+
+(** Split oversized blocks at a window boundary, preserving all existing
+    block boundaries; used for the fpppp-1000/2000/4000 variants. *)
+let with_window blocks ~max_block_size =
+  assert (max_block_size > 0);
+  let next_id = ref 0 in
+  let split block =
+    let n = Block.length block in
+    if n <= max_block_size then begin
+      let b = { block with Block.id = !next_id } in
+      incr next_id;
+      [ b ]
+    end
+    else begin
+      let pieces = ref [] in
+      let start = ref 0 in
+      while !start < n do
+        let len = min max_block_size (n - !start) in
+        pieces :=
+          { Block.id = !next_id;
+            insns = Array.sub block.Block.insns !start len }
+          :: !pieces;
+        incr next_id;
+        start := !start + len
+      done;
+      List.rev !pieces
+    end
+  in
+  List.concat_map split blocks

@@ -1,0 +1,18 @@
+(** Basic-block partitioning (paper §2): branches end blocks (their delay
+    slot starts the next); calls end blocks unless disabled (conservative
+    call effects create arcs instead); SAVE/RESTORE always end blocks;
+    labels begin blocks; an optional window size splits larger blocks
+    (the fpppp-1000/2000/4000 mitigation). *)
+
+type options = {
+  calls_end_blocks : bool;
+  max_block_size : int option;
+}
+
+val default_options : options
+
+val partition : ?options:options -> Ds_isa.Insn.t list -> Block.t list
+
+(** Split oversized blocks at a window boundary, preserving all existing
+    boundaries; block ids are renumbered sequentially. *)
+val with_window : Block.t list -> max_block_size:int -> Block.t list

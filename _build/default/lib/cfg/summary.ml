@@ -1,0 +1,36 @@
+(** Structural statistics over a set of basic blocks — the columns of the
+    paper's Table 3: number of blocks, number of instructions,
+    instructions per block (max, avg) and unique memory expressions per
+    block (max, avg). *)
+
+type t = {
+  blocks : int;
+  insns : int;
+  insns_per_block_max : int;
+  insns_per_block_avg : float;
+  mem_exprs_per_block_max : int;
+  mem_exprs_per_block_avg : float;
+}
+
+let of_blocks blocks =
+  let sizes = Ds_util.Stats.create () in
+  let mems = Ds_util.Stats.create () in
+  List.iter
+    (fun b ->
+      Ds_util.Stats.add_int sizes (Block.length b);
+      Ds_util.Stats.add_int mems (Block.unique_mem_exprs b))
+    blocks;
+  {
+    blocks = Ds_util.Stats.count sizes;
+    insns = int_of_float (Ds_util.Stats.total sizes);
+    insns_per_block_max = int_of_float (Ds_util.Stats.max_value sizes);
+    insns_per_block_avg = Ds_util.Stats.mean sizes;
+    mem_exprs_per_block_max = int_of_float (Ds_util.Stats.max_value mems);
+    mem_exprs_per_block_avg = Ds_util.Stats.mean mems;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%d blocks, %d insns, insts/block max %d avg %.2f, mem exprs/block max %d avg %.2f"
+    t.blocks t.insns t.insns_per_block_max t.insns_per_block_avg
+    t.mem_exprs_per_block_max t.mem_exprs_per_block_avg

@@ -1,0 +1,14 @@
+(** Structural statistics over basic blocks — the columns of the paper's
+    Table 3. *)
+
+type t = {
+  blocks : int;
+  insns : int;
+  insns_per_block_max : int;
+  insns_per_block_avg : float;
+  mem_exprs_per_block_max : int;
+  mem_exprs_per_block_avg : float;
+}
+
+val of_blocks : Block.t list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Ast Ds_cfg Ds_isa Hashtbl Insn List Mem_expr Opcode Operand Printf Reg

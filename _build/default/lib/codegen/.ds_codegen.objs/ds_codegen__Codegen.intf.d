@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Ast Ds_cfg Ds_isa

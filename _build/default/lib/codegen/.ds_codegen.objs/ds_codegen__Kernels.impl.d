@@ -1,0 +1,1 @@
+lib/codegen/kernels.ml: Ast List

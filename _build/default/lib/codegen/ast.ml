@@ -1,0 +1,47 @@
+(** Mini-language AST.
+
+    A small typed expression language (integer and double-precision
+    floating point) with scalar variables, arrays, assignments and
+    counted loops — just enough to write the kernels the paper's
+    benchmarks are made of (daxpy, Livermore-style recurrences) and feed
+    them through the code generator into scheduler input. *)
+
+type ibin = Iadd | Isub | Imul | Iand | Ior | Ixor | Ishl | Ishr
+
+type fbin = Fadd | Fsub | Fmul | Fdiv
+
+(** Integer expressions. *)
+type iexpr =
+  | Iconst of int
+  | Ivar of string
+  | Ibin of ibin * iexpr * iexpr
+
+(** Double-precision expressions.  [Felem (a, i)] is [a.(i)]. *)
+type fexpr =
+  | Fvar of string
+  | Felem of string * iexpr
+  | Fbin of fbin * fexpr * fexpr
+  | Fneg of fexpr
+  | Fabs of fexpr
+
+type stmt =
+  | Iassign of string * iexpr                (* v := e *)
+  | Fassign of string * fexpr                (* x := e *)
+  | Fstore of string * iexpr * fexpr         (* a.(i) := e *)
+  | For of string * int * int * stmt list    (* for v = lo to hi-1 *)
+
+(** A program is a named list of statements. *)
+type program = { name : string; body : stmt list }
+
+(* Convenience constructors. *)
+let ( +: ) a b = Ibin (Iadd, a, b)
+let ( -: ) a b = Ibin (Isub, a, b)
+let ( *: ) a b = Ibin (Imul, a, b)
+let ( +. ) a b = Fbin (Fadd, a, b)
+let ( -. ) a b = Fbin (Fsub, a, b)
+let ( *. ) a b = Fbin (Fmul, a, b)
+let ( /. ) a b = Fbin (Fdiv, a, b)
+let ic n = Iconst n
+let iv s = Ivar s
+let fv s = Fvar s
+let elem a i = Felem (a, i)

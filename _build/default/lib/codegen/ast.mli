@@ -1,0 +1,43 @@
+(** Mini-language AST: a small typed expression language (integers and
+    double-precision floats) with scalar variables, arrays, assignments
+    and counted loops — enough to write the kernels the paper's benchmarks
+    are made of. *)
+
+type ibin = Iadd | Isub | Imul | Iand | Ior | Ixor | Ishl | Ishr
+
+type fbin = Fadd | Fsub | Fmul | Fdiv
+
+type iexpr =
+  | Iconst of int
+  | Ivar of string
+  | Ibin of ibin * iexpr * iexpr
+
+(** [Felem (a, i)] is [a.(i)]. *)
+type fexpr =
+  | Fvar of string
+  | Felem of string * iexpr
+  | Fbin of fbin * fexpr * fexpr
+  | Fneg of fexpr
+  | Fabs of fexpr
+
+type stmt =
+  | Iassign of string * iexpr                (* v := e *)
+  | Fassign of string * fexpr                (* x := e *)
+  | Fstore of string * iexpr * fexpr         (* a.(i) := e *)
+  | For of string * int * int * stmt list    (* for v = lo to hi-1 *)
+
+type program = { name : string; body : stmt list }
+
+(** Convenience constructors. *)
+
+val ( +: ) : iexpr -> iexpr -> iexpr
+val ( -: ) : iexpr -> iexpr -> iexpr
+val ( *: ) : iexpr -> iexpr -> iexpr
+val ( +. ) : fexpr -> fexpr -> fexpr
+val ( -. ) : fexpr -> fexpr -> fexpr
+val ( *. ) : fexpr -> fexpr -> fexpr
+val ( /. ) : fexpr -> fexpr -> fexpr
+val ic : int -> iexpr
+val iv : string -> iexpr
+val fv : string -> fexpr
+val elem : string -> iexpr -> fexpr

@@ -1,0 +1,201 @@
+(** Naive code generator: mini-language → SPARC-like assembly.
+
+    Deliberately simple-minded (think [-O0] with register-resident
+    scalars): each named variable gets a dedicated register for the whole
+    program; array elements are loaded/stored through symbolic or computed
+    addresses; expression temporaries rotate through a small pool.  The
+    output is exactly the kind of latency-bound straight-line code the
+    paper's benchmarks feed the scheduler, with the WAR hazards the
+    rotating temporary pool induces. *)
+
+open Ds_isa
+
+exception Too_many_variables of string
+
+type env = {
+  int_vars : (string, Reg.t) Hashtbl.t;
+  fp_vars : (string, Reg.t) Hashtbl.t;
+  mutable int_var_pool : Reg.t list;
+  mutable fp_var_pool : Reg.t list;
+  mutable int_temps : Reg.t list;     (* rotating *)
+  mutable fp_temps : Reg.t list;      (* rotating *)
+  mutable out : Insn.t list;          (* reverse order *)
+  mutable label_counter : int;
+  mutable pending_label : string option;
+}
+
+let create_env () =
+  {
+    int_vars = Hashtbl.create 16;
+    fp_vars = Hashtbl.create 16;
+    int_var_pool = List.map Reg.int [ 24; 25; 26; 27; 28; 29; 16; 17; 18; 19 ];
+    fp_var_pool = List.map Reg.float [ 16; 18; 20; 22; 24; 26; 28; 30 ];
+    int_temps = List.map Reg.int [ 8; 9; 10; 11; 12; 13 ];
+    fp_temps = List.map Reg.float [ 0; 2; 4; 6; 8; 10; 12; 14 ];
+    out = [];
+    label_counter = 0;
+    pending_label = None;
+  }
+
+let emit env op operands =
+  let label = env.pending_label in
+  env.pending_label <- None;
+  env.out <- Insn.make ?label op operands :: env.out
+
+let place_label env l =
+  (match env.pending_label with
+  | Some _ -> emit env Opcode.Nop []  (* two labels in a row: pad *)
+  | None -> ());
+  env.pending_label <- Some l
+
+let fresh_label env prefix =
+  env.label_counter <- env.label_counter + 1;
+  Printf.sprintf ".%s%d" prefix env.label_counter
+
+(* Dedicated register for a variable, assigned on first touch. *)
+let int_var env name =
+  match Hashtbl.find_opt env.int_vars name with
+  | Some r -> r
+  | None -> (
+      match env.int_var_pool with
+      | [] -> raise (Too_many_variables name)
+      | r :: rest ->
+          env.int_var_pool <- rest;
+          Hashtbl.add env.int_vars name r;
+          r)
+
+let fp_var env name =
+  match Hashtbl.find_opt env.fp_vars name with
+  | Some r -> r
+  | None -> (
+      match env.fp_var_pool with
+      | [] -> raise (Too_many_variables name)
+      | r :: rest ->
+          env.fp_var_pool <- rest;
+          Hashtbl.add env.fp_vars name r;
+          r)
+
+(* Rotating temporaries: reuse creates the WAR hazards real compilers
+   leave for the scheduler to work around. *)
+let int_temp env =
+  match env.int_temps with
+  | r :: rest ->
+      env.int_temps <- rest @ [ r ];
+      r
+  | [] -> assert false
+
+let fp_temp env =
+  match env.fp_temps with
+  | r :: rest ->
+      env.fp_temps <- rest @ [ r ];
+      r
+  | [] -> assert false
+
+let iop_opcode = function
+  | Ast.Iadd -> Opcode.Add | Ast.Isub -> Opcode.Sub | Ast.Imul -> Opcode.Smul
+  | Ast.Iand -> Opcode.And | Ast.Ior -> Opcode.Or | Ast.Ixor -> Opcode.Xor
+  | Ast.Ishl -> Opcode.Sll | Ast.Ishr -> Opcode.Sra
+
+let fop_opcode = function
+  | Ast.Fadd -> Opcode.Faddd | Ast.Fsub -> Opcode.Fsubd
+  | Ast.Fmul -> Opcode.Fmuld | Ast.Fdiv -> Opcode.Fdivd
+
+(* Evaluate an integer expression into a register. *)
+let rec gen_iexpr env = function
+  | Ast.Iconst n ->
+      let t = int_temp env in
+      emit env Opcode.Mov [ Operand.Imm n; Operand.Reg t ];
+      t
+  | Ast.Ivar v -> int_var env v
+  | Ast.Ibin (op, a, b) ->
+      let ra = gen_iexpr env a in
+      let second =
+        match b with
+        | Ast.Iconst n when n >= -4096 && n < 4096 -> Operand.Imm n
+        | _ -> Operand.Reg (gen_iexpr env b)
+      in
+      let t = int_temp env in
+      emit env (iop_opcode op) [ Operand.Reg ra; second; Operand.Reg t ];
+      t
+
+(* Address of a.(i): constant indices fold into the symbolic expression;
+   dynamic indices compute a pointer (base register of unknown storage
+   class — conservatively aliased, like real compiled code). *)
+let gen_elem_addr env array index =
+  match index with
+  | Ast.Iconst n -> Mem_expr.make_sym ~offset:(8 * n) array
+  | _ ->
+      let ri = gen_iexpr env index in
+      let scaled = int_temp env in
+      emit env Opcode.Sll [ Operand.Reg ri; Operand.Imm 3; Operand.Reg scaled ];
+      let base = int_temp env in
+      emit env Opcode.Sethi [ Operand.Target array; Operand.Reg base ];
+      let addr = int_temp env in
+      emit env Opcode.Add
+        [ Operand.Reg base; Operand.Reg scaled; Operand.Reg addr ];
+      Mem_expr.make_reg addr
+
+(* Evaluate a floating point expression into a register. *)
+let rec gen_fexpr env = function
+  | Ast.Fvar v -> fp_var env v
+  | Ast.Felem (a, i) ->
+      let addr = gen_elem_addr env a i in
+      let t = fp_temp env in
+      emit env Opcode.Lddf [ Operand.Mem addr; Operand.Reg t ];
+      t
+  | Ast.Fbin (op, a, b) ->
+      let ra = gen_fexpr env a in
+      let rb = gen_fexpr env b in
+      let t = fp_temp env in
+      emit env (fop_opcode op) [ Operand.Reg ra; Operand.Reg rb; Operand.Reg t ];
+      t
+  | Ast.Fneg a ->
+      let ra = gen_fexpr env a in
+      let t = fp_temp env in
+      emit env Opcode.Fnegs [ Operand.Reg ra; Operand.Reg t ];
+      t
+  | Ast.Fabs a ->
+      let ra = gen_fexpr env a in
+      let t = fp_temp env in
+      emit env Opcode.Fabss [ Operand.Reg ra; Operand.Reg t ];
+      t
+
+let rec gen_stmt env ~unroll = function
+  | Ast.Iassign (v, e) ->
+      let r = gen_iexpr env e in
+      emit env Opcode.Mov [ Operand.Reg r; Operand.Reg (int_var env v) ]
+  | Ast.Fassign (v, e) ->
+      let r = gen_fexpr env e in
+      emit env Opcode.Fmovs [ Operand.Reg r; Operand.Reg (fp_var env v) ]
+  | Ast.Fstore (a, i, e) ->
+      let r = gen_fexpr env e in
+      let addr = gen_elem_addr env a i in
+      emit env Opcode.Stdf [ Operand.Reg r; Operand.Mem addr ]
+  | Ast.For (v, lo, hi, body) ->
+      let rv = int_var env v in
+      emit env Opcode.Mov [ Operand.Imm lo; Operand.Reg rv ];
+      let top = fresh_label env "L" in
+      place_label env top;
+      let factor = max 1 unroll in
+      for _ = 1 to factor do
+        List.iter (gen_stmt env ~unroll) body;
+        emit env Opcode.Add [ Operand.Reg rv; Operand.Imm 1; Operand.Reg rv ]
+      done;
+      emit env Opcode.Cmp [ Operand.Reg rv; Operand.Imm hi ];
+      emit env Opcode.Bl [ Operand.Target top ];
+      emit env Opcode.Nop []  (* branch delay slot *)
+
+(** Compile a program to an instruction stream.  [unroll] replicates loop
+    bodies to enlarge basic blocks (the lever behind linpack-style block
+    sizes in Table 3). *)
+let compile ?(unroll = 1) (program : Ast.program) =
+  let env = create_env () in
+  List.iter (gen_stmt env ~unroll) program.Ast.body;
+  (match env.pending_label with
+  | Some _ -> emit env Opcode.Nop []
+  | None -> ());
+  List.rev env.out |> List.mapi (fun i insn -> Insn.with_index insn i)
+
+(** Compile and partition into basic blocks. *)
+let compile_to_blocks ?unroll program =
+  Ds_cfg.Builder.partition (compile ?unroll program)

@@ -1,0 +1,16 @@
+(** Naive code generator: mini-language → SPARC-like assembly.
+
+    Each named variable gets a dedicated register; array elements go
+    through symbolic or computed addresses; expression temporaries rotate
+    through a small pool (inducing the WAR hazards schedulers work
+    around). *)
+
+exception Too_many_variables of string
+
+(** Compile a program.  [unroll] replicates loop bodies to enlarge basic
+    blocks.  Raises {!Too_many_variables} when the dedicated-register
+    pools are exhausted. *)
+val compile : ?unroll:int -> Ast.program -> Ds_isa.Insn.t list
+
+(** Compile and partition into basic blocks. *)
+val compile_to_blocks : ?unroll:int -> Ast.program -> Ds_cfg.Block.t list

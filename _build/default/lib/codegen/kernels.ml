@@ -1,0 +1,138 @@
+(** Ready-made mini-language kernels.
+
+    The shapes behind the paper's benchmarks: linpack's daxpy, a dot
+    product, Livermore-loop-style recurrences, and the exact three
+    instruction Figure-1 pattern. *)
+
+open Ast
+
+(** daxpy: y.(i) <- y.(i) + a * x.(i)  — the inner loop of linpack. *)
+let daxpy =
+  {
+    name = "daxpy";
+    body =
+      [ For ("i", 0, 64,
+          [ Fstore ("y", iv "i",
+              elem "y" (iv "i") +. (fv "a" *. elem "x" (iv "i"))) ]) ];
+  }
+
+(** Dot product with a scalar accumulator — a long RAW chain. *)
+let dot =
+  {
+    name = "dot";
+    body =
+      [ Fassign ("acc", fv "zero");
+        For ("i", 0, 64,
+          [ Fassign ("acc",
+              fv "acc" +. (elem "x" (iv "i") *. elem "y" (iv "i"))) ]) ];
+  }
+
+(** Livermore kernel 1 (hydro fragment):
+    x.(k) <- q + y.(k) * (r * z.(k+10) + t * z.(k+11)) *)
+let livermore1 =
+  {
+    name = "livermore1";
+    body =
+      [ For ("k", 0, 32,
+          [ Fstore ("x", iv "k",
+              fv "q"
+              +. (elem "y" (iv "k")
+                  *. ((fv "r" *. elem "z" (iv "k" +: ic 10))
+                      +. (fv "t" *. elem "z" (iv "k" +: ic 11))))) ]) ];
+  }
+
+(** Straight-line polynomial evaluation — pure FP dependence chain with
+    reassociation opportunities for the scheduler. *)
+let poly =
+  {
+    name = "poly";
+    body =
+      [ Fassign ("p", fv "c4");
+        Fassign ("p", (fv "p" *. fv "x") +. fv "c3");
+        Fassign ("p", (fv "p" *. fv "x") +. fv "c2");
+        Fassign ("p", (fv "p" *. fv "x") +. fv "c1");
+        Fassign ("p", (fv "p" *. fv "x") +. fv "c0");
+        Fstore ("out", ic 0, fv "p") ];
+  }
+
+(** The paper's Figure 1, as source: r6 = (r1/r2) + (r4+r5) where the
+    divide's WAR-covered operand register is immediately recycled.
+    Compiled naively this produces the DIVF / ADDF / ADDF shape whose
+    transitive RAW arc the paper argues must be retained. *)
+let figure1 =
+  {
+    name = "figure1";
+    body =
+      [ Fassign ("t3", fv "r1" /. fv "r2");   (* DIVF r1,r2 -> t3 *)
+        Fassign ("r1", fv "r4" +. fv "r5");   (* ADDF r4,r5 -> r1 (WAR) *)
+        Fassign ("r6", fv "r1" +. fv "t3") ]; (* ADDF r1,t3 -> r6 (RAW both) *)
+  }
+
+(** A mixed integer/FP block: address arithmetic feeding loads feeding FP
+    work, ending in stores — the generic compiled-code shape. *)
+let mixed =
+  {
+    name = "mixed";
+    body =
+      [ Iassign ("j", iv "i" *: ic 8);
+        Iassign ("k", iv "j" +: ic 16);
+        Fassign ("u", elem "a" (iv "j") *. elem "b" (iv "k"));
+        Fassign ("v", elem "a" (iv "k") -. elem "b" (iv "j"));
+        Fstore ("c", iv "j", fv "u" +. fv "v");
+        Fstore ("c", iv "k", fv "u" -. fv "v") ];
+  }
+
+(** Livermore kernel 5 (tri-diagonal elimination):
+    x.(i) <- z.(i) * (y.(i) - x.(i-1)) — a loop-carried RAW chain, the
+    serial counterpoint to kernel 1. *)
+let livermore5 =
+  {
+    name = "livermore5";
+    body =
+      [ For ("i", 1, 32,
+          [ Fstore ("x", iv "i",
+              elem "z" (iv "i")
+              *. (elem "y" (iv "i") -. elem "x" (iv "i" -: ic 1))) ]) ];
+  }
+
+(** Naive matrix multiply inner kernel, k-unrolled by hand:
+    c.(i,j) accumulates a.(i,k) * b.(k,j) for four k values. *)
+let matmul4 =
+  let a k = elem "a" (iv "row" +: ic k) in
+  let b k = elem "b" ((iv "k0" +: ic k) *: ic 8 +: iv "col") in
+  {
+    name = "matmul4";
+    body =
+      [ Fassign ("acc",
+          ((a 0 *. b 0) +. (a 1 *. b 1)) +. ((a 2 *. b 2) +. (a 3 *. b 3)));
+        Fstore ("c", iv "row" +: iv "col", fv "acc") ];
+  }
+
+(** Three-point stencil: out.(i) <- w0*x.(i-1) + w1*x.(i) + w2*x.(i+1). *)
+let stencil3 =
+  {
+    name = "stencil3";
+    body =
+      [ For ("i", 1, 31,
+          [ Fstore ("out", iv "i",
+              (fv "w0" *. elem "x" (iv "i" -: ic 1))
+              +. ((fv "w1" *. elem "x" (iv "i"))
+                  +. (fv "w2" *. elem "x" (iv "i" +: ic 1)))) ]) ];
+  }
+
+(** Horner evaluation with a divide — exercises the non-pipelined FP
+    divide unit the busy-time heuristic targets. *)
+let rational =
+  {
+    name = "rational";
+    body =
+      [ Fassign ("num", (fv "a2" *. fv "x" +. fv "a1") *. fv "x" +. fv "a0");
+        Fassign ("den", (fv "x" +. fv "b1") *. fv "x" +. fv "b0");
+        Fstore ("out", ic 0, fv "num" /. fv "den") ];
+  }
+
+let all =
+  [ daxpy; dot; livermore1; livermore5; poly; figure1; mixed; matmul4;
+    stencil3; rational ]
+
+let by_name name = List.find_opt (fun p -> p.Ast.name = name) all

@@ -1,0 +1,39 @@
+(** Ready-made mini-language kernels: the shapes behind the paper's
+    benchmarks. *)
+
+(** linpack's inner loop: y.(i) <- y.(i) + a * x.(i). *)
+val daxpy : Ast.program
+
+(** Dot product with a scalar accumulator — a long RAW chain. *)
+val dot : Ast.program
+
+(** Livermore kernel 1 (hydro fragment). *)
+val livermore1 : Ast.program
+
+(** Straight-line polynomial evaluation (pure FP dependence chain). *)
+val poly : Ast.program
+
+(** The paper's Figure 1 as source: DIVF / ADDF / ADDF with a recycled
+    register. *)
+val figure1 : Ast.program
+
+(** Mixed integer/FP block: address arithmetic feeding loads feeding FP
+    work, ending in stores. *)
+val mixed : Ast.program
+
+(** Livermore kernel 5 (tri-diagonal elimination): a loop-carried RAW
+    chain, the serial counterpoint to kernel 1. *)
+val livermore5 : Ast.program
+
+(** Naive matrix-multiply inner kernel, k-unrolled by four. *)
+val matmul4 : Ast.program
+
+(** Three-point stencil. *)
+val stencil3 : Ast.program
+
+(** Rational (Horner) evaluation with a divide — exercises the
+    non-pipelined FP divide unit. *)
+val rational : Ast.program
+
+val all : Ast.program list
+val by_name : string -> Ast.program option

@@ -1,0 +1,1 @@
+lib/dag/build_landskov.mli: Dag Ds_cfg Opts

@@ -1,0 +1,1 @@
+lib/dag/build_n2.ml: Array Dag Ds_cfg Opts Pairdep

@@ -1,0 +1,1 @@
+lib/dag/build_n2.mli: Dag Ds_cfg Opts

@@ -1,0 +1,1 @@
+lib/dag/build_reach.mli: Dag Ds_cfg Opts

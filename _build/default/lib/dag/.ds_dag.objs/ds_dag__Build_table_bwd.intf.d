@@ -1,0 +1,1 @@
+lib/dag/build_table_bwd.mli: Dag Ds_cfg Opts

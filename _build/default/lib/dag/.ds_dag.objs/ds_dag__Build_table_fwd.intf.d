@@ -1,0 +1,1 @@
+lib/dag/build_table_fwd.mli: Dag Ds_cfg Opts

@@ -1,0 +1,1 @@
+lib/dag/builder.ml: Build_landskov Build_n2 Build_reach Build_table_bwd Build_table_fwd List

@@ -1,0 +1,1 @@
+lib/dag/builder.mli: Dag Ds_cfg Opts

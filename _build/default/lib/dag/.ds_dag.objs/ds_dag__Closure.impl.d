@@ -1,0 +1,1 @@
+lib/dag/closure.ml: Array Dag Ds_util List

@@ -1,0 +1,1 @@
+lib/dag/closure.mli: Dag Ds_util

@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Dep Ds_isa Ds_machine Ds_util Format Hashtbl Insn Latency List

@@ -1,0 +1,1 @@
+lib/dag/dag.mli: Ds_isa Ds_machine Ds_util Format

@@ -1,0 +1,1 @@
+lib/dag/dag_stats.ml: Array Closure Dag Ds_util Format List

@@ -1,0 +1,1 @@
+lib/dag/dag_stats.mli: Dag Format

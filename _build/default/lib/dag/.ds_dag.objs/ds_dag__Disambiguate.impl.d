@@ -1,0 +1,1 @@
+lib/dag/disambiguate.ml: Ds_isa Mem_expr Resource

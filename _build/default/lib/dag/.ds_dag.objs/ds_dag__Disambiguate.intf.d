@@ -1,0 +1,1 @@
+lib/dag/disambiguate.mli: Ds_isa

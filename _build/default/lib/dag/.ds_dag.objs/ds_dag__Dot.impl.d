@@ -1,0 +1,1 @@
+lib/dag/dot.ml: Buffer Closure Dag Dep Ds_isa Ds_machine List Printf String

@@ -1,0 +1,1 @@
+lib/dag/opts.ml: Disambiguate Ds_machine Latency

@@ -1,0 +1,1 @@
+lib/dag/opts.mli: Disambiguate Ds_machine

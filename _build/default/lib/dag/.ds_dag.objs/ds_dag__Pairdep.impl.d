@@ -1,0 +1,1 @@
+lib/dag/pairdep.ml: Dep Disambiguate Ds_isa Ds_machine Insn Latency List Resource

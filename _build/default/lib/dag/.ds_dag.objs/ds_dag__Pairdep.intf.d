@@ -1,0 +1,1 @@
+lib/dag/pairdep.mli: Dep Disambiguate Ds_isa Ds_machine Insn Latency Resource

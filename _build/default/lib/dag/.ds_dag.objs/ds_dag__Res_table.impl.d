@@ -1,0 +1,1 @@
+lib/dag/res_table.ml: Disambiguate Ds_isa Int List Resource

@@ -1,0 +1,1 @@
+lib/dag/res_table.mli: Disambiguate Ds_isa

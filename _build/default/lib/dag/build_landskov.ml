@@ -1,0 +1,42 @@
+(** Landskov-style construction: n² forward with transitive-arc avoidance.
+
+    "The algorithm presented by Landskov, et al., is a modification of the
+    n**2 forward algorithm; it examines leaves first and prunes away any
+    ancestors whenever a dependency is observed" (§2).  We scan candidates
+    from the most recent instruction backward, and once a dependency on
+    node [i] is found, [i] and all of [i]'s ancestors are excluded — they
+    are already transitively ordered before the new node.  The result is a
+    transitively reduced DAG.
+
+    The paper *recommends against* this treatment (conclusion 3): Figure 1
+    shows a pruned direct RAW arc whose latency information cannot be
+    recovered through the retained WAR-then-RAW path.  This builder exists
+    so the bench can demonstrate exactly that. *)
+
+let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
+  let insns = block.Ds_cfg.Block.insns in
+  let dag = Dag.create ~model:opts.model insns in
+  let sums = Array.map (Pairdep.summarize opts.strategy) insns in
+  let n = Array.length insns in
+  (* ancestors.(i): i's ancestor set, complete once i is processed *)
+  let ancestors = Array.init n (fun _ -> Ds_util.Bitset.create ()) in
+  for j = 1 to n - 1 do
+    let covered = Ds_util.Bitset.make n in
+    for i = j - 1 downto 0 do
+      if not (Ds_util.Bitset.mem covered i) then
+        match
+          Pairdep.strongest_of ~model:opts.model ~strategy:opts.strategy
+            ~parent:insns.(i) ~parent_sum:sums.(i) ~child:insns.(j)
+            ~child_sum:sums.(j)
+        with
+        | Some c ->
+            ignore (Dag.add_arc dag ~src:i ~dst:j ~kind:c.kind ~latency:c.latency);
+            Ds_util.Bitset.set covered i;
+            Ds_util.Bitset.union_into ~into:covered ancestors.(i);
+            Ds_util.Bitset.set ancestors.(j) i;
+            Ds_util.Bitset.union_into ~into:ancestors.(j) ancestors.(i)
+        | None -> ()
+    done
+  done;
+  if opts.anchor_branch then Dag.anchor_terminator dag;
+  dag

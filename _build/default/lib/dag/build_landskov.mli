@@ -1,0 +1,5 @@
+(** Landskov-style construction: n² forward with transitive-arc avoidance
+    by ancestor pruning (§2).  Produces a transitively reduced DAG — the
+    treatment the paper recommends against (conclusion 3, Figure 1). *)
+
+val build : Opts.t -> Ds_cfg.Block.t -> Dag.t

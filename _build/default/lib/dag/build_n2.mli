@@ -1,0 +1,9 @@
+(** Compare-against-all DAG construction (the paper's n² approach):
+    every dependent pair receives a direct arc, so the DAG carries "a huge
+    number of transitive arcs" (Tables 4 vs 5). *)
+
+(** Forward pass (Warren-like). *)
+val build : Opts.t -> Ds_cfg.Block.t -> Dag.t
+
+(** Backward pass (Gibbons & Muchnick's direction); identical arcs. *)
+val build_backward : Opts.t -> Ds_cfg.Block.t -> Dag.t

@@ -1,0 +1,58 @@
+(** Backward construction with reachability bit maps.
+
+    The second transitive-arc prevention scheme of §2: the maps use one bit
+    position per node to indicate descendants, and each map starts with the
+    node reaching itself.  Arc insertion follows the algorithm quoted in
+    the paper:
+
+    {v
+    /* try to add arc from_a to to_b */
+    if ( bit to_b in bitmap_for_a is set ) return;
+    bitmap_for_a = bitmap_for_a OR bitmap_for_b;
+    add_arc(from_a, to_b);
+    v}
+
+    Nodes are visited in reverse program order and candidates in ascending
+    order, so a candidate's descendant map is already complete when merged;
+    the produced DAG is transitively reduced.  The maps are retained on the
+    DAG — the paper notes [#descendants] then falls out as a population
+    count. *)
+
+let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
+  let insns = block.Ds_cfg.Block.insns in
+  let dag = Dag.create ~model:opts.model insns in
+  let sums = Array.map (Pairdep.summarize opts.strategy) insns in
+  let n = Array.length insns in
+  let reach = Array.init n (fun i ->
+      let b = Ds_util.Bitset.make n in
+      Ds_util.Bitset.set b i;
+      b)
+  in
+  for a = n - 2 downto 0 do
+    for b = a + 1 to n - 1 do
+      match
+        Pairdep.strongest_of ~model:opts.model ~strategy:opts.strategy
+          ~parent:insns.(a) ~parent_sum:sums.(a) ~child:insns.(b)
+          ~child_sum:sums.(b)
+      with
+      | Some c ->
+          if not (Ds_util.Bitset.mem reach.(a) b) then begin
+            Ds_util.Bitset.union_into ~into:reach.(a) reach.(b);
+            ignore (Dag.add_arc dag ~src:a ~dst:b ~kind:c.kind ~latency:c.latency)
+          end
+      | None -> ()
+    done
+  done;
+  if opts.anchor_branch then begin
+    Dag.anchor_terminator dag;
+    (* anchoring adds leaf->branch arcs after the fact; refresh the maps so
+       ancestors of the anchored leaves also see the branch *)
+    for i = n - 1 downto 0 do
+      List.iter
+        (fun (a : Dag.arc) ->
+          Ds_util.Bitset.union_into ~into:reach.(i) reach.(a.dst))
+        (Dag.succs dag i)
+    done
+  end;
+  Dag.set_reach dag reach;
+  dag

@@ -1,0 +1,5 @@
+(** Backward construction with reachability bit maps (§2's second
+    transitive-arc prevention scheme).  The maps are retained on the DAG:
+    [#descendants] is their population count minus one. *)
+
+val build : Opts.t -> Ds_cfg.Block.t -> Dag.t

@@ -1,0 +1,101 @@
+(** Table-building DAG construction, backward pass.
+
+    A direct implementation of the algorithm the paper quotes (§2, from
+    Hunnicutt): instructions are visited in reverse program order, so the
+    table records the *earliest-seen later* definition and the pending
+    later uses of each resource.  Definitions are processed before uses:
+
+    {v
+    /* process resources defined */
+    if (resource[definition_entry] not empty and resource[uselist] is empty)
+        add_arc(WAW, newnode, resource[definition_entry]);
+    foreach (uselist_entry in resource[uselist] in ascending order) do {
+        add_arc(RAW, newnode, uselist_entry);
+        delete uselist_entry from resource[uselist];
+    }
+    insert newnode as resource[definition_entry];
+    /* process resources used */
+    if (resource[definition_entry] not empty)
+        add_arc(WAR, newnode, resource[definition_entry]);
+    add newnode as a uselist_entry into resource[uselist];
+    v}
+
+    As in the forward builder, cross-expression memory aliasing (which is
+    not transitive) is handled by drawing conservative arcs against every
+    may-aliasing entry's recorded definition and uses without touching
+    that entry's state; only an expression's own definition clears its
+    uselist.
+
+    The paper pairs this builder with a plain linked-list first pass, which
+    eliminates the child-revisitation overhead of the forward approaches
+    before the backward heuristic pass (§6, third approach). *)
+
+open Ds_isa
+open Ds_machine
+
+let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
+  let insns = block.Ds_cfg.Block.insns in
+  let dag = Dag.create ~model:opts.model insns in
+  let table = Res_table.create opts.strategy in
+  let n = Array.length insns in
+  for j = n - 1 downto 0 do
+    let parent = insns.(j) in
+    (* process resources defined *)
+    List.iter
+      (fun (res, def_pos) ->
+        let res = Disambiguate.canonical opts.strategy res in
+        let waw_to (e : Res_table.entry) =
+          match e.def_ with
+          | Some (d, _) when d <> j ->
+              let latency =
+                opts.model.Latency.waw ~parent ~res ~child:insns.(d)
+              in
+              ignore (Dag.add_arc dag ~src:j ~dst:d ~kind:Dep.Waw ~latency)
+          | Some _ | None -> ()
+        in
+        let raw_to_uses uses =
+          List.iter
+            (fun (u, use_pos) ->
+              if u <> j then begin
+                let latency =
+                  opts.model.Latency.raw ~parent ~def_pos ~res
+                    ~child:insns.(u) ~use_pos
+                in
+                ignore (Dag.add_arc dag ~src:j ~dst:u ~kind:Dep.Raw ~latency)
+              end)
+            uses
+        in
+        (* own entry: the paper's algorithm, including the clear *)
+        let own = Res_table.entry table res in
+        if own.uses = [] then waw_to own
+        else raw_to_uses (Res_table.uses_ascending own);
+        own.uses <- [];
+        own.def_ <- Some (j, def_pos);
+        (* cross-aliasing entries: conservative arcs, no state change *)
+        List.iter
+          (fun (e : Res_table.entry) ->
+            raw_to_uses (Res_table.uses_ascending e);
+            waw_to e)
+          (Res_table.cross_aliasing table res))
+      (List.mapi (fun pos r -> (r, pos)) (Insn.defs parent));
+    (* process resources used *)
+    List.iter
+      (fun (res, use_pos) ->
+        let res = Disambiguate.canonical opts.strategy res in
+        let war_to (e : Res_table.entry) =
+          match e.def_ with
+          | Some (d, _) when d <> j ->
+              let latency =
+                opts.model.Latency.war ~parent ~res ~child:insns.(d)
+              in
+              ignore (Dag.add_arc dag ~src:j ~dst:d ~kind:Dep.War ~latency)
+          | Some _ | None -> ()
+        in
+        let own = Res_table.entry table res in
+        war_to own;
+        List.iter war_to (Res_table.cross_aliasing table res);
+        own.uses <- (j, use_pos) :: own.uses)
+      (Insn.uses_with_pos parent)
+  done;
+  if opts.anchor_branch then Dag.anchor_terminator dag;
+  dag

@@ -1,0 +1,5 @@
+(** Table-building DAG construction, backward pass — a direct
+    implementation of the algorithm the paper quotes from Hunnicutt (§2):
+    reverse program order, definitions processed before uses. *)
+
+val build : Opts.t -> Ds_cfg.Block.t -> Dag.t

@@ -1,0 +1,92 @@
+(** Table-building DAG construction, forward pass (Krishnamurthy-like).
+
+    The forward analogue of the backward algorithm the paper quotes from
+    Hunnicutt, "with resource uses processed before definitions":
+
+    - a use of resource [r] draws a RAW arc from [r]'s last definition and
+      joins [r]'s uselist;
+    - a definition of [r] draws WAR arcs from every pending use (or, if
+      there are none, a WAW arc from the previous definition), then becomes
+      the recorded definition and clears the uselist.
+
+    Because the table erases all but the most recent definition/uses, most
+    transitive arcs are omitted — but WAR-then-RAW-covered direct RAW arcs
+    (Figure 1) are retained, which the paper argues is exactly right.
+
+    Memory references of *different* symbolic expressions can still alias
+    (different base registers, §2).  May-alias is not transitive, so those
+    cross-expression dependencies cannot reuse the clearing logic: a
+    definition additionally draws arcs against every may-aliasing entry's
+    last definition and pending uses, leaving that entry's state intact.
+    Only an expression's own definition clears its uselist. *)
+
+open Ds_isa
+open Ds_machine
+
+let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
+  let insns = block.Ds_cfg.Block.insns in
+  let dag = Dag.create ~model:opts.model insns in
+  let table = Res_table.create opts.strategy in
+  let n = Array.length insns in
+  for j = 0 to n - 1 do
+    let child = insns.(j) in
+    (* process resources used *)
+    List.iter
+      (fun (res, use_pos) ->
+        let res = Disambiguate.canonical opts.strategy res in
+        let raw_from (e : Res_table.entry) =
+          match e.def_ with
+          | Some (d, def_pos) when d <> j ->
+              let latency =
+                opts.model.Latency.raw ~parent:insns.(d) ~def_pos
+                  ~res:e.resource ~child ~use_pos
+              in
+              ignore (Dag.add_arc dag ~src:d ~dst:j ~kind:Dep.Raw ~latency)
+          | Some _ | None -> ()
+        in
+        let own = Res_table.entry table res in
+        raw_from own;
+        List.iter raw_from (Res_table.cross_aliasing table res);
+        own.uses <- (j, use_pos) :: own.uses)
+      (Insn.uses_with_pos child);
+    (* process resources defined *)
+    List.iter
+      (fun (res, def_pos) ->
+        let res = Disambiguate.canonical opts.strategy res in
+        let war_from_uses uses =
+          List.iter
+            (fun (u, _) ->
+              if u <> j then begin
+                let latency =
+                  opts.model.Latency.war ~parent:insns.(u) ~res ~child
+                in
+                ignore (Dag.add_arc dag ~src:u ~dst:j ~kind:Dep.War ~latency)
+              end)
+            uses
+        in
+        let waw_from (e : Res_table.entry) =
+          match e.def_ with
+          | Some (d, _) when d <> j ->
+              let latency =
+                opts.model.Latency.waw ~parent:insns.(d) ~res:e.resource ~child
+              in
+              ignore (Dag.add_arc dag ~src:d ~dst:j ~kind:Dep.Waw ~latency)
+          | Some _ | None -> ()
+        in
+        (* own entry: the paper's algorithm, including the clear *)
+        let own = Res_table.entry table res in
+        let pending = List.filter (fun (u, _) -> u <> j) own.uses in
+        if pending <> [] then war_from_uses (Res_table.uses_ascending { own with uses = pending })
+        else waw_from own;
+        own.uses <- [];
+        own.def_ <- Some (j, def_pos);
+        (* cross-aliasing entries: conservative arcs, no state change *)
+        List.iter
+          (fun (e : Res_table.entry) ->
+            war_from_uses (Res_table.uses_ascending e);
+            waw_from e)
+          (Res_table.cross_aliasing table res))
+      (List.mapi (fun pos r -> (r, pos)) (Insn.defs child))
+  done;
+  if opts.anchor_branch then Dag.anchor_terminator dag;
+  dag

@@ -1,0 +1,5 @@
+(** Table-building DAG construction, forward pass (Krishnamurthy-like):
+    resource uses processed before definitions; omits most transitive arcs
+    while retaining the timing-relevant ones (Figure 1). *)
+
+val build : Opts.t -> Ds_cfg.Block.t -> Dag.t

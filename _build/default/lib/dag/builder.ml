@@ -1,0 +1,58 @@
+(** DAG construction algorithm registry.
+
+    The three algorithms the paper measures (§6) plus the two
+    transitive-arc-avoidance variants it analyzes (§2): *)
+
+type algorithm =
+  | N2_forward       (* compare-against-all, Warren-like *)
+  | N2_backward      (* compare-against-all, Gibbons & Muchnick direction *)
+  | Table_forward    (* table building, Krishnamurthy-like *)
+  | Table_backward   (* table building, Hunnicutt's backward algorithm *)
+  | Landskov         (* n² forward + ancestor pruning: no transitive arcs *)
+  | Reach_backward   (* backward + reachability bitmaps: no transitive arcs *)
+
+type direction = Forward | Backward
+
+let all =
+  [ N2_forward; N2_backward; Table_forward; Table_backward; Landskov;
+    Reach_backward ]
+
+let to_string = function
+  | N2_forward -> "n2-forward"
+  | N2_backward -> "n2-backward"
+  | Table_forward -> "table-forward"
+  | Table_backward -> "table-backward"
+  | Landskov -> "landskov"
+  | Reach_backward -> "reach-backward"
+
+let of_string s =
+  List.find_opt (fun a -> to_string a = s) all
+
+let description = function
+  | N2_forward -> "compare-against-all, forward pass (Warren-like)"
+  | N2_backward -> "compare-against-all, backward pass (Gibbons & Muchnick)"
+  | Table_forward -> "table building, forward pass (Krishnamurthy-like)"
+  | Table_backward -> "table building, backward pass (Hunnicutt)"
+  | Landskov -> "n2 forward with transitive-arc pruning (Landskov et al.)"
+  | Reach_backward -> "backward with reachability bit maps (no transitive arcs)"
+
+let pass_direction = function
+  | N2_forward | Table_forward | Landskov -> Forward
+  | N2_backward | Table_backward | Reach_backward -> Backward
+
+(** Whether the algorithm avoids all transitive arcs by construction. *)
+let transitively_reduced = function
+  | Landskov | Reach_backward -> true
+  | N2_forward | N2_backward | Table_forward | Table_backward -> false
+
+let build algorithm opts block =
+  match algorithm with
+  | N2_forward -> Build_n2.build opts block
+  | N2_backward -> Build_n2.build_backward opts block
+  | Table_forward -> Build_table_fwd.build opts block
+  | Table_backward -> Build_table_bwd.build opts block
+  | Landskov -> Build_landskov.build opts block
+  | Reach_backward -> Build_reach.build opts block
+
+(** The three approaches of the paper's §6 comparison. *)
+let paper_trio = [ N2_forward; Table_forward; Table_backward ]

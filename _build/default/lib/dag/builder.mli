@@ -1,0 +1,29 @@
+(** DAG construction algorithm registry: the three algorithms the paper
+    measures (§6), the backward n² direction Gibbons & Muchnick used, and
+    the two transitive-arc-avoidance variants it analyzes (§2). *)
+
+type algorithm =
+  | N2_forward       (* compare-against-all, Warren-like *)
+  | N2_backward      (* compare-against-all, Gibbons & Muchnick direction *)
+  | Table_forward    (* table building, Krishnamurthy-like *)
+  | Table_backward   (* table building, Hunnicutt's backward algorithm *)
+  | Landskov         (* n² forward + ancestor pruning: no transitive arcs *)
+  | Reach_backward   (* backward + reachability bitmaps: no transitive arcs *)
+
+type direction = Forward | Backward
+
+val all : algorithm list
+val to_string : algorithm -> string
+val of_string : string -> algorithm option
+val description : algorithm -> string
+
+(** Direction of the construction pass over the block. *)
+val pass_direction : algorithm -> direction
+
+(** Whether the algorithm avoids all transitive arcs by construction. *)
+val transitively_reduced : algorithm -> bool
+
+val build : algorithm -> Opts.t -> Ds_cfg.Block.t -> Dag.t
+
+(** The three approaches of the paper's §6 comparison. *)
+val paper_trio : algorithm list

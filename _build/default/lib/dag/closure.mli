@@ -1,0 +1,23 @@
+(** Transitive closures and transitive-arc accounting: verifies the
+    builders against each other and counts the arcs that separate the n²
+    DAGs of Table 4 from the table-building DAGs of Table 5. *)
+
+(** Descendant bit maps of every node (each map contains the node
+    itself). *)
+val descendants : Dag.t -> Ds_util.Bitset.t array
+
+(** Ancestor bit maps, the dual. *)
+val ancestors : Dag.t -> Ds_util.Bitset.t array
+
+(** Same instructions and identical transitive closures — the builders'
+    order-equivalence. *)
+val equivalent : Dag.t -> Dag.t -> bool
+
+(** Arcs whose endpoints are also connected by a path of length >= 2. *)
+val transitive_arcs : Dag.t -> Dag.arc list
+
+val count_transitive_arcs : Dag.t -> int
+val is_transitively_reduced : Dag.t -> bool
+
+(** [refines a b]: every ordering constraint of [b] also holds in [a]. *)
+val refines : Dag.t -> Dag.t -> bool

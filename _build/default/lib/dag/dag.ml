@@ -1,0 +1,202 @@
+(** The dependence DAG.
+
+    Nodes are the instructions of one basic block, identified by their
+    index within the block; arcs are data dependencies weighted by
+    operation latency.  [add_arc] performs the paper's Table-1 column-`a`
+    bookkeeping: it increments the parent's [#children] and the child's
+    [#parents] counters, records whether the parent has an interlocking
+    child (arc delay greater than one), and accumulates the delay sums the
+    "φ delays to children / from parents" heuristics need.
+
+    Arcs between the same pair of nodes are coalesced to the most
+    constraining (largest-latency) dependency, so [#children] counts
+    distinct child nodes as the heuristics intend. *)
+
+open Ds_isa
+open Ds_machine
+
+type arc = { src : int; dst : int; kind : Dep.kind; latency : int }
+
+type t = {
+  insns : Insn.t array;
+  model : Latency.t;
+  succs : arc list array;       (* children, most recently added first *)
+  preds : arc list array;       (* parents *)
+  n_children : int array;
+  n_parents : int array;
+  sum_delays_to_children : int array;
+  max_delay_to_child : int array;
+  sum_delays_from_parents : int array;
+  max_delay_from_parent : int array;
+  interlock_with_child : bool array;  (* any outgoing arc with delay > 1 *)
+  mutable n_arcs : int;
+  arc_index : (int, arc) Hashtbl.t;   (* src * n + dst -> arc *)
+  mutable reach : Ds_util.Bitset.t array option;
+      (* descendant bit maps, when a builder maintained them *)
+}
+
+let create ~model insns =
+  let n = Array.length insns in
+  {
+    insns;
+    model;
+    succs = Array.make n [];
+    preds = Array.make n [];
+    n_children = Array.make n 0;
+    n_parents = Array.make n 0;
+    sum_delays_to_children = Array.make n 0;
+    max_delay_to_child = Array.make n 0;
+    sum_delays_from_parents = Array.make n 0;
+    max_delay_from_parent = Array.make n 0;
+    interlock_with_child = Array.make n false;
+    n_arcs = 0;
+    arc_index = Hashtbl.create (4 * max 1 n);
+    reach = None;
+  }
+
+let length t = Array.length t.insns
+let insn t i = t.insns.(i)
+let model t = t.model
+let succs t i = t.succs.(i)
+let preds t i = t.preds.(i)
+let n_children t i = t.n_children.(i)
+let n_parents t i = t.n_parents.(i)
+let n_arcs t = t.n_arcs
+let sum_delays_to_children t i = t.sum_delays_to_children.(i)
+let max_delay_to_child t i = t.max_delay_to_child.(i)
+let sum_delays_from_parents t i = t.sum_delays_from_parents.(i)
+let max_delay_from_parent t i = t.max_delay_from_parent.(i)
+let interlock_with_child t i = t.interlock_with_child.(i)
+
+let find_arc t ~src ~dst =
+  Hashtbl.find_opt t.arc_index ((src * length t) + dst)
+
+let has_arc t ~src ~dst = find_arc t ~src ~dst <> None
+
+(* Counter updates shared by insertion and latency upgrade. *)
+let account t arc ~fresh =
+  let { src; dst; latency; _ } = arc in
+  if fresh then begin
+    t.n_children.(src) <- t.n_children.(src) + 1;
+    t.n_parents.(dst) <- t.n_parents.(dst) + 1;
+    t.n_arcs <- t.n_arcs + 1
+  end;
+  t.sum_delays_to_children.(src) <- t.sum_delays_to_children.(src) + latency;
+  t.max_delay_to_child.(src) <- max t.max_delay_to_child.(src) latency;
+  t.sum_delays_from_parents.(dst) <- t.sum_delays_from_parents.(dst) + latency;
+  t.max_delay_from_parent.(dst) <- max t.max_delay_from_parent.(dst) latency;
+  if latency > 1 then t.interlock_with_child.(src) <- true
+
+(** [add_arc t ~src ~dst ~kind ~latency] inserts (or upgrades) the arc.
+    Self-arcs are ignored (an instruction that both uses and defines a
+    resource does not depend on itself).  Returns [true] when a new arc
+    was created. *)
+let add_arc t ~src ~dst ~kind ~latency =
+  if src = dst then false
+  else begin
+    assert (src >= 0 && dst >= 0 && src < length t && dst < length t);
+    let key = (src * length t) + dst in
+    match Hashtbl.find_opt t.arc_index key with
+    | Some existing ->
+        if latency > existing.latency then begin
+          let upgraded = { existing with kind; latency } in
+          Hashtbl.replace t.arc_index key upgraded;
+          t.succs.(src) <-
+            List.map (fun a -> if a.dst = dst then upgraded else a) t.succs.(src);
+          t.preds.(dst) <-
+            List.map (fun a -> if a.src = src then upgraded else a) t.preds.(dst);
+          (* delay-sum counters: replace old contribution *)
+          t.sum_delays_to_children.(src) <-
+            t.sum_delays_to_children.(src) - existing.latency;
+          t.sum_delays_from_parents.(dst) <-
+            t.sum_delays_from_parents.(dst) - existing.latency;
+          account t upgraded ~fresh:false
+        end;
+        false
+    | None ->
+        let arc = { src; dst; kind; latency } in
+        Hashtbl.add t.arc_index key arc;
+        t.succs.(src) <- arc :: t.succs.(src);
+        t.preds.(dst) <- arc :: t.preds.(dst);
+        account t arc ~fresh:true;
+        true
+  end
+
+(** Roots: nodes with no parents.  A basic block may yield several — the
+    paper's "forest". *)
+let roots t =
+  let acc = ref [] in
+  for i = length t - 1 downto 0 do
+    if t.n_parents.(i) = 0 then acc := i :: !acc
+  done;
+  !acc
+
+(** Leaves: nodes with no children. *)
+let leaves t =
+  let acc = ref [] in
+  for i = length t - 1 downto 0 do
+    if t.n_children.(i) = 0 then acc := i :: !acc
+  done;
+  !acc
+
+(** Number of connected DAGs in the forest (undirected components). *)
+let forest_size t =
+  let n = length t in
+  if n = 0 then 0
+  else begin
+    let comp = Array.make n (-1) in
+    let rec assign i c =
+      if comp.(i) < 0 then begin
+        comp.(i) <- c;
+        List.iter (fun a -> assign a.dst c) t.succs.(i);
+        List.iter (fun a -> assign a.src c) t.preds.(i)
+      end
+    in
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      if comp.(i) < 0 then begin
+        assign i !count;
+        incr count
+      end
+    done;
+    !count
+  end
+
+(** Add control arcs from every true leaf to a block-terminating branch so
+    the branch schedules last (§2's dummy-leaf convention, realized with
+    the branch itself as the sink). *)
+let anchor_terminator t =
+  let n = length t in
+  if n > 1 && (Insn.is_branch t.insns.(n - 1) || Insn.is_call t.insns.(n - 1))
+  then
+    for i = 0 to n - 2 do
+      if t.n_children.(i) = 0 then
+        ignore (add_arc t ~src:i ~dst:(n - 1) ~kind:Dep.Ctl ~latency:1)
+    done
+
+let set_reach t maps = t.reach <- Some maps
+let reach t = t.reach
+
+let iter_arcs f t =
+  Array.iter (fun arcs -> List.iter f arcs) t.succs
+
+let arcs t =
+  let acc = ref [] in
+  iter_arcs (fun a -> acc := a :: !acc) t;
+  !acc
+
+(** All arcs go from lower to higher instruction index, so the program
+    order is a topological order and the graph is trivially acyclic; this
+    checks the invariant (property-tested). *)
+let forward_ordered t =
+  let ok = ref true in
+  iter_arcs (fun a -> if a.src >= a.dst then ok := false) t;
+  !ok
+
+let pp fmt t =
+  Format.fprintf fmt "DAG: %d nodes, %d arcs@\n" (length t) t.n_arcs;
+  iter_arcs
+    (fun a ->
+      Format.fprintf fmt "  %d -> %d  %s %d@\n" a.src a.dst
+        (Dep.kind_to_string a.kind) a.latency)
+    t

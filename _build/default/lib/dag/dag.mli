@@ -1,0 +1,76 @@
+(** The dependence DAG.
+
+    Nodes are the instructions of one basic block, identified by index;
+    arcs are data dependencies weighted by operation latency.  [add_arc]
+    performs the paper's Table-1 column-`a` bookkeeping: it maintains the
+    [#children]/[#parents] counters, the interlock-with-child flag, and
+    the delay sums behind the "φ delays to children / from parents"
+    heuristics.  Arcs between the same pair are coalesced to the most
+    constraining dependency, so [#children] counts distinct child nodes. *)
+
+type arc = {
+  src : int;
+  dst : int;
+  kind : Ds_machine.Dep.kind;
+  latency : int;
+}
+
+type t
+
+val create : model:Ds_machine.Latency.t -> Ds_isa.Insn.t array -> t
+
+val length : t -> int
+val insn : t -> int -> Ds_isa.Insn.t
+val model : t -> Ds_machine.Latency.t
+
+(** Children arcs (most recently added first) / parent arcs of a node. *)
+val succs : t -> int -> arc list
+val preds : t -> int -> arc list
+
+(* the column-`a` heuristic counters, maintained by add_arc *)
+val n_children : t -> int -> int
+val n_parents : t -> int -> int
+val n_arcs : t -> int
+val sum_delays_to_children : t -> int -> int
+val max_delay_to_child : t -> int -> int
+val sum_delays_from_parents : t -> int -> int
+val max_delay_from_parent : t -> int -> int
+
+(** Any outgoing arc with delay > 1 — the static interlock-with-child
+    predicate. *)
+val interlock_with_child : t -> int -> bool
+
+val find_arc : t -> src:int -> dst:int -> arc option
+val has_arc : t -> src:int -> dst:int -> bool
+
+(** [add_arc t ~src ~dst ~kind ~latency] inserts (or upgrades to a larger
+    latency) the arc; self-arcs are ignored.  Returns [true] when a new
+    arc was created. *)
+val add_arc :
+  t -> src:int -> dst:int -> kind:Ds_machine.Dep.kind -> latency:int -> bool
+
+(** Nodes with no parents / no children.  A block may yield several roots
+    — the paper's "forest". *)
+val roots : t -> int list
+val leaves : t -> int list
+
+(** Number of weakly connected components. *)
+val forest_size : t -> int
+
+(** Add control arcs from every true leaf to a block-terminating branch so
+    the branch schedules last (§2's dummy-leaf convention). *)
+val anchor_terminator : t -> unit
+
+(** Descendant bit maps, when a builder maintained them (the
+    [#descendants] heuristic is their population count minus one). *)
+val set_reach : t -> Ds_util.Bitset.t array -> unit
+val reach : t -> Ds_util.Bitset.t array option
+
+val iter_arcs : (arc -> unit) -> t -> unit
+val arcs : t -> arc list
+
+(** All arcs point from lower to higher instruction index (program order
+    is a topological order); checks the invariant. *)
+val forward_ordered : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+(** Structural statistics of constructed DAGs — the "children/inst" and
+    "arcs/basic block" columns of Tables 4-5, plus the deeper shape
+    profiles of the paper's conclusion 7. *)
+
+type t = {
+  children_per_inst_max : int;
+  children_per_inst_avg : float;
+  arcs_per_block_max : int;
+  arcs_per_block_avg : float;
+  total_arcs : int;
+  total_insns : int;
+  blocks : int;
+}
+
+val of_dags : Dag.t list -> t
+val pp : Format.formatter -> t -> unit
+
+(** Shape of one DAG: depth (longest path in arcs), width (largest level
+    population), available parallelism (nodes / (depth+1)), root/leaf
+    counts, transitive arcs. *)
+type shape = {
+  nodes : int;
+  arcs : int;
+  depth : int;
+  width : int;
+  parallelism : float;
+  roots : int;
+  leaves_ : int;
+  transitive : int;
+}
+
+val shape_of : Dag.t -> shape
+
+(** Aggregate shape over a workload's DAGs. *)
+type shape_summary = {
+  blocks_ : int;
+  avg_depth : float;
+  max_depth : int;
+  avg_width : float;
+  max_width : int;
+  avg_parallelism : float;
+  avg_roots : float;
+  total_transitive : int;
+}
+
+val shape_summary : Dag.t list -> shape_summary

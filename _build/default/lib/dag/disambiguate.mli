@@ -1,0 +1,28 @@
+(** Memory disambiguation strategies (paper §2), in increasing precision:
+
+    - [Serialize_all]: memory is one resource;
+    - [Base_offset]: same base + different offset never alias, any other
+      pair is conservatively ordered;
+    - [Storage_classes]: additionally, stack-frame references never alias
+      named globals, and distinct named globals never alias each other;
+    - [Symbolic]: every unique symbolic address expression is an
+      independent resource — the granularity behind the paper's Table-3
+      "unique memory expressions" column and the DAG densities of
+      Tables 4-5. *)
+
+type t = Serialize_all | Base_offset | Storage_classes | Symbolic
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+
+(** Map a resource to its dependence-table key (under [Serialize_all]
+    every memory reference collapses to [Mem_all]). *)
+val canonical : t -> Ds_isa.Resource.t -> Ds_isa.Resource.t
+
+(** May two memory expressions denote the same storage? *)
+val mem_may_alias : t -> Ds_isa.Mem_expr.t -> Ds_isa.Mem_expr.t -> bool
+
+(** May two (canonicalized) resources denote the same storage?
+    Non-memory resources alias iff equal. *)
+val may_alias : t -> Ds_isa.Resource.t -> Ds_isa.Resource.t -> bool

@@ -1,0 +1,5 @@
+(** Graphviz export of dependence DAGs: nodes labelled with instruction
+    text, arcs with dependency kind and latency, transitive arcs dashed,
+    optional highlighted nodes (e.g. a critical path). *)
+
+val render : ?name:string -> ?highlight:int list -> Dag.t -> string

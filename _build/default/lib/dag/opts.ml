@@ -1,0 +1,16 @@
+(** Options shared by all DAG construction algorithms. *)
+
+open Ds_machine
+
+type t = {
+  model : Latency.t;            (* arc latency weights *)
+  strategy : Disambiguate.t;    (* memory disambiguation *)
+  anchor_branch : bool;         (* leaves -> terminating branch arcs *)
+}
+
+let default =
+  { model = Latency.simple_risc; strategy = Disambiguate.Base_offset;
+    anchor_branch = true }
+
+let with_model model t = { t with model }
+let with_strategy strategy t = { t with strategy }

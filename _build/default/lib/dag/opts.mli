@@ -1,0 +1,14 @@
+(** Options shared by all DAG construction algorithms. *)
+
+type t = {
+  model : Ds_machine.Latency.t;    (* arc latency weights *)
+  strategy : Disambiguate.t;       (* memory disambiguation *)
+  anchor_branch : bool;            (* leaves -> terminating branch arcs *)
+}
+
+(** [simple_risc] latencies, base-offset disambiguation, branch anchoring
+    on. *)
+val default : t
+
+val with_model : Ds_machine.Latency.t -> t -> t
+val with_strategy : Disambiguate.t -> t -> t

@@ -1,0 +1,109 @@
+(** Pairwise dependence analysis.
+
+    Enumerates the data dependencies between two instructions — the test at
+    the heart of the compare-against-all (n²) construction, and the arc
+    latency computation shared by all builders.
+
+    The n² builders call this O(n²) times per block, so the per-instruction
+    resource extraction is done once into a [summary] and the pair test
+    works over the cached lists. *)
+
+open Ds_isa
+open Ds_machine
+
+type conflict = {
+  kind : Dep.kind;
+  res : Resource.t;      (* the parent-side resource *)
+  def_pos : int;         (* position among the parent's defs (RAW/WAW) *)
+  use_pos : int;         (* position among the child's uses (RAW) *)
+  latency : int;
+}
+
+(** Canonicalized defs/uses of one instruction under a disambiguation
+    strategy. *)
+type summary = {
+  defs : (Resource.t * int) list;  (* resource, definition position *)
+  uses : (Resource.t * int) list;  (* resource, source-operand position *)
+}
+
+let summarize strategy insn =
+  {
+    defs =
+      List.mapi
+        (fun pos r -> (Disambiguate.canonical strategy r, pos))
+        (Insn.defs insn);
+    uses =
+      List.map
+        (fun (r, pos) -> (Disambiguate.canonical strategy r, pos))
+        (Insn.uses_with_pos insn);
+  }
+
+(** All dependencies making [child] depend on [parent] (parent earlier in
+    program order), given their summaries. *)
+let conflicts_of ~model ~strategy ~parent ~parent_sum ~child ~child_sum =
+  let alias = Disambiguate.may_alias strategy in
+  let acc = ref [] in
+  (* RAW: parent def vs child use *)
+  List.iter
+    (fun (dr, def_pos) ->
+      List.iter
+        (fun (ur, use_pos) ->
+          if alias dr ur then
+            let latency =
+              model.Latency.raw ~parent ~def_pos ~res:dr ~child ~use_pos
+            in
+            acc := { kind = Dep.Raw; res = dr; def_pos; use_pos; latency } :: !acc)
+        child_sum.uses)
+    parent_sum.defs;
+  (* WAW: parent def vs child def *)
+  List.iter
+    (fun (dr, def_pos) ->
+      List.iter
+        (fun (cr, _) ->
+          if alias dr cr then
+            let latency = model.Latency.waw ~parent ~res:dr ~child in
+            acc := { kind = Dep.Waw; res = dr; def_pos; use_pos = 0; latency } :: !acc)
+        child_sum.defs)
+    parent_sum.defs;
+  (* WAR: parent use vs child def *)
+  List.iter
+    (fun (ur, _) ->
+      List.iter
+        (fun (cr, _) ->
+          if alias ur cr then
+            let latency = model.Latency.war ~parent ~res:ur ~child in
+            acc := { kind = Dep.War; res = ur; def_pos = 0; use_pos = 0; latency } :: !acc)
+        child_sum.defs)
+    parent_sum.uses;
+  !acc
+
+let rank c =
+  ( c.latency,
+    match c.kind with Dep.Raw -> 3 | Dep.Waw -> 2 | Dep.War -> 1 | Dep.Ctl -> 0 )
+
+(** The single most constraining dependency between the pair, if any:
+    largest latency wins, RAW preferred on ties (it is the one heuristics
+    reason about). *)
+let strongest_of ~model ~strategy ~parent ~parent_sum ~child ~child_sum =
+  List.fold_left
+    (fun best c ->
+      match best with
+      | None -> Some c
+      | Some b -> if rank c > rank b then Some c else best)
+    None
+    (conflicts_of ~model ~strategy ~parent ~parent_sum ~child ~child_sum)
+
+(* Convenience wrappers that summarize on the fly. *)
+
+let conflicts ~model ~strategy ~parent ~child =
+  conflicts_of ~model ~strategy ~parent
+    ~parent_sum:(summarize strategy parent) ~child
+    ~child_sum:(summarize strategy child)
+
+let strongest ~model ~strategy ~parent ~child =
+  strongest_of ~model ~strategy ~parent
+    ~parent_sum:(summarize strategy parent) ~child
+    ~child_sum:(summarize strategy child)
+
+let depends ~strategy ~parent ~child =
+  conflicts ~model:Latency.unit_latency ~strategy ~parent ~child <> []

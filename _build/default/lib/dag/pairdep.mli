@@ -1,0 +1,48 @@
+(** Pairwise dependence analysis — the test at the heart of the
+    compare-against-all (n²) construction, and the arc latency computation
+    shared by all builders.  Per-instruction resource extraction is cached
+    in a {!summary} so the n² builders' quadratic cost is the pair test
+    itself. *)
+
+open Ds_isa
+open Ds_machine
+
+type conflict = {
+  kind : Dep.kind;
+  res : Resource.t;      (* the parent-side resource *)
+  def_pos : int;         (* position among the parent's defs (RAW/WAW) *)
+  use_pos : int;         (* position among the child's uses (RAW) *)
+  latency : int;
+}
+
+(** Canonicalized defs/uses of one instruction under a strategy. *)
+type summary = {
+  defs : (Resource.t * int) list;
+  uses : (Resource.t * int) list;
+}
+
+val summarize : Disambiguate.t -> Insn.t -> summary
+
+(** All dependencies making [child] depend on [parent] (parent earlier in
+    program order), given cached summaries. *)
+val conflicts_of :
+  model:Latency.t -> strategy:Disambiguate.t -> parent:Insn.t ->
+  parent_sum:summary -> child:Insn.t -> child_sum:summary -> conflict list
+
+(** The single most constraining dependency between the pair, if any:
+    largest latency wins, RAW preferred on ties. *)
+val strongest_of :
+  model:Latency.t -> strategy:Disambiguate.t -> parent:Insn.t ->
+  parent_sum:summary -> child:Insn.t -> child_sum:summary -> conflict option
+
+(** Conveniences that summarize on the fly. *)
+val conflicts :
+  model:Latency.t -> strategy:Disambiguate.t -> parent:Insn.t ->
+  child:Insn.t -> conflict list
+
+val strongest :
+  model:Latency.t -> strategy:Disambiguate.t -> parent:Insn.t ->
+  child:Insn.t -> conflict option
+
+(** Any dependency at all under the strategy. *)
+val depends : strategy:Disambiguate.t -> parent:Insn.t -> child:Insn.t -> bool

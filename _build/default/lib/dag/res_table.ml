@@ -1,0 +1,55 @@
+(** The resource table used by table-building DAG construction.
+
+    "Table building is an approach that keeps a record of the last
+    definition of a resource and the set of current uses" (§2).  One entry
+    per canonical resource; memory entries additionally participate in
+    alias iteration, so an access to one symbolic expression can create
+    arcs against every may-aliasing expression already in the table — the
+    variable-length growth the paper measured on fpppp. *)
+
+open Ds_isa
+
+type entry = {
+  resource : Resource.t;
+  mutable def_ : (int * int) option;  (* node index, def position *)
+  mutable uses : (int * int) list;    (* node index, use position; descending *)
+}
+
+type t = {
+  strategy : Disambiguate.t;
+  entries : entry Resource.Tbl.t;
+  mutable mem_entries : entry list;   (* memory entries, for alias scans *)
+}
+
+let create strategy = { strategy; entries = Resource.Tbl.create 64; mem_entries = [] }
+
+let entry t res =
+  match Resource.Tbl.find_opt t.entries res with
+  | Some e -> e
+  | None ->
+      let e = { resource = res; def_ = None; uses = [] } in
+      Resource.Tbl.add t.entries res e;
+      if Resource.is_memory res then t.mem_entries <- e :: t.mem_entries;
+      e
+
+(** Memory entries other than [res]'s own that may denote the same
+    storage.  May-alias is not transitive (a global aliases two distinct
+    stack slots that do not alias each other), so these cross entries must
+    be handled conservatively: arcs are added against their state but
+    their uselists are never cleared — only an entry's own definition may
+    clear it (see the builders). *)
+let cross_aliasing t res =
+  if t.strategy = Disambiguate.Symbolic then []
+  else if Resource.is_memory res then
+    List.filter
+      (fun e ->
+        not (Resource.equal e.resource res)
+        && Disambiguate.may_alias t.strategy res e.resource)
+      t.mem_entries
+  else []
+
+(** Uses in ascending program order — the paper iterates the uselist "in
+    ascending order". *)
+let uses_ascending e = List.sort (fun (a, _) (b, _) -> Int.compare a b) e.uses
+
+let size t = Resource.Tbl.length t.entries

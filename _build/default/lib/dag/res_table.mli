@@ -1,0 +1,31 @@
+(** The resource table of table-building DAG construction: per-resource
+    record of the most recent definition and the set of current uses
+    (§2).  Memory entries additionally participate in cross-expression
+    alias scans. *)
+
+type entry = {
+  resource : Ds_isa.Resource.t;
+  mutable def_ : (int * int) option;  (* node index, def position *)
+  mutable uses : (int * int) list;    (* node index, use position *)
+}
+
+type t
+
+val create : Disambiguate.t -> t
+
+(** The (created-on-demand) entry for a resource. *)
+val entry : t -> Ds_isa.Resource.t -> entry
+
+(** Memory entries other than [res]'s own that may denote the same
+    storage.  May-alias is not transitive, so callers add arcs against
+    these conservatively and never clear them; only an entry's own
+    definition clears its uselist.  Empty under the [Symbolic]
+    strategy. *)
+val cross_aliasing : t -> Ds_isa.Resource.t -> entry list
+
+(** Uses in ascending program order — the paper iterates the uselist "in
+    ascending order". *)
+val uses_ascending : entry -> (int * int) list
+
+(** Number of entries (the variable-length table growth of §6). *)
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/heur/annot.ml: Array

@@ -1,0 +1,1 @@
+lib/heur/dyn_state.ml: Array Ds_dag Ds_isa Ds_machine Funit Latency List

@@ -1,0 +1,1 @@
+lib/heur/dyn_state.mli: Ds_dag Ds_isa

@@ -1,0 +1,1 @@
+lib/heur/dynamic.ml: Array Dep Ds_dag Ds_machine Dyn_state Funit Latency List

@@ -1,0 +1,1 @@
+lib/heur/dynamic.mli: Dyn_state

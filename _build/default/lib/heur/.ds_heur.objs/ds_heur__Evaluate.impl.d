@@ -1,0 +1,1 @@
+lib/heur/evaluate.ml: Annot Array Ds_dag Dyn_state Dynamic Heuristic

@@ -1,0 +1,1 @@
+lib/heur/evaluate.mli: Annot Dyn_state Heuristic

@@ -1,0 +1,1 @@
+lib/heur/heuristic.mli: Format

@@ -1,0 +1,1 @@
+lib/heur/level.ml: Array Ds_dag List

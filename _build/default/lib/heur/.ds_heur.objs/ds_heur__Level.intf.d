@@ -1,0 +1,1 @@
+lib/heur/level.mli: Ds_dag

@@ -1,0 +1,1 @@
+lib/heur/liveness.ml: Array Ds_isa Hashtbl Insn Int List Reg Resource

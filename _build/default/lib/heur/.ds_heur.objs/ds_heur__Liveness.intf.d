@@ -1,0 +1,1 @@
+lib/heur/liveness.mli: Ds_isa

@@ -1,0 +1,1 @@
+lib/heur/static_pass.ml: Annot Array Ds_dag Ds_machine Ds_util Heuristic Latency Level List Liveness

@@ -1,0 +1,1 @@
+lib/heur/static_pass.mli: Annot Ds_dag Ds_isa Heuristic

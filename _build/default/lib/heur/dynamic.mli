@@ -1,0 +1,26 @@
+(** The dynamic heuristics (Table 1 column `v`), evaluated against the
+    scheduler state for a candidate node.  All return non-negative integer
+    values; predicates return 0/1. *)
+
+(** Arc from the most recently scheduled node with delay > 1. *)
+val interlock_with_previous : Dyn_state.t -> int -> int
+
+val earliest_execution_time : Dyn_state.t -> int -> int
+
+(** Cycles the candidate would wait for its non-pipelined FP unit. *)
+val fp_unit_busy : Dyn_state.t -> int -> int
+
+(** 1 when the candidate's class differs from the last scheduled
+    instruction's. *)
+val alternate_type : Dyn_state.t -> int -> int
+
+val num_single_parent_children : Dyn_state.t -> int -> int
+val sum_delays_to_single_parent_children : Dyn_state.t -> int -> int
+
+(** Exactly how many nodes join the candidate list if the candidate issues
+    now (single-parent, delay <= 1, ready by the next cycle). *)
+val num_uncovered_children : Dyn_state.t -> int -> int
+
+(** Tiemann's adjustment: 1 when the candidate is a RAW parent (in the
+    scheduling direction) of the most recently scheduled node. *)
+val birthing_instruction : Dyn_state.t -> int -> int

@@ -1,0 +1,5 @@
+(** Uniform heuristic evaluation: maps any heuristic to its value for a
+    candidate node, pulling static values from the annotations / DAG
+    counters and dynamic values from the scheduler state. *)
+
+val value : Heuristic.t -> annot:Annot.t -> st:Dyn_state.t -> int -> int

@@ -1,0 +1,211 @@
+(** The 26 instruction-scheduling heuristics surveyed in the paper's
+    Table 1, plus the [Original_order] tie-break used by Tiemann and
+    Warren (Table 2).
+
+    Each heuristic carries its Table-1 classification: category (six broad
+    classes), basis (relationship vs timing), calculation pass and
+    transitive-arc sensitivity.  [Taxonomy.table1] reproduces the table
+    machine-readably; the bench prints it and a unit test pins every entry
+    to the paper's. *)
+
+(** The φ of "φ delays to children / from parents": maximum or sum. *)
+type phi = Max | Sum
+
+type t =
+  (* stall behaviour *)
+  | Interlock_with_previous
+  | Earliest_execution_time
+  | Interlock_with_child
+  | Execution_time
+  (* instruction class *)
+  | Alternate_type
+  | Fp_unit_busy
+  (* critical path *)
+  | Max_path_to_leaf
+  | Max_delay_to_leaf
+  | Max_path_from_root
+  | Max_delay_from_root
+  | Earliest_start_time
+  | Latest_start_time
+  | Slack
+  (* uncovering *)
+  | Num_children
+  | Delays_to_children of phi
+  | Num_single_parent_children
+  | Sum_delays_to_single_parent_children
+  | Num_uncovered_children
+  (* structural *)
+  | Num_parents
+  | Delays_from_parents of phi
+  | Num_descendants
+  | Sum_exec_of_descendants
+  (* register usage *)
+  | Registers_born
+  | Registers_killed
+  | Liveness
+  | Birthing_instruction
+  (* tie break (Table 2's "original order"; not one of the 26) *)
+  | Original_order
+
+type category =
+  | Stall_behavior
+  | Instruction_class
+  | Critical_path
+  | Uncovering
+  | Structural
+  | Register_usage
+  | Tie_break
+
+type basis = Relationship | Timing
+
+(** Calculation method, Table 1's last column:
+    [A] — determined when a node or arc is added to the DAG;
+    [F] — requires a forward pass over the basic block;
+    [B] — requires a backward pass;
+    [FB] — requires both (slack);
+    [V] — requires node visitation during the scheduling pass (dynamic). *)
+type calc_pass = A | F | B | FB | V
+
+(** Preferred optimization sense when the heuristic ranks candidates in a
+    forward scheduling pass (algorithms may override). *)
+type sense = Maximize | Minimize
+
+(** The 26 heuristics exactly as rowed in Table 1 (φ entries appear once,
+    represented by their [Sum] form). *)
+let all_26 =
+  [ Interlock_with_previous; Earliest_execution_time; Interlock_with_child;
+    Execution_time; Alternate_type; Fp_unit_busy; Max_path_to_leaf;
+    Max_delay_to_leaf; Max_path_from_root; Max_delay_from_root;
+    Earliest_start_time; Latest_start_time; Slack; Num_children;
+    Delays_to_children Sum; Num_single_parent_children;
+    Sum_delays_to_single_parent_children; Num_uncovered_children;
+    Num_parents; Delays_from_parents Sum; Num_descendants;
+    Sum_exec_of_descendants; Registers_born; Registers_killed; Liveness;
+    Birthing_instruction ]
+
+let category = function
+  | Interlock_with_previous | Earliest_execution_time | Interlock_with_child
+  | Execution_time -> Stall_behavior
+  | Alternate_type | Fp_unit_busy -> Instruction_class
+  | Max_path_to_leaf | Max_delay_to_leaf | Max_path_from_root
+  | Max_delay_from_root | Earliest_start_time | Latest_start_time | Slack ->
+      Critical_path
+  | Num_children | Delays_to_children _ | Num_single_parent_children
+  | Sum_delays_to_single_parent_children | Num_uncovered_children ->
+      Uncovering
+  | Num_parents | Delays_from_parents _ | Num_descendants
+  | Sum_exec_of_descendants -> Structural
+  | Registers_born | Registers_killed | Liveness | Birthing_instruction ->
+      Register_usage
+  | Original_order -> Tie_break
+
+let basis = function
+  | Interlock_with_previous | Interlock_with_child | Alternate_type
+  | Max_path_to_leaf | Max_path_from_root | Num_children
+  | Num_single_parent_children | Num_uncovered_children | Num_parents
+  | Num_descendants | Registers_born | Registers_killed | Liveness
+  | Birthing_instruction | Original_order -> Relationship
+  | Earliest_execution_time | Execution_time | Fp_unit_busy
+  | Max_delay_to_leaf | Max_delay_from_root | Earliest_start_time
+  | Latest_start_time | Slack | Delays_to_children _
+  | Sum_delays_to_single_parent_children | Delays_from_parents _
+  | Sum_exec_of_descendants -> Timing
+
+let calc_pass = function
+  | Interlock_with_previous | Earliest_execution_time -> V
+  | Interlock_with_child | Execution_time -> A
+  | Alternate_type | Fp_unit_busy -> V
+  | Max_path_to_leaf | Max_delay_to_leaf -> B
+  | Max_path_from_root | Max_delay_from_root -> F
+  | Earliest_start_time -> F
+  | Latest_start_time -> B
+  | Slack -> FB
+  | Num_children | Delays_to_children _ -> A
+  | Num_single_parent_children | Sum_delays_to_single_parent_children -> V
+  | Num_uncovered_children -> V
+  | Num_parents | Delays_from_parents _ -> A
+  | Num_descendants | Sum_exec_of_descendants -> B
+  | Registers_born | Registers_killed | Liveness | Birthing_instruction -> A
+  | Original_order -> A
+
+(** Table 1's ** marker: calculation is affected by the presence (or
+    removal) of transitive arcs. *)
+let transitive_sensitive = function
+  | Earliest_execution_time | Interlock_with_child | Earliest_start_time
+  | Latest_start_time | Slack | Num_children | Delays_to_children _
+  | Num_parents | Delays_from_parents _ -> true
+  | Interlock_with_previous | Execution_time | Alternate_type | Fp_unit_busy
+  | Max_path_to_leaf | Max_delay_to_leaf | Max_path_from_root
+  | Max_delay_from_root | Num_single_parent_children
+  | Sum_delays_to_single_parent_children | Num_uncovered_children
+  | Num_descendants | Sum_exec_of_descendants | Registers_born
+  | Registers_killed | Liveness | Birthing_instruction | Original_order ->
+      false
+
+(** Default sense in a forward scheduling pass: larger is better for
+    critical-path and uncovering measures; smaller is better for times,
+    interlocks, register births and the inverse #parents heuristic. *)
+let default_sense = function
+  | Interlock_with_previous | Earliest_execution_time | Fp_unit_busy
+  | Earliest_start_time | Latest_start_time | Slack | Num_parents
+  | Registers_born | Original_order -> Minimize
+  | Interlock_with_child | Execution_time | Alternate_type
+  | Max_path_to_leaf | Max_delay_to_leaf | Max_path_from_root
+  | Max_delay_from_root | Num_children | Delays_to_children _
+  | Num_single_parent_children | Sum_delays_to_single_parent_children
+  | Num_uncovered_children | Delays_from_parents _ | Num_descendants
+  | Sum_exec_of_descendants | Registers_killed | Liveness
+  | Birthing_instruction -> Maximize
+
+(** Dynamic heuristics need node visitation during scheduling. *)
+let is_dynamic h = calc_pass h = V
+
+let to_string = function
+  | Interlock_with_previous -> "interlock with previous inst."
+  | Earliest_execution_time -> "earliest execution time"
+  | Interlock_with_child -> "interlock with child"
+  | Execution_time -> "execution time"
+  | Alternate_type -> "alternate type"
+  | Fp_unit_busy -> "busy times for flt. pt. function units"
+  | Max_path_to_leaf -> "max path length to a leaf"
+  | Max_delay_to_leaf -> "max total delay to a leaf"
+  | Max_path_from_root -> "max path length from root"
+  | Max_delay_from_root -> "max total delay from root"
+  | Earliest_start_time -> "earliest start time (EST)"
+  | Latest_start_time -> "latest start time (LST)"
+  | Slack -> "slack (= LST-EST)"
+  | Num_children -> "#children"
+  | Delays_to_children Sum -> "sum delays to children"
+  | Delays_to_children Max -> "max delay to children"
+  | Num_single_parent_children -> "#single-parent children"
+  | Sum_delays_to_single_parent_children ->
+      "sum of delays to single-parent children"
+  | Num_uncovered_children -> "#uncovered children"
+  | Num_parents -> "#parents"
+  | Delays_from_parents Sum -> "sum delays from parents"
+  | Delays_from_parents Max -> "max delay from parents"
+  | Num_descendants -> "#descendants"
+  | Sum_exec_of_descendants -> "sum of execution times of descendants"
+  | Registers_born -> "#registers born"
+  | Registers_killed -> "#registers killed"
+  | Liveness -> "liveness"
+  | Birthing_instruction -> "birthing instruction"
+  | Original_order -> "original order"
+
+let category_to_string = function
+  | Stall_behavior -> "stall behavior"
+  | Instruction_class -> "inst. class"
+  | Critical_path -> "critical path"
+  | Uncovering -> "uncovering"
+  | Structural -> "structural"
+  | Register_usage -> "register usage"
+  | Tie_break -> "tie break"
+
+let pass_to_string = function
+  | A -> "a" | F -> "f" | B -> "b" | FB -> "f+b" | V -> "v"
+
+let basis_to_string = function
+  | Relationship -> "relationship-based"
+  | Timing -> "timing-based"
+
+let pp fmt h = Format.pp_print_string fmt (to_string h)

@@ -1,0 +1,84 @@
+(** The 26 instruction-scheduling heuristics of the paper's Table 1, plus
+    the [Original_order] tie-break of Table 2, with their machine-readable
+    classification: category, relationship vs timing basis, calculation
+    pass and transitive-arc sensitivity. *)
+
+(** The φ of "φ delays to children / from parents". *)
+type phi = Max | Sum
+
+type t =
+  (* stall behaviour *)
+  | Interlock_with_previous
+  | Earliest_execution_time
+  | Interlock_with_child
+  | Execution_time
+  (* instruction class *)
+  | Alternate_type
+  | Fp_unit_busy
+  (* critical path *)
+  | Max_path_to_leaf
+  | Max_delay_to_leaf
+  | Max_path_from_root
+  | Max_delay_from_root
+  | Earliest_start_time
+  | Latest_start_time
+  | Slack
+  (* uncovering *)
+  | Num_children
+  | Delays_to_children of phi
+  | Num_single_parent_children
+  | Sum_delays_to_single_parent_children
+  | Num_uncovered_children
+  (* structural *)
+  | Num_parents
+  | Delays_from_parents of phi
+  | Num_descendants
+  | Sum_exec_of_descendants
+  (* register usage *)
+  | Registers_born
+  | Registers_killed
+  | Liveness
+  | Birthing_instruction
+  (* tie break (not one of the 26) *)
+  | Original_order
+
+type category =
+  | Stall_behavior
+  | Instruction_class
+  | Critical_path
+  | Uncovering
+  | Structural
+  | Register_usage
+  | Tie_break
+
+type basis = Relationship | Timing
+
+(** Table 1's last column: [A] at add_arc, [F] forward pass, [B] backward
+    pass, [FB] both (slack), [V] node visitation during scheduling. *)
+type calc_pass = A | F | B | FB | V
+
+type sense = Maximize | Minimize
+
+(** The 26 heuristics exactly as rowed in Table 1 (φ entries once, as
+    their [Sum] form). *)
+val all_26 : t list
+
+val category : t -> category
+val basis : t -> basis
+val calc_pass : t -> calc_pass
+
+(** Table 1's ** marker: calculation affected by transitive arcs. *)
+val transitive_sensitive : t -> bool
+
+(** Preferred optimization sense in a forward scheduling pass (algorithms
+    may override). *)
+val default_sense : t -> sense
+
+(** Needs node visitation during scheduling (column `v`). *)
+val is_dynamic : t -> bool
+
+val to_string : t -> string
+val category_to_string : category -> string
+val pass_to_string : calc_pass -> string
+val basis_to_string : basis -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+(** Level assignment and level-list traversal (paper §4): roots at level
+    0, other nodes one plus the maximum parent level, one list per level.
+    Conclusion 4 is that this buys nothing over a reverse walk of the
+    instruction list; both are implemented so the bench can time them. *)
+
+type t = {
+  level_of : int array;
+  lists : int list array;  (* nodes per level, ascending node index *)
+  max_level : int;
+}
+
+val compute : Ds_dag.Dag.t -> t
+
+(** Max level down to zero: every child before its parents. *)
+val iter_backward : (int -> unit) -> t -> unit
+
+(** Level zero up: every parent before its children. *)
+val iter_forward : (int -> unit) -> t -> unit

@@ -1,0 +1,75 @@
+(** Register-usage heuristics: #registers born, #registers killed, and
+    Warren-style liveness, for prepass (before register allocation)
+    scheduling.
+
+    Within one basic block:
+    - an instruction *births* a register value for each register it defines
+      whose value is subsequently read (in-block) or escapes the block
+      ([live_out]);
+    - an instruction *kills* a register value when it performs the last
+      read of that value before the register is redefined or the block
+      ends with the register dead.
+
+    [liveness] is the net change (births − kills); scheduling prefers
+    negative values early, postponing pressure increases. *)
+
+open Ds_isa
+
+type result = { born : int array; killed : int array; net : int array }
+
+(* Positions where each register is defined / used within the block. *)
+let collect_positions insns =
+  let defs : (Reg.t, int list ref) Hashtbl.t = Hashtbl.create 32 in
+  let uses : (Reg.t, int list ref) Hashtbl.t = Hashtbl.create 32 in
+  let record tbl r i =
+    match Hashtbl.find_opt tbl r with
+    | Some l -> l := i :: !l
+    | None -> Hashtbl.add tbl r (ref [ i ])
+  in
+  Array.iteri
+    (fun i insn ->
+      List.iter
+        (function Resource.R r -> record defs r i | _ -> ())
+        (Insn.defs insn);
+      List.iter
+        (function Resource.R r -> record uses r i | _ -> ())
+        (Insn.uses insn))
+    insns;
+  (defs, uses)
+
+let compute ?(live_out = fun (_ : Reg.t) -> true) insns =
+  let n = Array.length insns in
+  let born = Array.make n 0 and killed = Array.make n 0 in
+  let defs, uses = collect_positions insns in
+  let positions tbl r =
+    match Hashtbl.find_opt tbl r with
+    | Some l -> List.sort Int.compare !l
+    | None -> []
+  in
+  let regs = Hashtbl.create 32 in
+  Hashtbl.iter (fun r _ -> Hashtbl.replace regs r ()) defs;
+  Hashtbl.iter (fun r _ -> Hashtbl.replace regs r ()) uses;
+  Hashtbl.iter
+    (fun r () ->
+      let def_ps = positions defs r in
+      let use_ps = positions uses r in
+      let next_def after = List.find_opt (fun d -> d > after) def_ps in
+      (* births: definitions whose value is not dead *)
+      List.iter
+        (fun d ->
+          let horizon = match next_def d with Some nd -> nd | None -> n in
+          let used_in_range = List.exists (fun u -> u > d && u < horizon) use_ps in
+          let escapes = horizon = n && live_out r in
+          if used_in_range || escapes then born.(d) <- born.(d) + 1)
+        def_ps;
+      (* kills: last use of each value *)
+      List.iter
+        (fun u ->
+          let horizon = match next_def u with Some nd -> nd | None -> n in
+          let later_use = List.exists (fun u' -> u' > u && u' < horizon) use_ps in
+          let escapes = horizon = n && live_out r in
+          if (not later_use) && not escapes then killed.(u) <- killed.(u) + 1)
+        use_ps)
+    regs;
+  let net = Array.init n (fun i -> born.(i) - killed.(i)) in
+  { born; killed; net }

@@ -1,0 +1,10 @@
+(** Register-usage heuristics for prepass scheduling: per-instruction
+    [#registers born], [#registers killed] and their net (Warren-style
+    liveness), within one basic block. *)
+
+type result = { born : int array; killed : int array; net : int array }
+
+(** [compute ?live_out insns]: a definition births a value when it is
+    subsequently read or escapes ([live_out], default: every register
+    escapes); the last read before redefinition or death kills it. *)
+val compute : ?live_out:(Ds_isa.Reg.t -> bool) -> Ds_isa.Insn.t array -> result

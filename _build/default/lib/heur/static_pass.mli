@@ -1,0 +1,32 @@
+(** The intermediate heuristic calculation step (paper §4): computes every
+    static annotation left undetermined after DAG construction, by a
+    forward walk (EST, max path/delay from root) and a backward walk (max
+    path/delay to leaf, LST, slack, descendant measures) — the latter via
+    either a reverse list walk or level lists (conclusion 4). *)
+
+type traversal = Reverse_walk | Level_lists
+
+(** Which optional (costly) annotation groups to compute. *)
+type requirements = { descendants : bool; registers : bool }
+
+val all_requirements : requirements
+
+(** The requirements implied by a set of heuristics. *)
+val requirements_of : Heuristic.t list -> requirements
+
+(** Compute the static annotations.  [live_out] feeds the register-usage
+    heuristics (default: every register escapes); [requirements] trims the
+    costly groups (default: everything). *)
+val compute :
+  ?traversal:traversal -> ?live_out:(Ds_isa.Reg.t -> bool) ->
+  ?requirements:requirements -> Ds_dag.Dag.t -> Annot.t
+
+(** Compute only what the given heuristics need — what a scheduler's
+    intermediate pass actually runs. *)
+val compute_for :
+  ?traversal:traversal -> ?live_out:(Ds_isa.Reg.t -> bool) ->
+  Heuristic.t list -> Ds_dag.Dag.t -> Annot.t
+
+(** Only the backward-pass annotations (used when timing the traversal
+    strategies in isolation, §4). *)
+val backward_only : ?traversal:traversal -> Ds_dag.Dag.t -> Annot.t

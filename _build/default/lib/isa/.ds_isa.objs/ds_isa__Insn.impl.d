@@ -1,0 +1,1 @@
+lib/isa/insn.ml: Format List Mem_expr Opcode Operand Printf Reg Resource String

@@ -1,0 +1,1 @@
+lib/isa/interp.ml: Array Buffer Ds_util Float Fun Hashtbl Insn Int64 List Mem_expr Opcode Operand Printf Reg

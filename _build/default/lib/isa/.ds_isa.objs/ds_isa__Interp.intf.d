@@ -1,0 +1,1 @@
+lib/isa/interp.mli: Ds_util Hashtbl Insn Opcode Reg

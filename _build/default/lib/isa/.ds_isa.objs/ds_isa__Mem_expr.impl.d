@@ -1,0 +1,1 @@
+lib/isa/mem_expr.ml: Format Hashtbl Int Printf Reg String

@@ -1,0 +1,1 @@
+lib/isa/mem_expr.mli: Format Reg

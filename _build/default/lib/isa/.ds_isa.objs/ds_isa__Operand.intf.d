@@ -1,0 +1,1 @@
+lib/isa/operand.mli: Format Mem_expr Reg

@@ -1,0 +1,1 @@
+lib/isa/parser.ml: Insn List Mem_expr Opcode Operand Printf Reg String

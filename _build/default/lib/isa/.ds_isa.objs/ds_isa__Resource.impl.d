@@ -1,0 +1,1 @@
+lib/isa/resource.ml: Array Format Hashtbl Int Mem_expr Reg

@@ -1,0 +1,1 @@
+lib/isa/resource.mli: Format Hashtbl Mem_expr Reg

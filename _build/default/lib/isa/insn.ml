@@ -1,0 +1,199 @@
+(** Instructions and their defined/used resources.
+
+    Operands follow SPARC assembler order: sources first, destination last.
+    [defs]/[uses] extract dependence resources with the conventions the
+    paper relies on:
+
+    - [%g0] is hardwired to zero and never a resource;
+    - condition-code setters define [%icc]/[%fcc], conditional branches use
+      them;
+    - integer multiply defines the [%y] register, divide uses it;
+    - double-word loads define a register *pair* (and stores use one), the
+      case the paper cites for per-destination RAW delay differences;
+    - double-word memory references touch both the named symbolic address
+      expression and the one four bytes above it;
+    - memory references yield a [Resource.Mem] carrying the symbolic
+      address expression; the DAG builders decide aliasing via a
+      disambiguation strategy. *)
+
+type t = {
+  index : int;                  (* position within the program *)
+  op : Opcode.t;
+  operands : Operand.t list;
+  annul : bool;                 (* branch annul bit (",a") *)
+  label : string option;        (* label attached to this instruction *)
+}
+
+let make ?(index = -1) ?(annul = false) ?label op operands =
+  { index; op; operands; annul; label }
+
+let with_index t index = { t with index }
+
+(* A register operand as a resource, dropping %g0. *)
+let reg_res acc = function
+  | Operand.Reg r when not (Reg.is_zero r) -> Resource.R r :: acc
+  | Operand.Reg _ | Operand.Imm _ | Operand.Mem _ | Operand.Target _ -> acc
+
+(* Memory resources touched by a reference: the expression itself, plus the
+   next word for double-word operations. *)
+let mem_res ~double m =
+  let second = { m with Mem_expr.offset = m.Mem_expr.offset + 4 } in
+  if double then [ Resource.Mem m; Resource.Mem second ] else [ Resource.Mem m ]
+
+(* Base register of a memory operand is a use. *)
+let mem_base_use acc = function
+  | { Mem_expr.base = Mem_expr.Breg r; _ } when not (Reg.is_zero r) ->
+      Resource.R r :: acc
+  | { Mem_expr.base = Mem_expr.Breg _ | Mem_expr.Bsym _; _ } -> acc
+
+let split_last xs =
+  match List.rev xs with
+  | [] -> (None, [])
+  | last :: rest -> (Some last, List.rev rest)
+
+(* Register destination (last operand), as a list of resources; double-word
+   destinations include the pair partner. *)
+let dest_resources ~double t =
+  match split_last t.operands with
+  | Some (Operand.Reg r), _ when not (Reg.is_zero r) ->
+      let base = [ Resource.R r ] in
+      if double then
+        match Reg.pair_partner r with
+        | Some r2 -> base @ [ Resource.R r2 ]
+        | None -> base
+      else base
+  | _ -> []
+
+let source_operands t =
+  match split_last t.operands with _, srcs -> srcs
+
+(** Resources defined by the instruction, in definition order (a register
+    pair lists the even register first). *)
+let defs t =
+  let open Opcode in
+  let cc = if sets_icc t.op then [ Resource.Icc ] else [] in
+  let fcc = if sets_fcc t.op then [ Resource.Fcc ] else [] in
+  let y =
+    match t.op with Smul | Umul -> [ Resource.Y ] | _ -> []
+  in
+  match t.op with
+  | Cmp | Fcmps | Fcmpd ->
+      (* compares have no register destination *)
+      cc @ fcc
+  | St | Stb | Sth | Stf | Std | Stdf ->
+      (* store: [src; mem]; defines the memory expression(s) *)
+      let double = is_doubleword t.op in
+      List.concat_map
+        (function
+          | Operand.Mem m -> mem_res ~double m
+          | Operand.Reg _ | Operand.Imm _ | Operand.Target _ -> [])
+        t.operands
+  | Call | Jmpl ->
+      (* conservative call effects when a call is kept inside a block *)
+      [ Resource.R (Reg.int 8); Resource.R (Reg.int 9); Resource.R (Reg.int 15);
+        Resource.Icc; Resource.Fcc; Resource.Y; Resource.Mem_all ]
+  | Ba | Bn | Be | Bne | Bg | Ble | Bge | Bl | Bgu | Bleu | Bcs | Bcc_
+  | Fba | Fbe | Fbne | Fbg | Fbl | Fbge | Fble | Ret | Nop ->
+      []
+  | Save | Restore ->
+      dest_resources ~double:false t
+  | _ ->
+      let double = is_doubleword t.op in
+      dest_resources ~double t @ cc @ y
+
+(** Resources used by the instruction, paired with the source-operand
+    position (0-based) for asymmetric-bypass latency models. *)
+let uses_with_pos t =
+  let open Opcode in
+  let number xs = List.mapi (fun i r -> (r, i)) xs in
+  let icc = if reads_icc t.op then [ Resource.Icc ] else [] in
+  let fcc = if reads_fcc t.op then [ Resource.Fcc ] else [] in
+  let y = match t.op with Sdiv | Udiv -> [ Resource.Y ] | _ -> [] in
+  match t.op with
+  | Nop | Sethi | Ba | Bn | Fba | Save | Restore | Ret -> number (icc @ fcc)
+  | Be | Bne | Bg | Ble | Bge | Bl | Bgu | Bleu | Bcs | Bcc_
+  | Fbe | Fbne | Fbg | Fbl | Fbge | Fble ->
+      number (icc @ fcc)
+  | Call | Jmpl ->
+      number
+        [ Resource.R (Reg.int 8); Resource.R (Reg.int 9);
+          Resource.R (Reg.int 10); Resource.R (Reg.int 11);
+          Resource.R (Reg.int 12); Resource.R (Reg.int 13);
+          Resource.Mem_all ]
+  | Cmp | Fcmps | Fcmpd ->
+      (* all operands are sources *)
+      number (List.rev (List.fold_left reg_res [] t.operands))
+  | St | Stb | Sth | Stf | Std | Stdf ->
+      (* store: value source(s) first, then base register, then memory *)
+      let double = is_doubleword t.op in
+      let value =
+        List.concat_map
+          (function
+            | Operand.Reg r when not (Reg.is_zero r) ->
+                let base = [ Resource.R r ] in
+                if double then
+                  match Reg.pair_partner r with
+                  | Some r2 -> base @ [ Resource.R r2 ]
+                  | None -> base
+                else base
+            | Operand.Reg _ | Operand.Imm _ | Operand.Mem _
+            | Operand.Target _ -> [])
+          t.operands
+      in
+      let bases =
+        List.concat_map
+          (function
+            | Operand.Mem m -> List.rev (mem_base_use [] m)
+            | Operand.Reg _ | Operand.Imm _ | Operand.Target _ -> [])
+          t.operands
+      in
+      number (value @ bases)
+  | Ld | Ldd | Ldub | Ldsb | Lduh | Ldsh | Ldf | Lddf ->
+      let double = is_doubleword t.op in
+      let from_mem =
+        List.concat_map
+          (function
+            | Operand.Mem m -> List.rev (mem_base_use [] m) @ mem_res ~double m
+            | Operand.Reg _ | Operand.Imm _ | Operand.Target _ -> [])
+          t.operands
+      in
+      number from_mem
+  | _ ->
+      (* ALU / FP ops: all operands except the last (destination) *)
+      let srcs = source_operands t in
+      let regs = List.rev (List.fold_left reg_res [] srcs) in
+      number (regs @ y)
+
+let uses t = List.map fst (uses_with_pos t)
+
+(** True when the instruction both reads memory and is a load (used by the
+    structural statistics for unique memory expressions). *)
+let memory_expr t =
+  List.find_map
+    (function Operand.Mem m -> Some m | Operand.Reg _ | Operand.Imm _ | Operand.Target _ -> None)
+    t.operands
+
+let is_branch t = Opcode.is_branch t.op
+let is_call t = Opcode.is_call t.op
+let alters_window t = Opcode.alters_window t.op
+
+let to_string t =
+  let mnemonic =
+    Opcode.to_string t.op ^ if t.annul then ",a" else ""
+  in
+  let ops = String.concat ", " (List.map Operand.to_string t.operands) in
+  let body =
+    if ops = "" then Printf.sprintf "\t%s" mnemonic
+    else Printf.sprintf "\t%s %s" mnemonic ops
+  in
+  match t.label with
+  | Some l -> Printf.sprintf "%s:\n%s" l body
+  | None -> body
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(** Structural equality ignoring program position. *)
+let equal_ignoring_index a b =
+  a.op = b.op && a.annul = b.annul
+  && List.length a.operands = List.length b.operands
+  && List.for_all2 Operand.equal a.operands b.operands

@@ -1,0 +1,45 @@
+(** Instructions and their defined/used resources.
+
+    Operands follow SPARC assembler order: sources first, destination
+    last.  [defs]/[uses] extract dependence resources with the conventions
+    the paper relies on: [%g0] is never a resource; condition-code setters
+    define [%icc]/[%fcc] and conditional branches use them; multiplies
+    define [%y], divides use it; double-word loads define a register pair
+    (and their memory references touch two words); memory references
+    yield a [Resource.Mem] carrying the symbolic address expression. *)
+
+type t = {
+  index : int;                  (* position within the program *)
+  op : Opcode.t;
+  operands : Operand.t list;
+  annul : bool;                 (* branch annul bit (",a") *)
+  label : string option;        (* label attached to this instruction *)
+}
+
+val make :
+  ?index:int -> ?annul:bool -> ?label:string -> Opcode.t -> Operand.t list -> t
+
+val with_index : t -> int -> t
+
+(** Resources defined, in definition order (a register pair lists the even
+    register first). *)
+val defs : t -> Resource.t list
+
+(** Resources used, paired with the source-operand position (0-based) for
+    asymmetric-bypass latency models. *)
+val uses_with_pos : t -> (Resource.t * int) list
+
+val uses : t -> Resource.t list
+
+(** The first memory operand's expression, if any. *)
+val memory_expr : t -> Mem_expr.t option
+
+val is_branch : t -> bool
+val is_call : t -> bool
+val alters_window : t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Structural equality ignoring program position. *)
+val equal_ignoring_index : t -> t -> bool

@@ -1,0 +1,45 @@
+(** Architectural interpreter for straight-line code.
+
+    Executes a basic block over a concrete machine state and returns the
+    final state; the test suite uses it to prove that scheduling preserves
+    semantics.  Memory is symbolic: two references touch the same cell iff
+    their address expressions are equal — the same equivalence the
+    [Symbolic] disambiguation strategy assumes, so a schedule legal under
+    that strategy is semantics-preserving under this model.  Control
+    transfers are not followed; calls and window operations raise
+    {!Unsupported}. *)
+
+type value = Int_value of int64 | Float_value of float
+
+type state = {
+  int_regs : int64 array;
+  fp_regs : float array;
+  mutable icc : int;
+  mutable fcc : int;
+  mutable y : int64;
+  memory : (string, value) Hashtbl.t;
+}
+
+val create : unit -> state
+
+(** Deterministic pseudo-random initial state (for property tests). *)
+val randomize : Ds_util.Prng.t -> state -> unit
+
+val copy : state -> state
+
+val read_int : state -> Reg.t -> int64
+val read_fp : state -> Reg.t -> float
+
+exception Unsupported of Opcode.t
+
+(** Execute one instruction (control flow ignored). *)
+val step : state -> Insn.t -> unit
+
+(** Run an instruction sequence from [state] (default: zeroed). *)
+val run : ?state:state -> Insn.t array -> state
+
+(** Observable-state equality: registers, condition codes, Y, memory. *)
+val equal_state : state -> state -> bool
+
+(** Human-readable difference (for failure messages). *)
+val diff : state -> state -> string

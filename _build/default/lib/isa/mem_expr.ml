@@ -1,0 +1,63 @@
+(** Symbolic memory address expressions.
+
+    The paper measures "the number of different symbolic memory address
+    expressions found in the SPARC assembly language code" (Table 3, last
+    column) and uses them as dependence resources: two references with the
+    same base register but different offsets cannot alias; references with
+    different bases must be serialized unless their storage classes
+    (Warren: heap vs stack vs globals) are known not to overlap. *)
+
+type base =
+  | Breg of Reg.t   (* register base, e.g. [%fp - 8], [%o1 + 4] *)
+  | Bsym of string  (* assembler symbol, e.g. [x], [lut + 12]    *)
+
+type t = { base : base; offset : int }
+
+(** Warren storage classes: stack frames (base %sp/%fp), named globals, and
+    everything else (pointers of unknown provenance). *)
+type storage_class = Stack | Global | Unknown
+
+let make_reg ?(offset = 0) reg = { base = Breg reg; offset }
+let make_sym ?(offset = 0) sym = { base = Bsym sym; offset }
+
+let base_equal a b =
+  match (a, b) with
+  | Breg x, Breg y -> Reg.equal x y
+  | Bsym x, Bsym y -> String.equal x y
+  | Breg _, Bsym _ | Bsym _, Breg _ -> false
+
+let equal a b = base_equal a.base b.base && a.offset = b.offset
+
+let compare a b =
+  match (a.base, b.base) with
+  | Breg x, Breg y ->
+      let c = Reg.compare x y in
+      if c <> 0 then c else Int.compare a.offset b.offset
+  | Bsym x, Bsym y ->
+      let c = String.compare x y in
+      if c <> 0 then c else Int.compare a.offset b.offset
+  | Breg _, Bsym _ -> -1
+  | Bsym _, Breg _ -> 1
+
+let hash t =
+  let bh = match t.base with Breg r -> Reg.hash r | Bsym s -> 128 + Hashtbl.hash s in
+  (bh * 8191) + t.offset
+
+let storage_class t =
+  match t.base with
+  | Breg r when Reg.is_stack_base r -> Stack
+  | Breg _ -> Unknown
+  | Bsym _ -> Global
+
+(** Alias query under a given disambiguation rule; see
+    [Dag.Disambiguate]. Same base, different offset never aliases — the
+    observation credited in the paper. *)
+let same_base_different_offset a b = base_equal a.base b.base && a.offset <> b.offset
+
+let to_string t =
+  let base = match t.base with Breg r -> Reg.to_string r | Bsym s -> s in
+  if t.offset = 0 then Printf.sprintf "[%s]" base
+  else if t.offset > 0 then Printf.sprintf "[%s + %d]" base t.offset
+  else Printf.sprintf "[%s - %d]" base (-t.offset)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

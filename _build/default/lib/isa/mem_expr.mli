@@ -1,0 +1,34 @@
+(** Symbolic memory address expressions.
+
+    The paper's Table 3 counts "the number of different symbolic memory
+    address expressions found in the SPARC assembly language code"; these
+    are the dependence resources memory references touch.  An expression
+    is a base (register or assembler symbol) plus a constant offset. *)
+
+type base =
+  | Breg of Reg.t   (* register base, e.g. [%fp - 8] *)
+  | Bsym of string  (* assembler symbol, e.g. [x + 12] *)
+
+type t = { base : base; offset : int }
+
+(** Warren storage classes: stack frames (base %sp/%fp), named globals,
+    and unknown-provenance pointers. *)
+type storage_class = Stack | Global | Unknown
+
+val make_reg : ?offset:int -> Reg.t -> t
+val make_sym : ?offset:int -> string -> t
+
+val base_equal : base -> base -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val storage_class : t -> storage_class
+
+(** The paper's observation: same base, different offset cannot alias. *)
+val same_base_different_offset : t -> t -> bool
+
+(** Bracketed rendering, e.g. ["[%fp - 8]"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

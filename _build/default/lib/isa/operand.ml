@@ -1,0 +1,23 @@
+(** Instruction operands. *)
+
+type t =
+  | Reg of Reg.t
+  | Imm of int
+  | Mem of Mem_expr.t
+  | Target of string  (* branch label or call symbol *)
+
+let equal a b =
+  match (a, b) with
+  | Reg x, Reg y -> Reg.equal x y
+  | Imm x, Imm y -> x = y
+  | Mem x, Mem y -> Mem_expr.equal x y
+  | Target x, Target y -> String.equal x y
+  | (Reg _ | Imm _ | Mem _ | Target _), _ -> false
+
+let to_string = function
+  | Reg r -> Reg.to_string r
+  | Imm i -> string_of_int i
+  | Mem m -> Mem_expr.to_string m
+  | Target s -> s
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

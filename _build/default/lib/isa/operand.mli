@@ -1,0 +1,12 @@
+(** Instruction operands: registers, immediates, bracketed memory
+    references and branch/call targets. *)
+
+type t =
+  | Reg of Reg.t
+  | Imm of int
+  | Mem of Mem_expr.t
+  | Target of string  (* branch label or call symbol *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

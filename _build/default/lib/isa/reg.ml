@@ -1,0 +1,91 @@
+(** SPARC-like register file.
+
+    Thirty-two integer registers in four window groups (global [%g0-%g7],
+    out [%o0-%o7], local [%l0-%l7], in [%i0-%i7]) and thirty-two
+    single-precision floating point registers [%f0-%f31].  [%g0] is
+    hardwired to zero: it is never a dependence resource (writes are
+    discarded, reads produce a constant).  [%o6] is the stack pointer
+    ([%sp]) and [%i6] the frame pointer ([%fp]); both names are accepted by
+    the parser and used by the memory-disambiguation storage-class rules.
+
+    Register windows matter to block formation: SAVE and RESTORE rotate the
+    window so the same register *name* denotes a different physical
+    resource on each side, which is why the paper (and [Cfg.Builder]) ends
+    basic blocks at window-altering instructions. *)
+
+type t =
+  | Int of int    (* 0..31: %g0-7, %o0-7, %l0-7, %i0-7 *)
+  | Float of int  (* 0..31: %f0-31 *)
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y | Float x, Float y -> x = y
+  | Int _, Float _ | Float _, Int _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y | Float x, Float y -> Int.compare x y
+  | Int _, Float _ -> -1
+  | Float _, Int _ -> 1
+
+let hash = function Int i -> i | Float i -> 64 + i
+
+(* Window group boundaries within the 0..31 integer register numbering. *)
+let g0 = Int 0
+let sp = Int 14 (* %o6 *)
+let fp = Int 30 (* %i6 *)
+
+let is_zero r = equal r g0
+let is_stack_base r = equal r sp || equal r fp
+
+let int n =
+  if n < 0 || n > 31 then invalid_arg "Reg.int: out of range";
+  Int n
+
+let float n =
+  if n < 0 || n > 31 then invalid_arg "Reg.float: out of range";
+  Float n
+
+(** Conventional SPARC names: %g0-7, %o0-7, %l0-7, %i0-7 with %sp/%fp
+    aliases; %f0-31. *)
+let to_string = function
+  | Int 14 -> "%sp"
+  | Int 30 -> "%fp"
+  | Int n when n < 8 -> Printf.sprintf "%%g%d" n
+  | Int n when n < 16 -> Printf.sprintf "%%o%d" (n - 8)
+  | Int n when n < 24 -> Printf.sprintf "%%l%d" (n - 16)
+  | Int n -> Printf.sprintf "%%i%d" (n - 24)
+  | Float n -> Printf.sprintf "%%f%d" n
+
+let of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Reg.of_string: %S" s) in
+  let num prefix_len =
+    match int_of_string_opt (String.sub s prefix_len (String.length s - prefix_len)) with
+    | Some n -> n
+    | None -> fail ()
+  in
+  if String.length s < 3 || s.[0] <> '%' then fail ()
+  else
+    match s with
+    | "%sp" -> sp
+    | "%fp" -> fp
+    | _ -> (
+        let n = num 2 in
+        match s.[1] with
+        | 'g' when n < 8 -> Int n
+        | 'o' when n < 8 -> Int (8 + n)
+        | 'l' when n < 8 -> Int (16 + n)
+        | 'i' when n < 8 -> Int (24 + n)
+        | 'f' when n < 32 -> Float n
+        | 'r' when n < 32 -> Int n
+        | _ -> fail ())
+
+(** The odd register of a double-word pair: LDD into [%o0] also writes
+    [%o1]; LDDF into [%f2] also writes [%f3].  The paper notes the RAW
+    delays from these two definitions can differ by a cycle. *)
+let pair_partner = function
+  | Int n when n mod 2 = 0 && n < 31 -> Some (Int (n + 1))
+  | Float n when n mod 2 = 0 && n < 31 -> Some (Float (n + 1))
+  | Int _ | Float _ -> None
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)

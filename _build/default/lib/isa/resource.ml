@@ -1,0 +1,109 @@
+(** Dependence resources.
+
+    A resource is anything an instruction can define or use such that a
+    later instruction touching the same resource creates a data dependency:
+    general and floating point registers, the condition code registers, the
+    multiply/divide Y register, and memory.  Memory appears either as a
+    single serialized resource ([Mem_all], when disambiguation is off) or
+    as one resource per unique symbolic address expression ([Mem]) — the
+    paper's variable-length resource table grows as new expressions are
+    met. *)
+
+type t =
+  | R of Reg.t          (* integer or floating point register *)
+  | Icc                 (* integer condition codes *)
+  | Fcc                 (* floating point condition codes *)
+  | Y                   (* multiply/divide Y register *)
+  | Mem of Mem_expr.t   (* one symbolic memory expression *)
+  | Mem_all             (* all of memory, serialized *)
+  | Ctrl                (* control resource: branches/calls order via it *)
+
+let equal a b =
+  match (a, b) with
+  | R x, R y -> Reg.equal x y
+  | Icc, Icc | Fcc, Fcc | Y, Y | Mem_all, Mem_all | Ctrl, Ctrl -> true
+  | Mem x, Mem y -> Mem_expr.equal x y
+  | (R _ | Icc | Fcc | Y | Mem _ | Mem_all | Ctrl), _ -> false
+
+let compare a b =
+  let tag = function
+    | R _ -> 0 | Icc -> 1 | Fcc -> 2 | Y -> 3 | Mem _ -> 4 | Mem_all -> 5
+    | Ctrl -> 6
+  in
+  match (a, b) with
+  | R x, R y -> Reg.compare x y
+  | Mem x, Mem y -> Mem_expr.compare x y
+  | _ -> Int.compare (tag a) (tag b)
+
+let hash = function
+  | R r -> Reg.hash r
+  | Icc -> 1000
+  | Fcc -> 1001
+  | Y -> 1002
+  | Mem m -> 2000 + Mem_expr.hash m
+  | Mem_all -> 1003
+  | Ctrl -> 1004
+
+let is_memory = function Mem _ | Mem_all -> true | R _ | Icc | Fcc | Y | Ctrl -> false
+
+let is_register = function R _ -> true | Icc | Fcc | Y | Mem _ | Mem_all | Ctrl -> false
+
+let to_string = function
+  | R r -> Reg.to_string r
+  | Icc -> "%icc"
+  | Fcc -> "%fcc"
+  | Y -> "%y"
+  | Mem m -> Mem_expr.to_string m
+  | Mem_all -> "[mem]"
+  | Ctrl -> "<ctrl>"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(** Hash table keyed by resources; the id-assigning variant below is the
+    "record of the last definition of a resource and the set of current
+    uses" table that gives table-building DAG construction its name. *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+(** Dense id assignment for resources, in order of first encounter.  The
+    table length grows when a new symbolic memory expression appears,
+    reproducing the cost characteristic the paper observed on fpppp. *)
+module Ids = struct
+  type resource = t
+
+  type t = {
+    ids : int Tbl.t;
+    mutable by_id : resource array;
+    mutable next : int;
+  }
+
+  let create () = { ids = Tbl.create 64; by_id = Array.make 64 Ctrl; next = 0 }
+
+  let id t r =
+    match Tbl.find_opt t.ids r with
+    | Some i -> i
+    | None ->
+        let i = t.next in
+        t.next <- i + 1;
+        if i >= Array.length t.by_id then begin
+          let grown = Array.make (2 * Array.length t.by_id) Ctrl in
+          Array.blit t.by_id 0 grown 0 (Array.length t.by_id);
+          t.by_id <- grown
+        end;
+        t.by_id.(i) <- r;
+        Tbl.add t.ids r i;
+        i
+
+  let find_opt t r = Tbl.find_opt t.ids r
+  let resource t i = t.by_id.(i)
+  let count t = t.next
+
+  let iter f t =
+    for i = 0 to t.next - 1 do
+      f i t.by_id.(i)
+    done
+end

@@ -1,0 +1,47 @@
+(** Dependence resources: anything an instruction can define or use such
+    that a later instruction touching the same resource creates a data
+    dependency — registers, condition codes, the Y register and memory
+    (one resource per symbolic expression, or the single serialized
+    [Mem_all]). *)
+
+type t =
+  | R of Reg.t          (* integer or floating point register *)
+  | Icc                 (* integer condition codes *)
+  | Fcc                 (* floating point condition codes *)
+  | Y                   (* multiply/divide Y register *)
+  | Mem of Mem_expr.t   (* one symbolic memory expression *)
+  | Mem_all             (* all of memory, serialized *)
+  | Ctrl                (* control resource *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val is_memory : t -> bool
+val is_register : t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Hash tables keyed by resources — the "record of the last definition of
+    a resource and the set of current uses" of table-building DAG
+    construction. *)
+module Tbl : Hashtbl.S with type key = t
+
+(** Dense id assignment in order of first encounter; the table grows when
+    a new symbolic memory expression appears, reproducing the
+    variable-length-bitmap cost the paper observed on fpppp. *)
+module Ids : sig
+  type resource = t
+  type t
+
+  val create : unit -> t
+
+  (** Id of the resource, assigned on first encounter. *)
+  val id : t -> resource -> int
+
+  val find_opt : t -> resource -> int option
+  val resource : t -> int -> resource
+  val count : t -> int
+  val iter : (int -> resource -> unit) -> t -> unit
+end

@@ -1,0 +1,1 @@
+lib/machine/funit.ml: Ds_isa Format List Printf

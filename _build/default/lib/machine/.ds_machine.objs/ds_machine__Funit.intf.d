@@ -1,0 +1,1 @@
+lib/machine/funit.mli: Ds_isa Format

@@ -1,0 +1,1 @@
+lib/machine/latency.ml: Dep Ds_isa Insn List Opcode Resource

@@ -1,0 +1,1 @@
+lib/machine/latency.mli: Dep Ds_isa Insn Resource

@@ -1,0 +1,1 @@
+lib/machine/pipeline.ml: Array Ds_isa Funit Insn Latency List Resource

@@ -1,0 +1,1 @@
+lib/machine/pipeline.mli: Ds_isa Latency

@@ -1,0 +1,1 @@
+lib/machine/reservation.ml: Array Ds_isa Ds_util Funit Insn Latency List

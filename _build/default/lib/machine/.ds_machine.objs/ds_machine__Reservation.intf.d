@@ -1,0 +1,1 @@
+lib/machine/reservation.mli: Ds_isa Funit Latency

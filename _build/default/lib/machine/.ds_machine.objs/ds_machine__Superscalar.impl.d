@@ -1,0 +1,1 @@
+lib/machine/superscalar.ml: Array Ds_isa Funit Hashtbl Insn Latency List Option Resource

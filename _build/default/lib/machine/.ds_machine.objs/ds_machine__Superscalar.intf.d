@@ -1,0 +1,1 @@
+lib/machine/superscalar.mli: Ds_isa Hashtbl Latency

@@ -1,0 +1,20 @@
+(** Data dependency kinds.
+
+    RAW (read-after-write, true), WAR (write-after-read, anti) and WAW
+    (write-after-write, output).  The paper's Figure 1 turns on WAR arcs
+    carrying much smaller delays than RAW arcs from the same parent.
+
+    [Ctl] marks the control arcs some construction algorithms add from all
+    true leaves to a block-ending branch "to ensure that the branch is the
+    last node to be scheduled" (§2); it always carries latency 1. *)
+
+type kind = Raw | War | Waw | Ctl
+
+let kind_to_string = function
+  | Raw -> "RAW" | War -> "WAR" | Waw -> "WAW" | Ctl -> "CTL"
+
+let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
+
+let equal_kind (a : kind) b = a = b
+
+let all_kinds = [ Raw; War; Waw; Ctl ]

@@ -1,0 +1,9 @@
+(** Data dependency kinds: RAW (true), WAR (anti), WAW (output), plus the
+    control arcs ([Ctl]) used to anchor a block-ending branch. *)
+
+type kind = Raw | War | Waw | Ctl
+
+val kind_to_string : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+val equal_kind : kind -> kind -> bool
+val all_kinds : kind list

@@ -1,0 +1,26 @@
+(** Function units, for structural hazards: the FP busy-time heuristic,
+    reservation tables and the pipeline simulators. *)
+
+type t =
+  | Iu    (* integer ALU *)
+  | Mdu   (* integer multiply/divide *)
+  | Lsu   (* load/store *)
+  | Fpa   (* FP add pipeline *)
+  | Fpm   (* FP multiply pipeline *)
+  | Fpd   (* FP divide/sqrt, typically non-pipelined *)
+  | Bru   (* branch *)
+
+val all : t list
+val count : int
+
+(** Dense index in [0, count). *)
+val index : t -> int
+
+(** Inverse of {!index}; raises [Invalid_argument] out of range. *)
+val of_index : int -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Unit an instruction executes on, by opcode class. *)
+val of_insn : Ds_isa.Insn.t -> t

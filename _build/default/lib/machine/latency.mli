@@ -1,0 +1,48 @@
+(** Machine latency models.
+
+    Arc weights for DAG construction: per-dependency-kind delays that can
+    vary with the parent instruction, the conflicting resource, the
+    definition position (register-pair loads) and the consumer's
+    source-operand position (asymmetric bypass).  WAR delays are short (a
+    cycle), making the paper's Figure-1 transitive RAW arcs
+    timing-relevant. *)
+
+open Ds_isa
+
+type t = {
+  name : string;
+  description : string;
+  exec_time : Insn.t -> int;
+      (** operation latency: cycles until the result is available *)
+  raw :
+    parent:Insn.t -> def_pos:int -> res:Resource.t -> child:Insn.t ->
+    use_pos:int -> int;
+  war : parent:Insn.t -> res:Resource.t -> child:Insn.t -> int;
+  waw : parent:Insn.t -> res:Resource.t -> child:Insn.t -> int;
+  fp_busy : Insn.t -> int;
+      (** busy cycles on a non-pipelined FP unit; 0 when fully pipelined *)
+}
+
+(** Arc latency dispatch by dependency kind ([Ctl] arcs cost 1). *)
+val arc_latency :
+  t -> kind:Dep.kind -> parent:Insn.t -> def_pos:int -> res:Resource.t ->
+  child:Insn.t -> use_pos:int -> int
+
+(** Pipelined single-issue RISC with a one-cycle load delay slot — the
+    classic Gibbons & Muchnick setting. *)
+val simple_risc : t
+
+(** The model behind the paper's Figure 1: FADD 4 cycles, FDIV 20, WAR 1,
+    non-pipelined FP divide unit. *)
+val deep_fp : t
+
+(** RS/6000-flavoured forwarding: RAW to a consumer's second source
+    operand costs one extra cycle, RAW to a store's data operand one
+    less. *)
+val asymmetric_bypass : t
+
+(** Every arc costs one cycle — isolates pure path-length heuristics. *)
+val unit_latency : t
+
+val all_models : t list
+val by_name : string -> t option

@@ -1,0 +1,22 @@
+(** In-order single-issue pipeline simulator.
+
+    Scores an instruction ordering under a latency model: per-instruction
+    issue cycles given data interlocks and busy non-pipelined FP units.
+    Independent of the DAG — it tracks resources directly — so it also
+    serves as ground truth that a schedule never consumes a value early.
+    Resource state carries across the whole sequence, which lets
+    {!Ds_sched.Global}-style chains measure cross-block stalls. *)
+
+type result = {
+  issue_cycle : int array;   (* per instruction, in sequence order *)
+  completion : int;          (* cycle after the last result is ready *)
+  stall_cycles : int;        (* issue-slot bubbles from interlocks *)
+}
+
+val run : Latency.t -> Ds_isa.Insn.t array -> result
+
+(** [completion] of {!run}. *)
+val cycles : Latency.t -> Ds_isa.Insn.t array -> int
+
+(** [stall_cycles] of {!run}. *)
+val stalls : Latency.t -> Ds_isa.Insn.t array -> int

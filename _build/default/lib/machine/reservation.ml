@@ -1,0 +1,66 @@
+(** Resource reservation tables.
+
+    The paper contrasts heuristic timing with "a more refined form of
+    scheduling [that] uses an explicit resource reservation table ...
+    scheduling involves pattern matching these blocks into a
+    partially-filled reservation table".  An instruction is an aggregate
+    structure of busy cycles on one or more function units; insertion finds
+    the earliest slot (at or after a dependence-given lower bound) where the
+    whole pattern fits, then marks those cycles busy. *)
+
+open Ds_isa
+
+(** One busy block: a unit occupied for [duration] cycles starting at
+    [offset] cycles after issue. *)
+type usage = { unit : Funit.t; offset : int; duration : int }
+
+type t = {
+  (* busy.(u) is the set of busy cycles of unit u, growable *)
+  busy : Ds_util.Bitset.t array;
+  mutable horizon : int;  (* one past the last busy cycle *)
+}
+
+let create () =
+  { busy = Array.init Funit.count (fun _ -> Ds_util.Bitset.create ()); horizon = 0 }
+
+(** Usage pattern of an instruction under a latency model: one cycle of
+    issue on its unit, extended to the full busy time when the unit is not
+    pipelined. *)
+let usage_of (model : Latency.t) (insn : Insn.t) =
+  let unit = Funit.of_insn insn in
+  let busy = model.Latency.fp_busy insn in
+  let duration = if busy > 0 then busy else 1 in
+  [ { unit; offset = 0; duration } ]
+
+let fits t usages ~at =
+  List.for_all
+    (fun { unit; offset; duration } ->
+      let b = t.busy.(Funit.index unit) in
+      let rec free k =
+        k >= duration || ((not (Ds_util.Bitset.mem b (at + offset + k))) && free (k + 1))
+      in
+      free 0)
+    usages
+
+let mark t usages ~at =
+  List.iter
+    (fun { unit; offset; duration } ->
+      let b = t.busy.(Funit.index unit) in
+      for k = 0 to duration - 1 do
+        Ds_util.Bitset.set b (at + offset + k)
+      done;
+      t.horizon <- max t.horizon (at + offset + duration))
+    usages
+
+(** [insert t usages ~earliest] returns the issue cycle: the smallest
+    [c >= earliest] such that the pattern fits, and marks it busy. *)
+let insert t usages ~earliest =
+  let rec go c = if fits t usages ~at:c then c else go (c + 1) in
+  let at = go (max 0 earliest) in
+  mark t usages ~at;
+  at
+
+let horizon t = t.horizon
+
+let busy_cycles t unit =
+  Ds_util.Bitset.cardinal t.busy.(Funit.index unit)

@@ -1,0 +1,32 @@
+(** Resource reservation tables (paper §1's "more refined form of
+    scheduling"): an instruction is an aggregate of busy cycles on one or
+    more function units; insertion pattern-matches those blocks into the
+    earliest empty slots. *)
+
+(** One busy block: [unit] occupied for [duration] cycles starting
+    [offset] cycles after issue. *)
+type usage = { unit : Funit.t; offset : int; duration : int }
+
+type t
+
+val create : unit -> t
+
+(** Usage pattern of an instruction under a latency model: one issue cycle
+    on its unit, extended to the full busy time when not pipelined. *)
+val usage_of : Latency.t -> Ds_isa.Insn.t -> usage list
+
+(** Does the whole pattern fit at cycle [at]? *)
+val fits : t -> usage list -> at:int -> bool
+
+(** Mark the pattern busy at cycle [at]. *)
+val mark : t -> usage list -> at:int -> unit
+
+(** Earliest cycle >= [earliest] where the pattern fits; marks it busy and
+    returns it. *)
+val insert : t -> usage list -> earliest:int -> int
+
+(** One past the last busy cycle. *)
+val horizon : t -> int
+
+(** Total busy cycles recorded for a unit. *)
+val busy_cycles : t -> Funit.t -> int

@@ -1,0 +1,17 @@
+(** In-order superscalar pipeline simulator: up to [width] issues per
+    cycle, at most one instruction per function unit per cycle, the same
+    data rules as {!Pipeline}.  The structural constraint is what makes
+    the alternate-type heuristic pay. *)
+
+type result = {
+  issue_cycle : int array;
+  completion : int;
+  issued_per_cycle : (int, int) Hashtbl.t;  (* cycle -> instructions issued *)
+}
+
+val run : width:int -> Latency.t -> Ds_isa.Insn.t array -> result
+
+val cycles : width:int -> Latency.t -> Ds_isa.Insn.t array -> int
+
+(** Fraction of issue cycles that used more than one slot. *)
+val dual_issue_rate : result -> float

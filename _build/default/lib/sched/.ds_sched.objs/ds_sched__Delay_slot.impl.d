@@ -1,0 +1,1 @@
+lib/sched/delay_slot.ml: Array Dep Ds_dag Ds_isa Ds_machine List Schedule

@@ -1,0 +1,1 @@
+lib/sched/delay_slot.mli: Schedule

@@ -1,0 +1,1 @@
+lib/sched/emit.ml: Array Delay_slot Ds_dag Ds_isa Insn List Opcode Schedule

@@ -1,0 +1,1 @@
+lib/sched/emit.mli: Ds_isa Schedule

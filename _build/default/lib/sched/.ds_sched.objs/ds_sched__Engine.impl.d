@@ -1,0 +1,1 @@
+lib/sched/engine.ml: Array Ds_dag Ds_heur Dyn_state Evaluate Heuristic List Static_pass

@@ -1,0 +1,1 @@
+lib/sched/engine.mli: Annot Ds_dag Ds_heur Dyn_state Heuristic

@@ -1,0 +1,1 @@
+lib/sched/fixup.ml: Array Ds_dag Ds_machine List Schedule

@@ -1,0 +1,1 @@
+lib/sched/gantt.ml: Array Buffer Bytes Ds_dag Ds_isa Ds_machine Latency Pipeline Printf Schedule String

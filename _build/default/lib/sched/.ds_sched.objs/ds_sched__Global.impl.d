@@ -1,0 +1,1 @@
+lib/sched/global.ml: Array Ds_dag Ds_heur Ds_isa Ds_machine Dyn_state Engine Funit Insn Latency List Pipeline Resource Schedule Static_pass

@@ -1,0 +1,1 @@
+lib/sched/global.mli: Ds_cfg Ds_dag Ds_heur Ds_isa Ds_machine Dyn_state Engine Insn Latency Resource Schedule

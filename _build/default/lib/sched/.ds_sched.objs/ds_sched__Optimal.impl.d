@@ -1,0 +1,1 @@
+lib/sched/optimal.ml: Annot Array Ds_dag Ds_heur Ds_machine Dyn_state Engine Funit Heuristic Latency List Schedule Static_pass

@@ -1,0 +1,1 @@
+lib/sched/optimal.mli: Ds_dag Schedule

@@ -1,0 +1,1 @@
+lib/sched/published.ml: Ds_dag Ds_heur Dyn_state Engine Fixup Heuristic List Option Schedule Static_pass

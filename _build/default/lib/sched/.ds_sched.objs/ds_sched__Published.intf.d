@@ -1,0 +1,1 @@
+lib/sched/published.mli: Ds_cfg Ds_dag Ds_heur Dyn_state Engine Schedule

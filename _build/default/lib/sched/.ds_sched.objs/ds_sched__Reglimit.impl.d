@@ -1,0 +1,1 @@
+lib/sched/reglimit.ml: Array Ds_dag Ds_heur Dyn_state Engine List Liveness Schedule Static_pass

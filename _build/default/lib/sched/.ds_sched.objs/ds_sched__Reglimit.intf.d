@@ -1,0 +1,1 @@
+lib/sched/reglimit.mli: Ds_dag Ds_isa Engine Schedule

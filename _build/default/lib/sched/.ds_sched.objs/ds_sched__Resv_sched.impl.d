@@ -1,0 +1,1 @@
+lib/sched/resv_sched.ml: Array Ds_dag Ds_heur Ds_machine Ds_util Dyn_state Evaluate Heuristic Int Latency List Reservation Schedule Static_pass

@@ -1,0 +1,1 @@
+lib/sched/resv_sched.mli: Ds_dag Ds_heur Schedule

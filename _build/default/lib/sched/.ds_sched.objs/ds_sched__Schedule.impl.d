@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Ds_dag Ds_isa Ds_machine Format Insn List Pipeline String

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Ds_dag Ds_isa Ds_machine Format

@@ -1,0 +1,1 @@
+lib/sched/verify.ml: Array Ds_dag Ds_machine Printf Schedule

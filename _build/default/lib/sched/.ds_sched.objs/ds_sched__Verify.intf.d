@@ -1,0 +1,1 @@
+lib/sched/verify.mli: Ds_dag Schedule

@@ -1,0 +1,15 @@
+(** Branch delay-slot filling (§1's "delay slot scheduler"): move one
+    instruction of a scheduled block into the slot after its terminating
+    branch, when the branch does not depend on it through any data arc and
+    nothing else does either. *)
+
+type fill = {
+  order : int array;      (* new order: the filler moved after the branch *)
+  filler : int;           (* node id now in the delay slot *)
+}
+
+(** [None] when the block does not end in a branch or nothing can move. *)
+val fill : Schedule.t -> fill option
+
+(** Over a workload: (terminating branches, slots a filler can populate). *)
+val fill_rate : Schedule.t list -> int * int

@@ -1,0 +1,52 @@
+(** Final code emission for delayed-branch machines.
+
+    Turns a scheduled block into the instruction sequence a delayed-branch
+    assembler expects: when the block ends in a branch, the delay slot
+    after it is filled by {!Delay_slot.fill} when legal, and padded with a
+    NOP otherwise.  Blocks without a terminating branch are emitted
+    as-is. *)
+
+open Ds_isa
+
+type result = {
+  insns : Insn.t list;
+  filled : bool;       (* a useful instruction occupies the delay slot *)
+  padded : bool;       (* a NOP was inserted *)
+}
+
+let emit (s : Schedule.t) =
+  let dag = s.Schedule.dag in
+  let n = Array.length s.Schedule.order in
+  let plain () =
+    { insns = Array.to_list (Schedule.insns s); filled = false; padded = false }
+  in
+  if n = 0 then plain ()
+  else begin
+    let last = s.Schedule.order.(n - 1) in
+    if not (Insn.is_branch (Ds_dag.Dag.insn dag last)) then plain ()
+    else
+      match Delay_slot.fill s with
+      | Some f ->
+          {
+            insns =
+              Array.to_list (Array.map (Ds_dag.Dag.insn dag) f.Delay_slot.order);
+            filled = true;
+            padded = false;
+          }
+      | None ->
+          {
+            insns = Array.to_list (Schedule.insns s) @ [ Insn.make Opcode.Nop [] ];
+            filled = false;
+            padded = true;
+          }
+  end
+
+(** Emit a whole program: schedules in block order, slots filled or
+    padded; instruction indices renumbered. *)
+let emit_program schedules =
+  let results = List.map emit schedules in
+  let insns = List.concat_map (fun r -> r.insns) results in
+  let insns = List.mapi (fun i insn -> Insn.with_index insn i) insns in
+  let filled = List.length (List.filter (fun r -> r.filled) results) in
+  let padded = List.length (List.filter (fun r -> r.padded) results) in
+  (insns, filled, padded)

@@ -1,0 +1,14 @@
+(** Final code emission for delayed-branch machines: fill each terminating
+    branch's delay slot when legal ({!Delay_slot}), pad with a NOP
+    otherwise. *)
+
+type result = {
+  insns : Ds_isa.Insn.t list;
+  filled : bool;       (* a useful instruction occupies the delay slot *)
+  padded : bool;       (* a NOP was inserted *)
+}
+
+val emit : Schedule.t -> result
+
+(** Whole program: (instructions renumbered, slots filled, NOPs added). *)
+val emit_program : Schedule.t list -> Ds_isa.Insn.t list * int * int

@@ -1,0 +1,217 @@
+(** Generic list-scheduling engine.
+
+    "List scheduling algorithms examine a candidate list of ready-to-execute
+    instructions at each time step and apply one or more heuristics to
+    determine the best instruction to issue" (§1).  The engine supports:
+
+    - forward and backward scheduling passes (a backward pass schedules
+      from the leaves and reverses the result);
+    - *winnowing*: heuristics applied in rank order, each narrowing the
+      candidate set (Gibbons & Muchnick, Shieh & Papachristou, Warren);
+    - a *priority function*: heuristic values combined into a single
+      per-node priority by rank weighting (Krishnamurthy, Schlansker,
+      Tiemann — marked "(priority fn)" in Table 2).
+
+    Ties always fall back to original program order. *)
+
+open Ds_heur
+
+type mode = Winnowing | Priority_fn
+
+type key = { heuristic : Heuristic.t; sense : Heuristic.sense }
+
+let key ?sense heuristic =
+  let sense =
+    match sense with Some s -> s | None -> Heuristic.default_sense heuristic
+  in
+  { heuristic; sense }
+
+type config = {
+  direction : Dyn_state.direction;
+  mode : mode;
+  keys : key list;
+}
+
+(* Signed value: larger is always better after applying the sense. *)
+let signed_value k ~annot ~st i =
+  let v = Evaluate.value k.heuristic ~annot ~st i in
+  match k.sense with Heuristic.Maximize -> v | Heuristic.Minimize -> -v
+
+(* Final tie-break: original program order — the first remaining
+   instruction in a forward pass, the last in a backward pass. *)
+let order_tie direction candidates =
+  match (direction : Dyn_state.direction) with
+  | Dyn_state.Forward -> List.fold_left min max_int candidates
+  | Dyn_state.Backward -> List.fold_left max min_int candidates
+
+(* Winnowing: narrow the candidate list one heuristic at a time, keeping
+   the nodes tied for the best value. *)
+let pick_winnowing direction keys ~annot ~st candidates =
+  let rec narrow candidates = function
+    | [] -> order_tie direction candidates
+    | k :: rest ->
+        let best =
+          List.fold_left
+            (fun acc i -> max acc (signed_value k ~annot ~st i))
+            min_int candidates
+        in
+        let survivors =
+          List.filter (fun i -> signed_value k ~annot ~st i = best) candidates
+        in
+        (match survivors with
+        | [ only ] -> only
+        | several -> narrow several rest)
+  in
+  narrow candidates keys
+
+(* Priority function: rank-weighted sum of signed values; earlier ranks
+   dominate by an order of magnitude. *)
+let pick_priority direction keys ~annot ~st candidates =
+  let nkeys = List.length keys in
+  let weight rank = int_of_float (10.0 ** float_of_int (nkeys - rank)) in
+  let priority i =
+    List.fold_left
+      (fun (acc, rank) k ->
+        (acc + (weight rank * signed_value k ~annot ~st i), rank + 1))
+      (0, 1) keys
+    |> fst
+  in
+  let best = ref [] and best_p = ref min_int in
+  List.iter
+    (fun i ->
+      let p = priority i in
+      if p > !best_p then begin
+        best := [ i ];
+        best_p := p
+      end
+      else if p = !best_p then best := i :: !best)
+    candidates;
+  order_tie direction !best
+
+let pick config ~annot ~st candidates =
+  match config.mode with
+  | Winnowing -> pick_winnowing config.direction config.keys ~annot ~st candidates
+  | Priority_fn -> pick_priority config.direction config.keys ~annot ~st candidates
+
+(* ------------------------------------------------------------------ *)
+(* decision tracing: which heuristic actually decided each issue *)
+
+(** One scheduling decision: the ready candidates at [time], the
+    winnowing trail (survivors after each applied heuristic, with the
+    winning value), and the chosen node.  For priority-fn configs the
+    trail has a single pseudo-step with the top-priority tie set. *)
+type decision = {
+  time : int;
+  candidates : int list;
+  trail : (Heuristic.t * int * int list) list;
+      (* heuristic, best signed value, survivors *)
+  chosen : int;
+}
+
+let winnow_trail direction keys ~annot ~st candidates =
+  let rec narrow acc candidates = function
+    | [] -> (List.rev acc, order_tie direction candidates)
+    | k :: rest ->
+        let best =
+          List.fold_left
+            (fun b i -> max b (signed_value k ~annot ~st i))
+            min_int candidates
+        in
+        let survivors =
+          List.filter (fun i -> signed_value k ~annot ~st i = best) candidates
+        in
+        let acc = (k.heuristic, best, survivors) :: acc in
+        (match survivors with
+        | [ only ] -> (List.rev acc, only)
+        | several -> narrow acc several rest)
+  in
+  narrow [] candidates keys
+
+let traced_pick config ~annot ~st candidates =
+  match config.mode with
+  | Winnowing ->
+      let trail, chosen =
+        winnow_trail config.direction config.keys ~annot ~st candidates
+      in
+      (trail, chosen)
+  | Priority_fn ->
+      (* one pseudo-step per key showing its signed value for the winner *)
+      let chosen = pick_priority config.direction config.keys ~annot ~st candidates in
+      let trail =
+        List.map
+          (fun k -> (k.heuristic, signed_value k ~annot ~st chosen, [ chosen ]))
+          config.keys
+      in
+      (trail, chosen)
+
+(* The scheduling loop, optionally recording decisions. *)
+let run_impl ?seed ?recorder config ~annot dag =
+  let n = Ds_dag.Dag.length dag in
+  if n = 0 then [||]
+  else begin
+    let st = Dyn_state.create dag config.direction in
+    (match seed with Some f -> f st | None -> ());
+    let available = ref [] in
+    for i = n - 1 downto 0 do
+      if Dyn_state.available st i then available := i :: !available
+    done;
+    let order = ref [] in
+    while not (Dyn_state.complete st) do
+      let ready = List.filter (fun i -> st.earliest_exec.(i) <= st.time) !available in
+      match ready with
+      | [] ->
+          (* no candidate can issue: advance to the nearest release time *)
+          let next =
+            List.fold_left
+              (fun acc i -> min acc st.earliest_exec.(i))
+              max_int !available
+          in
+          assert (next < max_int);
+          st.time <- next
+      | _ ->
+          let chosen =
+            match recorder with
+            | None -> pick config ~annot ~st ready
+            | Some record ->
+                let trail, chosen = traced_pick config ~annot ~st ready in
+                record { time = st.time; candidates = ready; trail; chosen };
+                chosen
+          in
+          Dyn_state.schedule st chosen ~at:st.time;
+          st.time <- st.time + 1;
+          order := chosen :: !order;
+          available := List.filter (fun i -> i <> chosen) !available;
+          List.iter
+            (fun (a : Ds_dag.Dag.arc) ->
+              let peer = Dyn_state.arc_peer st a in
+              if Dyn_state.available st peer
+                 && not (List.mem peer !available)
+              then available := peer :: !available)
+            (Dyn_state.forward_arcs st chosen)
+    done;
+    let order = !order in
+    (* a backward pass built the schedule last-to-first *)
+    match config.direction with
+    | Dyn_state.Forward -> Array.of_list (List.rev order)
+    | Dyn_state.Backward -> Array.of_list order
+  end
+
+(** Run the scheduling pass.  Returns node ids in program order of the new
+    schedule.  [seed] can prime the state with inherited cross-block
+    latencies before the candidate list is formed. *)
+let run ?seed config ~annot dag = run_impl ?seed config ~annot dag
+
+(** Like {!run}, also returning the per-issue decision trace (in issue
+    order, regardless of scheduling direction). *)
+let run_traced ?seed config ~annot dag =
+  let decisions = ref [] in
+  let order =
+    run_impl ?seed ~recorder:(fun d -> decisions := d :: !decisions) config
+      ~annot dag
+  in
+  (order, List.rev !decisions)
+
+(** Convenience: schedule with static annotations computed here. *)
+let schedule config dag =
+  let annot = Static_pass.compute dag in
+  run config ~annot dag

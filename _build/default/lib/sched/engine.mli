@@ -1,0 +1,48 @@
+(** Generic list-scheduling engine (paper §1): forward and backward
+    passes; heuristics combined by lexicographic *winnowing* or a
+    rank-weighted *priority function* (Table 2's two styles); ties fall
+    back to original program order. *)
+
+open Ds_heur
+
+type mode = Winnowing | Priority_fn
+
+type key = { heuristic : Heuristic.t; sense : Heuristic.sense }
+
+(** [key ?sense h] defaults the sense to [Heuristic.default_sense h]. *)
+val key : ?sense:Heuristic.sense -> Heuristic.t -> key
+
+type config = {
+  direction : Dyn_state.direction;
+  mode : mode;
+  keys : key list;   (* rank order *)
+}
+
+(** Choose the best candidate under the config (exposed for schedulers
+    built on top of the engine, e.g. register-limited scheduling). *)
+val pick : config -> annot:Annot.t -> st:Dyn_state.t -> int list -> int
+
+(** Run the scheduling pass; returns node ids in the new program order.
+    [seed] can prime the state with inherited cross-block latencies. *)
+val run :
+  ?seed:(Dyn_state.t -> unit) -> config -> annot:Annot.t -> Ds_dag.Dag.t ->
+  int array
+
+(** One scheduling decision: the ready candidates at [time], the
+    winnowing trail (heuristic applied, best signed value, survivors) and
+    the chosen node.  Priority-fn configs report one pseudo-step per key
+    with the winner's value. *)
+type decision = {
+  time : int;
+  candidates : int list;
+  trail : (Heuristic.t * int * int list) list;
+  chosen : int;
+}
+
+(** Like {!run}, also returning the per-issue decision trace. *)
+val run_traced :
+  ?seed:(Dyn_state.t -> unit) -> config -> annot:Annot.t -> Ds_dag.Dag.t ->
+  int array * decision list
+
+(** Convenience: compute all static annotations here, then {!run}. *)
+val schedule : config -> Ds_dag.Dag.t -> int array

@@ -1,0 +1,7 @@
+(** Postpass delay-slot fixup (paper §5, Krishnamurthy): greedily hoists a
+    later independent instruction into each issue-slot bubble, repeating
+    until a sweep yields no improvement.  Mutates the schedule's order in
+    place and returns it. *)
+
+val sweep : Schedule.t -> bool
+val run : Schedule.t -> Schedule.t

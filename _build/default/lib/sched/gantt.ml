@@ -1,0 +1,50 @@
+(** Textual issue-timeline ("Gantt") rendering of a schedule.
+
+    One line per instruction in issue order, showing the issue cycle, the
+    stall bubbles in front of it, and its execution span:
+
+    {v
+      0 |##........          | ld [%fp - 8], %o1
+      1 | #                  | add %o3, 1, %o4
+      3 |..#                 | add %o1, 1, %o2   (2 stall cycles)
+    v}
+
+    Used by examples and the CLI to make stalls visible. *)
+
+open Ds_machine
+
+let render ?(width = 48) (s : Schedule.t) =
+  let model = Ds_dag.Dag.model s.Schedule.dag in
+  let insns = Schedule.insns s in
+  let result = Pipeline.run model insns in
+  let buf = Buffer.create 1024 in
+  let total = max 1 result.Pipeline.completion in
+  let scale c = min (width - 1) (c * width / total) in
+  Array.iteri
+    (fun i insn ->
+      let issue = result.Pipeline.issue_cycle.(i) in
+      let expected = if i = 0 then 0 else result.Pipeline.issue_cycle.(i - 1) + 1 in
+      let stall = issue - expected in
+      let exec = model.Latency.exec_time insn in
+      let line = Bytes.make width ' ' in
+      for c = scale expected to scale issue - 1 do
+        Bytes.set line c '.'
+      done;
+      for c = scale issue to min (width - 1) (scale (issue + exec) - 1) do
+        Bytes.set line c '#'
+      done;
+      if scale issue < width then Bytes.set line (scale issue) '#';
+      Buffer.add_string buf
+        (Printf.sprintf "%4d |%s| %s%s\n" issue (Bytes.to_string line)
+           (String.trim (Ds_isa.Insn.to_string insn))
+           (if stall > 0 then
+              Printf.sprintf "   (%d stall cycle%s)" stall
+                (if stall = 1 then "" else "s")
+            else "")))
+    insns;
+  Buffer.add_string buf
+    (Printf.sprintf "completion: %d cycles, %d stall cycles\n"
+       result.Pipeline.completion result.Pipeline.stall_cycles);
+  Buffer.contents buf
+
+let print ?width s = print_string (render ?width s)

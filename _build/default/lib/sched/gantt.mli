@@ -1,0 +1,5 @@
+(** Textual issue-timeline ("Gantt") rendering of a schedule: one line per
+    instruction showing issue cycle, stall bubbles and execution span. *)
+
+val render : ?width:int -> Schedule.t -> string
+val print : ?width:int -> Schedule.t -> unit

@@ -1,0 +1,102 @@
+(** Cross-block scheduling with inherited operation latencies.
+
+    The paper's §2 notes that "if global information (i.e., across basic
+    blocks) is considered, there may be pseudo-nodes and arcs to represent
+    operation latencies inherited from immediately preceding blocks.  This
+    extra information can be used to avoid dependency stalls and
+    structural hazards that a purely local algorithm would ignore", and §7
+    lists "determining the benefits of global scheduling information" as
+    planned work.  This module implements it:
+
+    - [exit_residue] extracts, from a scheduled block, which register/CC
+      values are still in flight when the block's last instruction issues
+      and how long each non-pipelined unit stays busy;
+    - [schedule_chain] schedules a straight-line sequence of blocks either
+      purely locally or with each block's scheduler seeded by the previous
+      block's residue, and scores the concatenation on the pipeline
+      simulator (which carries machine state across block boundaries
+      either way — the machine does not care about the compiler's block
+      structure). *)
+
+open Ds_isa
+open Ds_machine
+open Ds_heur
+
+type residue = {
+  pending : (Resource.t * int) list;
+      (* value available this many cycles after the next block starts *)
+  unit_busy : int array;  (* per Funit index *)
+}
+
+let empty_residue = { pending = []; unit_busy = Array.make Funit.count 0 }
+
+(** Residual latencies at the exit of a scheduled block.  The next block's
+    first issue slot is the cycle after this block's last issue. *)
+let exit_residue (s : Schedule.t) =
+  let insns = Schedule.insns s in
+  let n = Array.length insns in
+  if n = 0 then empty_residue
+  else begin
+    let model = Ds_dag.Dag.model s.Schedule.dag in
+    let result = Pipeline.run model insns in
+    let next_start = result.Pipeline.issue_cycle.(n - 1) + 1 in
+    let latest : (Resource.t * int) list ref = ref [] in
+    Array.iteri
+      (fun i insn ->
+        let avail =
+          result.Pipeline.issue_cycle.(i) + model.Latency.exec_time insn
+        in
+        let residual = avail - next_start in
+        if residual > 0 then
+          List.iter
+            (fun res ->
+              let rest = List.filter (fun (r, _) -> not (Resource.equal r res)) !latest in
+              latest := (res, residual) :: rest)
+            (Insn.defs insn))
+      insns;
+    let unit_busy = Array.make Funit.count 0 in
+    Array.iteri
+      (fun i insn ->
+        let busy = model.Latency.fp_busy insn in
+        if busy > 0 then begin
+          let u = Funit.index (Funit.of_insn insn) in
+          let residual = result.Pipeline.issue_cycle.(i) + busy - next_start in
+          if residual > unit_busy.(u) then unit_busy.(u) <- residual
+        end)
+      insns;
+    { pending = !latest; unit_busy }
+  end
+
+let seed_of residue st =
+  Dyn_state.seed st ~pending:residue.pending ~unit_busy:residue.unit_busy
+
+(** Schedule a block sequence.  With [inherit_latencies], each block's
+    scheduler is seeded with the previous block's exit residue; without
+    it, each block is scheduled in isolation (the machine still carries
+    its state across the boundary when the result is simulated). *)
+let schedule_chain ?(inherit_latencies = true) ~config ~opts blocks =
+  let residue = ref empty_residue in
+  let scheduled =
+    List.map
+      (fun block ->
+        let dag = Ds_dag.Builder.build Ds_dag.Builder.Table_forward opts block in
+        let annot =
+          Static_pass.compute_for
+            (List.map (fun k -> k.Engine.heuristic) config.Engine.keys)
+            dag
+        in
+        let seed = if inherit_latencies then Some (seed_of !residue) else None in
+        let order = Engine.run ?seed config ~annot dag in
+        let s = Schedule.make dag order in
+        residue := exit_residue s;
+        s)
+      blocks
+  in
+  let insns =
+    Array.concat (List.map (fun s -> Array.to_list (Schedule.insns s) |> Array.of_list) scheduled)
+  in
+  (scheduled, insns)
+
+(** Total machine cycles of the concatenated schedules (cross-block stalls
+    included — the pipeline simulator carries resource state through). *)
+let chain_cycles model insns = Pipeline.cycles model insns

@@ -1,0 +1,33 @@
+(** Cross-block scheduling with inherited operation latencies (§2's global
+    information; §7's planned extension): extract which values are still
+    in flight when a scheduled block exits, and seed the next block's
+    scheduler with them. *)
+
+open Ds_isa
+open Ds_machine
+open Ds_heur
+
+type residue = {
+  pending : (Resource.t * int) list;
+      (* value available this many cycles after the next block starts *)
+  unit_busy : int array;  (* per Funit index *)
+}
+
+val empty_residue : residue
+
+(** Residual latencies at the exit of a scheduled block. *)
+val exit_residue : Schedule.t -> residue
+
+(** Seeder for {!Engine.run}'s [?seed] argument. *)
+val seed_of : residue -> Dyn_state.t -> unit
+
+(** Schedule a block sequence; with [inherit_latencies] each block's
+    scheduler is seeded with the previous block's exit residue.  Returns
+    the per-block schedules and the concatenated instruction stream. *)
+val schedule_chain :
+  ?inherit_latencies:bool -> config:Engine.config -> opts:Ds_dag.Opts.t ->
+  Ds_cfg.Block.t list -> Schedule.t list * Insn.t array
+
+(** Total machine cycles of a concatenated stream (cross-block stalls
+    included: the pipeline simulator carries resource state through). *)
+val chain_cycles : Latency.t -> Insn.t array -> int

@@ -1,0 +1,41 @@
+(** The six published instruction scheduling algorithms of the paper's
+    Table 2, encoded as data and runnable: Gibbons & Muchnick,
+    Krishnamurthy, Schlansker, Shieh & Papachristou, Tiemann (GCC) and
+    Warren. *)
+
+open Ds_heur
+
+type spec = {
+  name : string;
+  short : string;
+  reference : string;
+  dag_algorithm : Ds_dag.Builder.algorithm option;  (* None = "n.g." *)
+  sched_direction : Dyn_state.direction;
+  mode : Engine.mode;
+  keys : Engine.key list;        (* Table 2's ranked heuristics *)
+  postpass_fixup : bool;
+}
+
+val gibbons_muchnick : spec
+val krishnamurthy : spec
+val schlansker : spec
+val shieh_papachristou : spec
+val tiemann : spec
+val warren : spec
+
+val all : spec list
+val by_short : string -> spec option
+
+(** The builder an "n.g." algorithm falls back to. *)
+val default_builder : Ds_dag.Builder.algorithm
+
+val builder : spec -> Ds_dag.Builder.algorithm
+val engine_config : spec -> Engine.config
+
+(** Build the spec's DAG for a block and run its scheduling pass (plus
+    fixup when the algorithm uses one).  The intermediate pass computes
+    only the annotations the spec's heuristics need. *)
+val run : ?opts:Ds_dag.Opts.t -> spec -> Ds_cfg.Block.t -> Schedule.t
+
+(** Run only the scheduling pass on an existing DAG. *)
+val run_on_dag : spec -> Ds_dag.Dag.t -> Schedule.t

@@ -1,0 +1,15 @@
+(** Register-pressure-limited scheduling (the Goodman & Hsu style
+    integration the paper's register-usage section points at): schedule
+    for latency while the live count stays below the limit; switch to
+    pressure reduction (prefer net killers) as it approaches. *)
+
+type result = {
+  schedule : Schedule.t;
+  max_live : int;   (* high-water mark tracked during scheduling *)
+}
+
+val run : ?limit:int -> keys:Engine.key list -> Ds_dag.Dag.t -> result
+
+(** Exact pressure high-water mark of an instruction order (for comparing
+    schedules). *)
+val max_live_of : Ds_isa.Insn.t array -> int

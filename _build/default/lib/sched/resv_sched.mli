@@ -1,0 +1,18 @@
+(** Reservation-table scheduling (§1's refined alternative to timing
+    heuristics): nodes taken highest-priority-first among those with all
+    parents placed; each is pattern-matched into the earliest cycle where
+    its function-unit usage, the shared issue slot, and every placed
+    parent's arc latency allow. *)
+
+type t = {
+  order : int array;        (* nodes in issue-cycle order *)
+  start_cycle : int array;  (* per node *)
+  makespan : int;           (* completion cycle *)
+}
+
+(** [run ?priority dag] (default priority: max total delay to a leaf). *)
+val run : ?priority:Ds_heur.Heuristic.t -> Ds_dag.Dag.t -> t
+
+(** The cycle assignment as an ordinary schedule (for verification and
+    pipeline scoring). *)
+val schedule : Ds_dag.Dag.t -> t -> Schedule.t

@@ -1,0 +1,29 @@
+(** Schedules: a permutation of a block's instructions plus scoring on the
+    pipeline simulator. *)
+
+type t = {
+  dag : Ds_dag.Dag.t;
+  order : int array;  (* node ids in new program order *)
+}
+
+val make : Ds_dag.Dag.t -> int array -> t
+
+(** The original program order. *)
+val identity : Ds_dag.Dag.t -> t
+
+val length : t -> int
+
+(** Instructions in scheduled order. *)
+val insns : t -> Ds_isa.Insn.t array
+
+(** Simulated execution under the DAG's latency model. *)
+val simulate : t -> Ds_machine.Pipeline.result
+
+val cycles : t -> int
+val stalls : t -> int
+
+(** Cycles of the original order, for before/after reports. *)
+val original_cycles : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,10 @@
+(** Schedule validity: a legal schedule is a permutation of the block that
+    respects every dependence arc. *)
+
+type violation =
+  | Not_a_permutation
+  | Arc_violated of Ds_dag.Dag.arc
+
+val check : Schedule.t -> (unit, violation) result
+val is_valid : Schedule.t -> bool
+val violation_to_string : violation -> string

@@ -1,0 +1,46 @@
+(** Growable bit sets.
+
+    Used for reachability bit maps in DAG construction (one bit per node)
+    and for variable-length resource tables whose length grows as new
+    symbolic memory address expressions are encountered — the structure
+    the paper identifies as the cost driver for backward construction on
+    fpppp. *)
+
+type t
+
+(** Empty set with minimal capacity. *)
+val create : unit -> t
+
+(** [make n] is an empty set pre-sized for elements < [n]. *)
+val make : int -> t
+
+val copy : t -> t
+
+(** Current capacity in bits (grows on demand). *)
+val capacity : t -> int
+
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+
+(** [union_into ~into src] performs [into := into OR src] — the
+    reachability merge step of the paper's arc-insertion algorithm. *)
+val union_into : into:t -> t -> unit
+
+(** Number of set bits — the paper computes [#descendants] as the
+    population count of the reachability map minus one. *)
+val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Elements in ascending order. *)
+val elements : t -> int list
+
+(** Equality as sets (capacity-independent). *)
+val equal : t -> t -> bool
+
+(** [subset a b] is true when every element of [a] is in [b]. *)
+val subset : t -> t -> bool
+
+val is_empty : t -> bool

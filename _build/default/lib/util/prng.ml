@@ -1,0 +1,72 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All workload generation in this repository goes through this module so
+    that every experiment is reproducible from a seed, independent of the
+    OCaml stdlib [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 step: golden-gamma increment followed by two xor-shift
+   multiplies.  Constants from Steele, Lea & Flood (OOPSLA 2014). *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(** [float t] is uniform in [0, 1). *)
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+(** [bool t p] is true with probability [p]. *)
+let bool t p = float t < p
+
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+let range t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+(** [choose t arr] picks a uniform element of a non-empty array. *)
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+(** [weighted t items] picks an element with probability proportional to its
+    weight. Weights must be non-negative and not all zero. *)
+let weighted t items =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 items in
+  assert (total > 0.0);
+  let x = float t *. total in
+  let rec go acc = function
+    | [] -> invalid_arg "Prng.weighted: empty"
+    | [ (_, v) ] -> v
+    | (w, v) :: rest -> if x < acc +. w then v else go (acc +. w) rest
+  in
+  go 0.0 items
+
+(** Geometric-ish sample in [lo, hi]: repeatedly extend with probability
+    [p]. Used for block-size distributions with a long but bounded tail. *)
+let geometric t ~p ~lo ~hi =
+  let rec go n = if n >= hi then hi else if bool t p then go (n + 1) else n in
+  go lo
+
+(** [shuffle t arr] shuffles [arr] in place (Fisher-Yates). *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

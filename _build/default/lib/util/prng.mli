@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All workload generation goes through this module so every experiment
+    is reproducible from a seed, independent of the stdlib [Random]
+    state. *)
+
+type t
+
+(** [create seed] is a fresh generator. *)
+val create : int -> t
+
+(** Independent copy with the same future stream. *)
+val copy : t -> t
+
+(** Next raw 64-bit value (advances the state). *)
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t p] is true with probability [p]. *)
+val bool : t -> float -> bool
+
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+(** Uniform element of a non-empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** Pick with probability proportional to weight; weights non-negative,
+    not all zero. *)
+val weighted : t -> (float * 'a) list -> 'a
+
+(** Geometric-ish sample in [lo, hi]: repeatedly extend with probability
+    [p]. *)
+val geometric : t -> p:float -> lo:int -> hi:int -> int
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,57 @@
+(** Small descriptive-statistics accumulator used for the structural columns
+    of Tables 3-5 (max and average of per-instruction / per-block counts). *)
+
+type t = {
+  mutable n : int;
+  mutable sum : float;
+  mutable max : float;
+  mutable min : float;
+}
+
+let create () = { n = 0; sum = 0.0; max = neg_infinity; min = infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  if x > t.max then t.max <- x;
+  if x < t.min then t.min <- x
+
+let add_int t x = add t (float_of_int x)
+
+let count t = t.n
+
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let max_value t = if t.n = 0 then 0.0 else t.max
+
+let min_value t = if t.n = 0 then 0.0 else t.min
+
+let total t = t.sum
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let of_ints xs =
+  let t = create () in
+  List.iter (add_int t) xs;
+  t
+
+(** Timing helper: [time_runs ~runs f] runs [f ()] [runs] times and returns
+    the mean wall-clock seconds — the analogue of the paper's
+    "average of user+sys over five runs". *)
+let time_runs ~runs f =
+  assert (runs > 0);
+  let total = ref 0.0 in
+  let result = ref None in
+  for _ = 1 to runs do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let t1 = Unix.gettimeofday () in
+    total := !total +. (t1 -. t0);
+    result := Some r
+  done;
+  match !result with
+  | Some r -> (!total /. float_of_int runs, r)
+  | None -> assert false

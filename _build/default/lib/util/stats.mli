@@ -1,0 +1,23 @@
+(** Descriptive-statistics accumulator used for the structural columns of
+    Tables 3-5 (max and average of per-instruction / per-block counts),
+    plus the multi-run wall-clock timing helper behind Tables 4-5. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+
+val count : t -> int
+val mean : t -> float
+val max_value : t -> float
+val min_value : t -> float
+val total : t -> float
+
+val of_list : float list -> t
+val of_ints : int list -> t
+
+(** [time_runs ~runs f] runs [f ()] [runs] times and returns (mean
+    wall-clock seconds, last result) — the analogue of the paper's
+    "average of user+sys over five runs". *)
+val time_runs : runs:int -> (unit -> 'a) -> float * 'a

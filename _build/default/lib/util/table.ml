@@ -1,0 +1,74 @@
+(** Plain-text table rendering for the benchmark harness and CLI.
+
+    Columns are sized to content; headers are separated by a rule; numeric
+    cells are right-aligned, text cells left-aligned. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string list;
+  mutable rows : string list list; (* reverse order *)
+}
+
+let create ~title headers = { title; headers; rows = [] }
+
+let add_row t cells = t.rows <- cells :: t.rows
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let fmt_int = string_of_int
+
+(* A cell is treated as numeric (right-aligned) when it parses as a float. *)
+let alignment cell =
+  match float_of_string_opt (String.trim cell) with
+  | Some _ -> Right
+  | None -> Left
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let norm r =
+    let n = List.length r in
+    if n >= ncols then r else r @ List.init (ncols - n) (fun _ -> "")
+  in
+  let all = List.map norm all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)))
+    all;
+  let buf = Buffer.create 1024 in
+  if t.title <> "" then begin
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n'
+  end;
+  let render_row ~header r =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let align = if header then Left else alignment c in
+        Buffer.add_string buf (pad align widths.(i) c))
+      r;
+    Buffer.add_char buf '\n'
+  in
+  (match all with
+  | header :: data ->
+      render_row ~header:true header;
+      let rule_width =
+        Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+      in
+      Buffer.add_string buf (String.make rule_width '-');
+      Buffer.add_char buf '\n';
+      List.iter (render_row ~header:false) data
+  | [] -> ());
+  Buffer.contents buf
+
+let print t = print_string (render t)

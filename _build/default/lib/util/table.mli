@@ -1,0 +1,18 @@
+(** Plain-text table rendering for the benchmark harness and CLI.
+
+    Columns are sized to content; headers are separated by a rule; numeric
+    cells right-align, text cells left-align. *)
+
+type t
+
+val create : title:string -> string list -> t
+val add_row : t -> string list -> unit
+
+(** [fmt_float ?decimals x] renders with a fixed number of decimals
+    (default 2). *)
+val fmt_float : ?decimals:int -> float -> string
+
+val fmt_int : int -> string
+
+val render : t -> string
+val print : t -> unit

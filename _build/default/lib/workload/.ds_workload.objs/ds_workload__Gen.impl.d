@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Ds_cfg Ds_isa Ds_util Float Insn List Mem_expr Opcode Operand Printf Reg

@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Ds_cfg Ds_util

@@ -1,0 +1,1 @@
+lib/workload/profiles.ml: Array Ds_cfg Ds_util Float Gen List Paper_data

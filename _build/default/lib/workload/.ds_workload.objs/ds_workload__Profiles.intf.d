@@ -1,0 +1,1 @@
+lib/workload/profiles.mli: Ds_cfg Gen Paper_data

@@ -1,0 +1,272 @@
+(** Synthetic basic-block generator.
+
+    The paper's measurements are functions of block *structure* — size
+    distribution, register reuse distance, and the population of symbolic
+    memory address expressions — all of which Table 3 reports per
+    benchmark.  This generator produces SPARC-like blocks from a parameter
+    set expressing exactly those structural knobs, so profiles calibrated
+    to Table 3 exercise the same construction/heuristic code paths as the
+    paper's real assembly.
+
+    Determinism: everything flows from a [Ds_util.Prng.t]. *)
+
+open Ds_isa
+
+type params = {
+  frac_load : float;       (* fraction of instructions that are loads *)
+  frac_store : float;      (* ... stores *)
+  frac_fp : float;         (* fraction of remaining ops that are FP *)
+  frac_double : float;     (* FP work in double precision *)
+  new_expr_prob : float;   (* a memory ref mints a new symbolic expression *)
+  max_mem_exprs : int;     (* per-block pool cap (Table 3 max column) *)
+  reuse : float;           (* source operand drawn from recent definitions *)
+  mem_late : bool;         (* new expressions cluster toward the block end,
+                              the paper's observation about fpppp *)
+  with_branch : bool;      (* end the block with cmp + conditional branch *)
+  pinned_uses : float;     (* probability an FP op reads the pinned "hub"
+                              register — models the loop-invariant values
+                              with hundreds of consumers that give fpppp
+                              its large children-per-instruction maxima *)
+  pinned_period : int;     (* the hub register is redefined this often *)
+}
+
+let int_code =
+  { frac_load = 0.14; frac_store = 0.07; frac_fp = 0.02; frac_double = 0.2;
+    new_expr_prob = 0.62; max_mem_exprs = 16; reuse = 0.55; mem_late = false;
+    with_branch = true; pinned_uses = 0.0; pinned_period = 0 }
+
+let fp_loops =
+  { frac_load = 0.26; frac_store = 0.12; frac_fp = 0.62; frac_double = 0.9;
+    new_expr_prob = 0.62; max_mem_exprs = 80; reuse = 0.6; mem_late = false;
+    with_branch = true; pinned_uses = 0.0; pinned_period = 0 }
+
+let fp_straightline =
+  { frac_load = 0.1; frac_store = 0.06; frac_fp = 0.8; frac_double = 1.0;
+    new_expr_prob = 0.5; max_mem_exprs = 400; reuse = 0.65; mem_late = true;
+    with_branch = false; pinned_uses = 0.27; pinned_period = 2500 }
+
+(* Register pools: integer data registers avoid %g0, %sp, %fp and the
+   caller-convention globals; FP doubles use even registers.  %l7 and
+   %f30/%f31 are reserved as the pinned hub registers. *)
+let int_regs =
+  Array.of_list
+    (List.map Reg.int
+       [ 8; 9; 10; 11; 12; 13; 16; 17; 18; 19; 20; 21; 22; 24; 25; 26;
+         27; 28; 29 ])
+
+let fp_single_regs = Array.init 30 Reg.float
+let fp_double_regs = Array.init 15 (fun i -> Reg.float (2 * i))
+
+let pinned_int = Reg.int 23   (* %l7 *)
+let pinned_fp = Reg.float 30  (* %f30/%f31 pair *)
+
+type state = {
+  rng : Ds_util.Prng.t;
+  params : params;
+  mutable recent_int : Reg.t list;   (* most recent integer definitions *)
+  mutable recent_fp : Reg.t list;
+  mutable exprs : Mem_expr.t list;   (* the block's expression pool *)
+  mutable sym_counter : int;
+  mutable pinned_ready : bool;       (* hub registers defined yet *)
+  block_seed : int;                  (* distinguishes symbols across blocks *)
+}
+
+let fresh st pool = Ds_util.Prng.choose st.rng pool
+
+let take_recent st recent pool =
+  match recent with
+  | r :: _ when Ds_util.Prng.bool st.rng st.params.reuse -> (
+      (* bias toward the few most recent definitions *)
+      match recent with
+      | [ _ ] -> r
+      | _ ->
+          let k = min (List.length recent) 4 in
+          List.nth recent (Ds_util.Prng.int st.rng k))
+  | _ -> fresh st pool
+
+let note_int st r = st.recent_int <- r :: (if List.length st.recent_int > 7 then List.filteri (fun i _ -> i < 7) st.recent_int else st.recent_int)
+let note_fp st r = st.recent_fp <- r :: (if List.length st.recent_fp > 7 then List.filteri (fun i _ -> i < 7) st.recent_fp else st.recent_fp)
+
+(* Mint or reuse a symbolic memory expression.  [progress] in [0,1] is the
+   position within the block; with [mem_late], new expressions become much
+   more likely near the end. *)
+let pick_expr st ~progress =
+  let p_new =
+    if st.params.mem_late then st.params.new_expr_prob *. progress *. progress
+    else st.params.new_expr_prob
+  in
+  let mint () =
+    let e =
+      match Ds_util.Prng.int st.rng 3 with
+      | 0 ->
+          (* stack slot *)
+          Mem_expr.make_reg ~offset:(-4 * Ds_util.Prng.range st.rng 1 64) Reg.fp
+      | 1 ->
+          (* named global *)
+          st.sym_counter <- st.sym_counter + 1;
+          Mem_expr.make_sym
+            ~offset:(4 * Ds_util.Prng.int st.rng 8)
+            (Printf.sprintf "g%d_%d" st.block_seed st.sym_counter)
+      | _ ->
+          (* pointer-relative; hub base register when one is live *)
+          let base =
+            if st.pinned_ready then pinned_int else fresh st int_regs
+          in
+          Mem_expr.make_reg ~offset:(4 * Ds_util.Prng.int st.rng 512) base
+    in
+    st.exprs <- e :: st.exprs;
+    e
+  in
+  match st.exprs with
+  | [] -> mint ()
+  | pool ->
+      if
+        List.length pool < st.params.max_mem_exprs
+        && Ds_util.Prng.bool st.rng p_new
+      then mint ()
+      else List.nth pool (Ds_util.Prng.int st.rng (List.length pool))
+
+let gen_load st ~progress =
+  let expr = pick_expr st ~progress in
+  let fp = Ds_util.Prng.bool st.rng st.params.frac_fp in
+  if fp then begin
+    let double = Ds_util.Prng.bool st.rng st.params.frac_double in
+    let dst = fresh st (if double then fp_double_regs else fp_single_regs) in
+    note_fp st dst;
+    Insn.make (if double then Opcode.Lddf else Opcode.Ldf)
+      [ Operand.Mem expr; Operand.Reg dst ]
+  end
+  else begin
+    let dst = fresh st int_regs in
+    note_int st dst;
+    Insn.make Opcode.Ld [ Operand.Mem expr; Operand.Reg dst ]
+  end
+
+let gen_store st ~progress =
+  let expr = pick_expr st ~progress in
+  let fp =
+    Ds_util.Prng.bool st.rng st.params.frac_fp && st.recent_fp <> []
+  in
+  if fp then begin
+    let src = take_recent st st.recent_fp fp_double_regs in
+    let double = Reg.pair_partner src <> None && Ds_util.Prng.bool st.rng st.params.frac_double in
+    Insn.make (if double then Opcode.Stdf else Opcode.Stf)
+      [ Operand.Reg src; Operand.Mem expr ]
+  end
+  else begin
+    let src = take_recent st st.recent_int int_regs in
+    Insn.make Opcode.St [ Operand.Reg src; Operand.Mem expr ]
+  end
+
+let fp_ops = [| Opcode.Faddd; Opcode.Fsubd; Opcode.Fmuld; Opcode.Fmuld; Opcode.Faddd |]
+let fp_ops_single = [| Opcode.Fadds; Opcode.Fsubs; Opcode.Fmuls |]
+
+let gen_fp st =
+  let double = Ds_util.Prng.bool st.rng st.params.frac_double in
+  let pool = if double then fp_double_regs else fp_single_regs in
+  let op =
+    if Ds_util.Prng.bool st.rng 0.04 then
+      if double then Opcode.Fdivd else Opcode.Fdivs
+    else Ds_util.Prng.choose st.rng (if double then fp_ops else fp_ops_single)
+  in
+  let a =
+    if st.pinned_ready && Ds_util.Prng.bool st.rng st.params.pinned_uses then
+      pinned_fp
+    else take_recent st st.recent_fp pool
+  in
+  let b = take_recent st st.recent_fp pool in
+  let d = fresh st pool in
+  note_fp st d;
+  Insn.make op [ Operand.Reg a; Operand.Reg b; Operand.Reg d ]
+
+let int_ops = [| Opcode.Add; Opcode.Sub; Opcode.And; Opcode.Or; Opcode.Xor; Opcode.Sll; Opcode.Sra |]
+
+let gen_int st =
+  let op = Ds_util.Prng.choose st.rng int_ops in
+  let a = take_recent st st.recent_int int_regs in
+  let b_imm = Ds_util.Prng.bool st.rng 0.45 in
+  let d = fresh st int_regs in
+  note_int st d;
+  let second =
+    if b_imm then Operand.Imm (Ds_util.Prng.range st.rng 0 255)
+    else Operand.Reg (take_recent st st.recent_int int_regs)
+  in
+  Insn.make op [ Operand.Reg a; second; Operand.Reg d ]
+
+let branches = [| Opcode.Be; Opcode.Bne; Opcode.Bg; Opcode.Ble; Opcode.Bl; Opcode.Bge |]
+
+(** Generate one block of exactly [size] instructions. *)
+let block rng ?(params = int_code) ~id ~size () =
+  let st =
+    { rng; params; recent_int = []; recent_fp = []; exprs = [];
+      sym_counter = 0; pinned_ready = false; block_seed = id }
+  in
+  let body_size =
+    if params.with_branch && size >= 3 then size - 2 else size
+  in
+  (* hub redefinition points: the pinned FP value and pointer base are
+     (re)loaded at the start of each pinned period *)
+  let pin_at i =
+    params.pinned_uses > 0.0 && body_size > 8
+    && i mod max 1 params.pinned_period < 2
+  in
+  let body = ref [] in
+  for i = 0 to body_size - 1 do
+    let progress = float_of_int i /. float_of_int (max 1 body_size) in
+    let insn =
+      if pin_at i then begin
+        st.pinned_ready <- true;
+        if i mod max 1 params.pinned_period = 0 then
+          Insn.make Opcode.Lddf
+            [ Operand.Mem (Mem_expr.make_reg ~offset:(-280) Reg.fp);
+              Operand.Reg pinned_fp ]
+        else
+          Insn.make Opcode.Ld
+            [ Operand.Mem (Mem_expr.make_reg ~offset:(-288) Reg.fp);
+              Operand.Reg pinned_int ]
+      end
+      else begin
+        let x = Ds_util.Prng.float st.rng in
+        if x < params.frac_load then gen_load st ~progress
+        else if x < params.frac_load +. params.frac_store then
+          gen_store st ~progress
+        else if
+          Ds_util.Prng.bool st.rng params.frac_fp
+          && (st.recent_fp <> [] || params.frac_fp > 0.5)
+        then gen_fp st
+        else gen_int st
+      end
+    in
+    body := insn :: !body
+  done;
+  let tail =
+    if params.with_branch && size >= 3 then
+      [ Insn.make Opcode.Cmp
+          [ Operand.Reg (take_recent st st.recent_int int_regs);
+            Operand.Imm (Ds_util.Prng.range st.rng 0 64) ];
+        Insn.make
+          (Ds_util.Prng.choose st.rng branches)
+          [ Operand.Target (Printf.sprintf "L%d" (id + 1)) ] ]
+    else []
+  in
+  let insns = List.rev !body @ tail in
+  let insns = List.mapi (fun i insn -> Insn.with_index insn i) insns in
+  { Ds_cfg.Block.id; insns = Array.of_list insns }
+
+(** Block-size sampler: a geometric bulk with a bounded uniform tail, so
+    both the Table-3 average and maximum are approximately realizable. *)
+let sample_size rng ~avg ~mx ~tail_prob =
+  if mx <= 1 then 1
+  else if Ds_util.Prng.bool rng tail_prob then
+    Ds_util.Prng.range rng (max 1 (mx / 2)) mx
+  else begin
+    let tail_mean = 0.75 *. float_of_int mx in
+    let small_mean =
+      Float.max 1.0 ((avg -. (tail_prob *. tail_mean)) /. (1.0 -. tail_prob))
+    in
+    let p = 1.0 -. (1.0 /. small_mean) in
+    if p <= 0.0 then 1
+    else
+      let rec go n = if n >= mx then mx else if Ds_util.Prng.bool rng p then go (n + 1) else n in
+      go 1
+  end

@@ -1,0 +1,40 @@
+(** Synthetic basic-block generator.
+
+    Produces SPARC-like blocks from a parameter set expressing the
+    structural knobs Table 3 characterizes — size, memory-expression
+    population, register reuse, int/FP mix — so profiles calibrated to
+    Table 3 exercise the same construction/heuristic code paths as the
+    paper's real assembly.  Deterministic from the given PRNG. *)
+
+type params = {
+  frac_load : float;       (* fraction of instructions that are loads *)
+  frac_store : float;      (* ... stores *)
+  frac_fp : float;         (* fraction of remaining ops that are FP *)
+  frac_double : float;     (* FP work in double precision *)
+  new_expr_prob : float;   (* a memory ref mints a new symbolic expression *)
+  max_mem_exprs : int;     (* per-block pool cap (Table 3 max column) *)
+  reuse : float;           (* source operand drawn from recent definitions *)
+  mem_late : bool;         (* new expressions cluster toward the block end *)
+  with_branch : bool;      (* end the block with cmp + conditional branch *)
+  pinned_uses : float;     (* probability an FP op reads the hub register *)
+  pinned_period : int;     (* hub redefinition period *)
+}
+
+(** grep/cccp-style system code: small blocks, mostly integer. *)
+val int_code : params
+
+(** linpack/tomcatv-style FP loop bodies. *)
+val fp_loops : params
+
+(** fpppp-style giant straight-line FP blocks: late memory expressions and
+    hub values with hundreds of consumers. *)
+val fp_straightline : params
+
+(** Generate one block of exactly [size] instructions. *)
+val block :
+  Ds_util.Prng.t -> ?params:params -> id:int -> size:int -> unit ->
+  Ds_cfg.Block.t
+
+(** Block-size sampler: geometric bulk with a bounded uniform tail. *)
+val sample_size :
+  Ds_util.Prng.t -> avg:float -> mx:int -> tail_prob:float -> int

@@ -1,0 +1,48 @@
+(** The paper's published measurements, machine-readable: Tables 3, 4 and
+    5 of Smotherman et al. (MICRO-24, 1991), used for paper-vs-measured
+    comparisons and workload calibration. *)
+
+(** Table 3: structural data, independent of construction approach. *)
+type table3_row = {
+  benchmark : string;
+  blocks : int;
+  insts : int;
+  ipb_max : int;        (* instructions per basic block *)
+  ipb_avg : float;
+  mem_max : int;        (* unique memory expressions per block *)
+  mem_avg : float;
+}
+
+val table3 : table3_row list
+
+(** Table 4: run times (SPARCstation-2 seconds) and DAG structure for the
+    n² approach (nine rows; fpppp beyond the 1000 window was not run). *)
+type table4_row = {
+  benchmark : string;
+  run_time : float;
+  children_max : int;
+  children_avg : float;
+  arcs_max : int;
+  arcs_avg : float;
+}
+
+val table4 : table4_row list
+
+(** Table 5: run times and DAG structure for the table-building
+    approaches, forward and backward. *)
+type table5_row = {
+  benchmark : string;
+  time_forward : float;
+  time_backward : float;
+  children_max : int;
+  children_avg : float;
+  arcs_max : int;
+  arcs_avg : float;
+}
+
+val table5 : table5_row list
+
+(** Row lookups; {!table3_row} raises [Not_found] on unknown names. *)
+val table3_row : string -> table3_row
+val table4_row : string -> table4_row option
+val table5_row : string -> table5_row option

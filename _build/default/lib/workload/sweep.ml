@@ -1,0 +1,26 @@
+(** Parameterized single-block workloads for ablation studies.
+
+    The paper remarks that "for the n**2 algorithm to remain practical, an
+    instruction window size of no more than 300-400 instructions should be
+    maintained".  [sizes] generates comparable straight-line blocks across
+    a range of sizes so the bench can chart construction cost growth and
+    locate that knee on the host machine. *)
+
+let default_sizes = [ 16; 32; 64; 128; 256; 512; 1024; 2048; 4000 ]
+
+(** One FP straight-line block of each requested size, deterministic from
+    [seed]. *)
+let blocks ?(seed = 42) ?(sizes = default_sizes) () =
+  let rng = Ds_util.Prng.create seed in
+  List.mapi
+    (fun id size ->
+      let params =
+        { Gen.fp_straightline with Gen.max_mem_exprs = max 8 (size / 12) }
+      in
+      (size, Gen.block rng ~params ~id ~size ()))
+    sizes
+
+(** A single block of a given size and flavor. *)
+let block ?(seed = 42) ?(params = Gen.fp_straightline) size =
+  let rng = Ds_util.Prng.create seed in
+  Gen.block rng ~params ~id:0 ~size ()

@@ -1,0 +1,11 @@
+(** Parameterized single-block workloads for ablations (the n² window-size
+    knee of §6). *)
+
+val default_sizes : int list
+
+(** One FP straight-line block of each requested size, deterministic. *)
+val blocks :
+  ?seed:int -> ?sizes:int list -> unit -> (int * Ds_cfg.Block.t) list
+
+(** A single block of a given size and flavor. *)
+val block : ?seed:int -> ?params:Gen.params -> int -> Ds_cfg.Block.t

@@ -1,0 +1,1 @@
+test/test_behavior.ml: Alcotest Array Builder Dag Dagsched Disambiguate Dyn_state Engine Funit Helpers Heuristic Insn Latency List Opcode Opts Published Reg Resource Schedule Static_pass Verify

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Block Cfg_builder Dagsched Helpers List Summary

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Ast Block Builder Codegen Dagsched Ds_sched Helpers Insn Kernels Latency List Mem_expr Opcode Opts Parser Printf Published Schedule Verify

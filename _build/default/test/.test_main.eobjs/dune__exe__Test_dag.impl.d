@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Annot Array Bitset Builder Closure Dag Dagsched Dep Disambiguate Helpers Latency List Opts Pairdep Static_pass

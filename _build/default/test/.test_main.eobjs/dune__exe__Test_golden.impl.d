@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Annot Array Builder Dagsched Dyn_state Evaluate Helpers Heuristic List Printf Static_pass

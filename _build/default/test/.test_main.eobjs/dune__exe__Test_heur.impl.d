@@ -1,0 +1,1 @@
+test/test_heur.ml: Alcotest Annot Array Builder Dag Dagsched Dyn_state Dynamic Evaluate Helpers Heuristic Latency Level List Liveness Opts Static_pass

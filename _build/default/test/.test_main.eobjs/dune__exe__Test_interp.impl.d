@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Ast Block Codegen Dagsched Disambiguate Helpers Interp Kernels List Opts Prng Published Reg Schedule String

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Dagsched Helpers Insn List Mem_expr Opcode Parser Reg Resource

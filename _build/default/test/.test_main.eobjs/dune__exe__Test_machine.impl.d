@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Dagsched Funit Helpers Latency List Pipeline Printf Reg Reservation Resource

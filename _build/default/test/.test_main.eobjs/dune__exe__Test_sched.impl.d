@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Ast Builder Codegen Dagsched Dyn_state Engine Fixup Helpers Heuristic Kernels List Opts Printf Published Schedule Verify

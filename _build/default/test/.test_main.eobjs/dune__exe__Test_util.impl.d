@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Dagsched Hashtbl Helpers List Option Prng Stats String Table

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Block Dagsched Float Gen Helpers Insn List Option Paper_data Parser Prng Profiles Summary Sweep

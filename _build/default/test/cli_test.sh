@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the schedtool CLI (wired into `dune runtest`).
+# $1 is the path to the built schedtool executable.
+set -eu
+
+TOOL="$1"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "CLI TEST FAILED: $1" >&2; exit 1; }
+
+# gen is deterministic and parseable by stats
+"$TOOL" gen -p grep > "$TMP/grep.s"
+"$TOOL" gen -p grep > "$TMP/grep2.s"
+cmp -s "$TMP/grep.s" "$TMP/grep2.s" || fail "gen not deterministic"
+
+# stats reproduces the calibrated Table-3 row exactly
+"$TOOL" stats "$TMP/grep.s" | grep -q "730 blocks, 1739 insns" \
+  || fail "stats: wrong grep structure"
+
+# build reports DAG structure for every algorithm
+for alg in n2-forward n2-backward table-forward table-backward landskov reach-backward; do
+  "$TOOL" build -a "$alg" "$TMP/grep.s" | grep -q "children/inst" \
+    || fail "build $alg produced no stats"
+done
+
+# schedule: every published algorithm emits valid output and a summary
+for sched in gibbons-muchnick krishnamurthy schlansker shieh-papachristou tiemann warren; do
+  "$TOOL" schedule -A "$sched" -q "$TMP/grep.s" 2> "$TMP/summary" \
+    || fail "schedule $sched failed"
+  grep -q "cycles ->" "$TMP/summary" || fail "schedule $sched: no summary"
+done
+
+# scheduled output still parses (round trip through stats)
+"$TOOL" schedule -A warren "$TMP/grep.s" 2>/dev/null > "$TMP/warren.s"
+"$TOOL" stats "$TMP/warren.s" | grep -q "1739 insns" \
+  || fail "scheduled output does not round trip"
+
+# emission for a delayed-branch machine reports slot accounting
+"$TOOL" schedule -A gibbons-muchnick -e -q "$TMP/grep.s" 2> "$TMP/emit" \
+  || fail "emit failed"
+grep -q "delay slots:" "$TMP/emit" || fail "emit: no slot accounting"
+
+# compare prints both tables
+"$TOOL" compare "$TMP/grep.s" > "$TMP/cmp"
+grep -q "schedulers" "$TMP/cmp" || fail "compare: no scheduler table"
+grep -q "builders" "$TMP/cmp" || fail "compare: no builder table"
+grep -q "Gibbons & Muchnick" "$TMP/cmp" || fail "compare: missing algorithm"
+
+# dot export is well-formed
+printf 'ld [%%fp - 8], %%o1\nadd %%o1, 1, %%o2\n' > "$TMP/tiny.s"
+"$TOOL" dot "$TMP/tiny.s" | grep -q "digraph dag" || fail "dot: no digraph"
+"$TOOL" dot "$TMP/tiny.s" | grep -q "RAW 2" || fail "dot: no arc label"
+
+# optimal on a tiny block is exhaustive
+printf 'ld [%%fp - 8], %%o1\nadd %%o1, 1, %%o2\nadd %%o3, 1, %%o4\n' > "$TMP/opt.s"
+"$TOOL" optimal "$TMP/opt.s" | grep -q "true" || fail "optimal: not exhaustive"
+
+# gantt renders a completion line
+"$TOOL" gantt "$TMP/tiny.s" | grep -q "completion:" || fail "gantt: no completion"
+
+# chain reports cycles in both modes
+"$TOOL" chain "$TMP/tiny.s" 2>&1 >/dev/null | grep -q "local latencies" \
+  || fail "chain: local summary"
+"$TOOL" chain -g "$TMP/tiny.s" 2>&1 >/dev/null | grep -q "inherited latencies" \
+  || fail "chain: inherited summary"
+
+# parse errors are reported with a line number and a nonzero exit
+if printf 'frobnicate %%o1\n' | "$TOOL" stats - 2> "$TMP/err"; then
+  fail "parse error not detected"
+fi
+grep -q "line 1" "$TMP/err" || fail "parse error lacks line number"
+
+echo "CLI TESTS OK"

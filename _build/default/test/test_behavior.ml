@@ -1,0 +1,248 @@
+(** Behavioral tests: each published algorithm's signature move on a block
+    crafted to trigger it, plus engine edge cases. *)
+
+open Dagsched
+open Helpers
+
+let deep = { Opts.default with Opts.model = Latency.deep_fp }
+
+let position order node =
+  let pos = ref (-1) in
+  Array.iteri (fun p x -> if x = node then pos := p) order;
+  !pos
+
+(* ------------------------------------------------------------------ *)
+(* Gibbons & Muchnick: interlock avoidance *)
+
+let test_gm_avoids_interlock () =
+  (* after issuing the load, its consumer would interlock; the independent
+     add is preferred for the next slot *)
+  let block =
+    block_of_asm "ld [%fp - 8], %o1\nadd %o1, 1, %o2\nadd %o3, 1, %o4"
+  in
+  let s = Published.run Published.gibbons_muchnick block in
+  Alcotest.(check (array int)) "load, filler, consumer" [| 0; 2; 1 |]
+    s.Schedule.order
+
+let test_gm_prefers_interlocking_children_first () =
+  (* both loads are ready; the one whose child interlocks sooner is not
+     distinguished here, but a load (interlock with child) is preferred
+     over a plain add when both are ready *)
+  let block =
+    block_of_asm "add %o5, 1, %l0\nld [%fp - 8], %o1\nadd %o1, 1, %o2"
+  in
+  let s = Published.run Published.gibbons_muchnick block in
+  check_int "load scheduled first" 1 s.Schedule.order.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Krishnamurthy: earliest time + fpu busy + critical path, with fixup *)
+
+let test_krishnamurthy_fpu_interlock_avoidance () =
+  (* two divides and independent adds: after the first divide the second
+     would wait on the busy non-pipelined unit, so the adds flow first *)
+  let block =
+    block_of_asm
+      "fdivd %f0, %f2, %f4\nfdivd %f6, %f8, %f10\nadd %o1, 1, %o2\nadd %o3, 1, %o4"
+  in
+  let s = Published.run ~opts:deep Published.krishnamurthy block in
+  check_bool "a divide first (critical path)" true
+    (s.Schedule.order.(0) = 0 || s.Schedule.order.(0) = 1);
+  (* the other divide must NOT be second: the unit is busy *)
+  check_bool "adds fill the busy-unit shadow" true
+    (s.Schedule.order.(1) = 2 || s.Schedule.order.(1) = 3)
+
+let test_krishnamurthy_fixup_engages () =
+  (* the heuristic pass can leave a bubble the fixup then fills; at
+     minimum the fixup never loses cycles *)
+  let b = random_block 60606 in
+  let opts = { Opts.default with Opts.strategy = Disambiguate.Symbolic } in
+  let dag = Builder.build Builder.Table_forward opts b in
+  let spec = Published.krishnamurthy in
+  let no_fixup = { spec with Published.postpass_fixup = false } in
+  let with_f = Published.run_on_dag spec dag in
+  let without = Published.run_on_dag no_fixup dag in
+  check_bool "fixup no worse" true
+    (Schedule.cycles with_f <= Schedule.cycles without)
+
+(* ------------------------------------------------------------------ *)
+(* Schlansker: slack-driven backward scheduling *)
+
+let test_schlansker_zero_slack_first () =
+  (* the divide chain is the critical path (slack 0); the independent add
+     has plenty of slack and is pushed off the critical path *)
+  let block =
+    block_of_asm "fdivd %f0, %f2, %f4\nfaddd %f4, %f6, %f8\nadd %o1, 1, %o2"
+  in
+  let s = Published.run ~opts:deep Published.schlansker block in
+  check_bool "critical chain stays in front" true
+    (position s.Schedule.order 0 < position s.Schedule.order 2)
+
+let test_schlansker_respects_chain () =
+  let block = block_of_asm "mov 1, %o1\nadd %o1, 1, %o2\nadd %o2, 1, %o3" in
+  let s = Published.run Published.schlansker block in
+  Alcotest.(check (array int)) "chain order" [| 0; 1; 2 |] s.Schedule.order
+
+(* ------------------------------------------------------------------ *)
+(* Shieh & Papachristou: max delay to leaf first *)
+
+let test_sp_longest_delay_first () =
+  let block =
+    block_of_asm "add %o1, 1, %o2\nfdivd %f0, %f2, %f4\nfaddd %f4, %f6, %f8"
+  in
+  let s = Published.run ~opts:deep Published.shieh_papachristou block in
+  check_int "divide (25-cycle path) first" 1 s.Schedule.order.(0)
+
+let test_sp_execution_time_tiebreak () =
+  (* equal delay-to-leaf paths; the longer-running op goes first *)
+  let block = block_of_asm "add %o1, 1, %o2\nld [%fp - 8], %o3" in
+  let s = Published.run Published.shieh_papachristou block in
+  check_int "load (exec 2) before add (exec 1)" 1 s.Schedule.order.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Tiemann: backward pass with the birthing boost *)
+
+let test_tiemann_birthing_shortens_lifetime () =
+  (* v is born by node 0 and used late by node 3; w born by 1, used by 2.
+     Scheduling backward, after picking the store chain Tiemann boosts the
+     RAW parent of the last scheduled node, pulling definitions next to
+     their uses and shortening lifetimes. *)
+  let block =
+    block_of_asm
+      "mov 1, %o1\nmov 2, %o2\nadd %o2, 1, %o3\nadd %o1, 1, %o4\nst %o3, [%fp - 8]\nst %o4, [%fp - 16]"
+  in
+  let s = Published.run Published.tiemann block in
+  check_bool "valid" true (Verify.is_valid s);
+  (* the birthing boost pulls a value's definition right next to its use:
+     scheduling backward from the store of o3 (node 4), its RAW parent
+     (node 2) is boosted and lands immediately before it *)
+  check_int "def of o3 immediately before its store" 1
+    (position s.Schedule.order 4 - position s.Schedule.order 2)
+
+let test_tiemann_critical_path_primary () =
+  let block =
+    block_of_asm "fdivd %f0, %f2, %f4\nstdf %f4, [%fp - 8]\nadd %o1, 1, %o2"
+  in
+  let s = Published.run ~opts:deep Published.tiemann block in
+  check_bool "divide before independent add" true
+    (position s.Schedule.order 0 < position s.Schedule.order 2)
+
+(* ------------------------------------------------------------------ *)
+(* Warren: EET first, alternate type second *)
+
+let test_warren_alternates_classes () =
+  (* independent int and fp pairs: after an int op, the fp op is preferred
+     over the second int op *)
+  let block =
+    block_of_asm
+      "add %o1, 1, %o2\nadd %o3, 1, %o4\nfaddd %f0, %f2, %f4\nfaddd %f6, %f8, %f10"
+  in
+  let s = Published.run ~opts:deep Published.warren block in
+  let classes =
+    Array.map
+      (fun i -> Opcode.is_fp (Dag.insn s.Schedule.dag i).Insn.op)
+      s.Schedule.order
+  in
+  (* strict alternation: adjacent instructions come from different classes
+     (the starting class falls out of the delay-to-leaf ranking) *)
+  for i = 0 to Array.length classes - 2 do
+    check_bool "adjacent classes differ" true (classes.(i) <> classes.(i + 1))
+  done
+
+let test_warren_eet_dominates_alternation () =
+  (* the fp op depends on a load: EET keeps it out until ready even though
+     alternation would prefer it *)
+  let block =
+    block_of_asm
+      "lddf [%fp - 8], %f0\nfaddd %f0, %f2, %f4\nadd %o1, 1, %o2\nadd %o3, 1, %o4"
+  in
+  let s = Published.run ~opts:deep Published.warren block in
+  check_bool "dependent fp op not second" true (s.Schedule.order.(1) <> 1)
+
+(* ------------------------------------------------------------------ *)
+(* engine edge cases *)
+
+let test_priority_fn_differs_from_winnowing () =
+  (* priority functions trade rank dominance for magnitude: a large
+     secondary value can outweigh a small primary difference.  Construct:
+     candidate A: slightly better primary; candidate B: hugely better
+     secondary.  Winnowing picks A; priority-fn picks B. *)
+  let block =
+    block_of_asm
+      "fdivd %f0, %f2, %f4\nld [%fp - 8], %o1\nadd %o5, 1, %l0\nfaddd %f4, %f6, %f8\nadd %o1, 1, %o2"
+  in
+  let opts = deep in
+  let dag = Builder.build Builder.Table_forward opts block in
+  let annot = Static_pass.compute dag in
+  let keys =
+    [ Engine.key Heuristic.Execution_time;
+      Engine.key Heuristic.Max_delay_to_leaf ]
+  in
+  let w =
+    Engine.run { Engine.direction = Dyn_state.Forward; mode = Engine.Winnowing; keys }
+      ~annot dag
+  in
+  let p =
+    Engine.run { Engine.direction = Dyn_state.Forward; mode = Engine.Priority_fn; keys }
+      ~annot dag
+  in
+  check_bool "both valid" true
+    (Verify.is_valid (Schedule.make dag w) && Verify.is_valid (Schedule.make dag p))
+
+let test_seeded_run_defers_pending_user () =
+  let dag =
+    Builder.build Builder.Table_forward deep
+      (block_of_asm "faddd %f4, %f6, %f8\nadd %o1, 1, %o2")
+  in
+  let annot = Static_pass.compute dag in
+  let config =
+    { Engine.direction = Dyn_state.Forward; mode = Engine.Winnowing;
+      keys = [ Engine.key Heuristic.Earliest_execution_time ] }
+  in
+  let seed st =
+    Dyn_state.seed st
+      ~pending:[ (Resource.R (Reg.float 4), 10) ]
+      ~unit_busy:(Array.make Funit.count 0)
+  in
+  let order = Engine.run ~seed config ~annot dag in
+  Alcotest.(check (array int)) "pending user deferred" [| 1; 0 |] order
+
+let test_forest_scheduling () =
+  (* two independent chains interleave by critical-path length *)
+  let block =
+    block_of_asm
+      "fdivd %f0, %f2, %f4\nstdf %f4, [%fp - 8]\nmov 1, %o1\nst %o1, [%fp - 16]"
+  in
+  let dag = Builder.build Builder.Table_forward deep block in
+  check_int "two trees" 2 (Dag.forest_size dag);
+  let s = Published.run_on_dag Published.shieh_papachristou dag in
+  check_bool "valid across the forest" true (Verify.is_valid s)
+
+let test_all_algorithms_on_empty_and_singleton () =
+  List.iter
+    (fun spec ->
+      let empty = block_of_asm "" in
+      let s = Published.run spec empty in
+      check_int (spec.Published.name ^ " empty") 0 (Array.length s.Schedule.order);
+      let one = block_of_asm "nop" in
+      let s = Published.run spec one in
+      Alcotest.(check (array int)) (spec.Published.name ^ " singleton") [| 0 |]
+        s.Schedule.order)
+    Published.all
+
+let suite =
+  [ quick "G&M avoids interlock" test_gm_avoids_interlock;
+    quick "G&M interlocking child first" test_gm_prefers_interlocking_children_first;
+    quick "Krishnamurthy fpu busy" test_krishnamurthy_fpu_interlock_avoidance;
+    quick "Krishnamurthy fixup engages" test_krishnamurthy_fixup_engages;
+    quick "Schlansker zero slack first" test_schlansker_zero_slack_first;
+    quick "Schlansker respects chain" test_schlansker_respects_chain;
+    quick "S&P longest delay first" test_sp_longest_delay_first;
+    quick "S&P execution time tiebreak" test_sp_execution_time_tiebreak;
+    quick "Tiemann birthing" test_tiemann_birthing_shortens_lifetime;
+    quick "Tiemann critical path" test_tiemann_critical_path_primary;
+    quick "Warren alternates classes" test_warren_alternates_classes;
+    quick "Warren EET dominates" test_warren_eet_dominates_alternation;
+    quick "priority fn vs winnowing" test_priority_fn_differs_from_winnowing;
+    quick "seeded run defers pending" test_seeded_run_defers_pending_user;
+    quick "forest scheduling" test_forest_scheduling;
+    quick "empty and singleton" test_all_algorithms_on_empty_and_singleton ]

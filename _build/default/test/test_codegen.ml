@@ -1,0 +1,111 @@
+(** Mini-language compiler tests. *)
+
+open Dagsched
+open Helpers
+
+let test_iassign () =
+  let insns = Codegen.compile { Ast.name = "t"; body = [ Ast.Iassign ("x", Ast.ic 5) ] } in
+  check_bool "emits something" true (List.length insns >= 1);
+  check_bool "ends with mov into x's register" true
+    (List.exists (fun i -> i.Insn.op = Opcode.Mov) insns)
+
+let test_fbin_chain () =
+  let p =
+    { Ast.name = "t";
+      body = [ Ast.Fassign ("y", Ast.(fv "a" *. fv "b" +. fv "c")) ] }
+  in
+  let insns = Codegen.compile p in
+  check_bool "has fmuld" true (List.exists (fun i -> i.Insn.op = Opcode.Fmuld) insns);
+  check_bool "has faddd" true (List.exists (fun i -> i.Insn.op = Opcode.Faddd) insns)
+
+let test_const_index_folds () =
+  let p =
+    { Ast.name = "t";
+      body = [ Ast.Fassign ("y", Ast.elem "arr" (Ast.ic 3)) ] }
+  in
+  let insns = Codegen.compile p in
+  let load = List.find (fun i -> i.Insn.op = Opcode.Lddf) insns in
+  match Insn.memory_expr load with
+  | Some { Mem_expr.base = Mem_expr.Bsym "arr"; offset = 24 } -> ()
+  | _ -> Alcotest.fail "expected [arr + 24]"
+
+let test_dynamic_index_computes_address () =
+  let p =
+    { Ast.name = "t";
+      body = [ Ast.Fassign ("y", Ast.elem "arr" (Ast.iv "i")) ] }
+  in
+  let insns = Codegen.compile p in
+  check_bool "shift for scaling" true (List.exists (fun i -> i.Insn.op = Opcode.Sll) insns);
+  check_bool "sethi for base" true (List.exists (fun i -> i.Insn.op = Opcode.Sethi) insns)
+
+let test_loop_structure () =
+  let p =
+    { Ast.name = "t";
+      body = [ Ast.For ("i", 0, 8, [ Ast.Iassign ("s", Ast.(iv "s" +: iv "i")) ]) ] }
+  in
+  let insns = Codegen.compile p in
+  check_bool "has cmp" true (List.exists (fun i -> i.Insn.op = Opcode.Cmp) insns);
+  check_bool "has branch" true (List.exists (fun i -> i.Insn.op = Opcode.Bl) insns);
+  check_bool "has label" true (List.exists (fun i -> i.Insn.label <> None) insns);
+  check_bool "delay slot nop" true (List.exists (fun i -> i.Insn.op = Opcode.Nop) insns)
+
+let test_unroll_grows_blocks () =
+  let blocks u = Codegen.compile_to_blocks ~unroll:u Kernels.daxpy in
+  let max_block u =
+    List.fold_left (fun acc b -> max acc (Block.length b)) 0 (blocks u)
+  in
+  check_bool "unrolled blocks larger" true (max_block 8 > max_block 1)
+
+let test_kernels_compile_and_partition () =
+  List.iter
+    (fun k ->
+      let insns = Codegen.compile k in
+      check_bool (k.Ast.name ^ " nonempty") true (insns <> []);
+      let blocks = Codegen.compile_to_blocks k in
+      check_bool (k.Ast.name ^ " has blocks") true (blocks <> []);
+      (* compiled output must be parseable after printing *)
+      let text = Parser.print_program insns in
+      check_int
+        (k.Ast.name ^ " round trips")
+        (List.length insns)
+        (List.length (Parser.parse_program text)))
+    Kernels.all
+
+let test_figure1_kernel_shape () =
+  (* the figure1 kernel compiles to a divide followed by adds with the
+     WAR-recycled register *)
+  let insns = Codegen.compile Kernels.figure1 in
+  check_bool "has fdivd" true (List.exists (fun i -> i.Insn.op = Opcode.Fdivd) insns);
+  check_int "two faddd" 2
+    (List.length (List.filter (fun i -> i.Insn.op = Opcode.Faddd) insns))
+
+let test_too_many_variables () =
+  let body =
+    List.init 20 (fun i -> Ast.Iassign (Printf.sprintf "v%d" i, Ast.ic i))
+  in
+  match Codegen.compile { Ast.name = "t"; body } with
+  | exception Codegen.Too_many_variables _ -> ()
+  | _ -> Alcotest.fail "expected Too_many_variables"
+
+let test_compiled_code_schedules () =
+  (* end to end: compile, build DAG, schedule, verify, and win cycles *)
+  let blocks = Codegen.compile_to_blocks ~unroll:4 Kernels.livermore1 in
+  let big = List.fold_left (fun a b -> if Block.length b > Block.length a then b else a) (List.hd blocks) blocks in
+  let opts = { Opts.default with Opts.model = Latency.deep_fp } in
+  let dag = Builder.build Builder.Table_forward opts big in
+  let s = Ds_sched.Published.run_on_dag Published.krishnamurthy dag in
+  check_bool "valid" true (Verify.is_valid s);
+  check_bool "no worse than original" true
+    (Schedule.cycles s <= Schedule.original_cycles s)
+
+let suite =
+  [ quick "iassign" test_iassign;
+    quick "fbin chain" test_fbin_chain;
+    quick "const index folds" test_const_index_folds;
+    quick "dynamic index computes address" test_dynamic_index_computes_address;
+    quick "loop structure" test_loop_structure;
+    quick "unroll grows blocks" test_unroll_grows_blocks;
+    quick "kernels compile and partition" test_kernels_compile_and_partition;
+    quick "figure 1 kernel shape" test_figure1_kernel_shape;
+    quick "too many variables" test_too_many_variables;
+    quick "compiled code schedules" test_compiled_code_schedules ]

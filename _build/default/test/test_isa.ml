@@ -1,0 +1,257 @@
+(** ISA tests: registers, memory expressions, resources, opcodes,
+    def/use extraction and the parser/printer round trip. *)
+
+open Dagsched
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* registers *)
+
+let test_reg_names () =
+  check_string "g0" "%g0" (Reg.to_string (Reg.int 0));
+  check_string "o3" "%o3" (Reg.to_string (Reg.int 11));
+  check_string "l5" "%l5" (Reg.to_string (Reg.int 21));
+  check_string "i2" "%i2" (Reg.to_string (Reg.int 26));
+  check_string "sp alias" "%sp" (Reg.to_string (Reg.int 14));
+  check_string "fp alias" "%fp" (Reg.to_string (Reg.int 30));
+  check_string "f17" "%f17" (Reg.to_string (Reg.float 17))
+
+let test_reg_roundtrip () =
+  for i = 0 to 31 do
+    let r = Reg.int i in
+    check_bool "int round trip" true (Reg.equal r (Reg.of_string (Reg.to_string r)));
+    let f = Reg.float i in
+    check_bool "float round trip" true (Reg.equal f (Reg.of_string (Reg.to_string f)))
+  done
+
+let test_reg_special () =
+  check_bool "g0 is zero" true (Reg.is_zero Reg.g0);
+  check_bool "o1 not zero" false (Reg.is_zero (Reg.int 9));
+  check_bool "sp stack base" true (Reg.is_stack_base Reg.sp);
+  check_bool "fp stack base" true (Reg.is_stack_base Reg.fp);
+  check_bool "o0 not stack base" false (Reg.is_stack_base (Reg.int 8))
+
+let test_reg_pairs () =
+  (match Reg.pair_partner (Reg.float 2) with
+  | Some r -> check_string "f2 partner" "%f3" (Reg.to_string r)
+  | None -> Alcotest.fail "f2 should have a partner");
+  (match Reg.pair_partner (Reg.int 8) with
+  | Some r -> check_string "o0 partner" "%o1" (Reg.to_string r)
+  | None -> Alcotest.fail "o0 should have a partner");
+  check_bool "odd reg has no partner" true (Reg.pair_partner (Reg.float 3) = None)
+
+(* ------------------------------------------------------------------ *)
+(* memory expressions *)
+
+let test_mem_expr_strings () =
+  check_string "fp-8" "[%fp - 8]"
+    (Mem_expr.to_string (Mem_expr.make_reg ~offset:(-8) Reg.fp));
+  check_string "o1+4" "[%o1 + 4]"
+    (Mem_expr.to_string (Mem_expr.make_reg ~offset:4 (Reg.int 9)));
+  check_string "sym" "[x]" (Mem_expr.to_string (Mem_expr.make_sym "x"));
+  check_string "sym+12" "[tbl + 12]"
+    (Mem_expr.to_string (Mem_expr.make_sym ~offset:12 "tbl"))
+
+let test_storage_classes () =
+  let stack = Mem_expr.make_reg ~offset:(-8) Reg.fp in
+  let global = Mem_expr.make_sym "x" in
+  let pointer = Mem_expr.make_reg ~offset:4 (Reg.int 9) in
+  check_bool "stack" true (Mem_expr.storage_class stack = Mem_expr.Stack);
+  check_bool "global" true (Mem_expr.storage_class global = Mem_expr.Global);
+  check_bool "pointer unknown" true
+    (Mem_expr.storage_class pointer = Mem_expr.Unknown)
+
+let test_same_base_different_offset () =
+  let a = Mem_expr.make_reg ~offset:(-8) Reg.fp in
+  let b = Mem_expr.make_reg ~offset:(-16) Reg.fp in
+  check_bool "same base diff offset" true (Mem_expr.same_base_different_offset a b);
+  check_bool "not for same expr" false (Mem_expr.same_base_different_offset a a)
+
+(* ------------------------------------------------------------------ *)
+(* opcodes *)
+
+let test_opcode_roundtrip () =
+  List.iter
+    (fun op ->
+      match Opcode.of_string (Opcode.to_string op) with
+      | Some op' -> check_bool (Opcode.to_string op) true (op = op')
+      | None -> Alcotest.failf "opcode %s did not round trip" (Opcode.to_string op))
+    Opcode.all
+
+let test_opcode_classes () =
+  check_bool "add is ialu" true (Opcode.cls Opcode.Add = Opcode.C_ialu);
+  check_bool "ld is load" true (Opcode.is_load Opcode.Ld);
+  check_bool "stdf is store" true (Opcode.is_store Opcode.Stdf);
+  check_bool "fdivd is fpdiv" true (Opcode.cls Opcode.Fdivd = Opcode.C_fpdiv);
+  check_bool "be is branch" true (Opcode.is_branch Opcode.Be);
+  check_bool "call is call" true (Opcode.is_call Opcode.Call);
+  check_bool "save alters window" true (Opcode.alters_window Opcode.Save);
+  check_bool "cmp sets icc" true (Opcode.sets_icc Opcode.Cmp);
+  check_bool "fcmpd sets fcc" true (Opcode.sets_fcc Opcode.Fcmpd);
+  check_bool "bne reads icc" true (Opcode.reads_icc Opcode.Bne);
+  check_bool "fble reads fcc" true (Opcode.reads_fcc Opcode.Fble);
+  check_bool "lddf doubleword" true (Opcode.is_doubleword Opcode.Lddf)
+
+(* ------------------------------------------------------------------ *)
+(* def/use extraction *)
+
+let res_strings rs = List.map Resource.to_string rs |> List.sort compare
+
+let test_alu_defs_uses () =
+  let insn = List.hd (parse "add %o1, %o2, %o3") in
+  Alcotest.(check (list string)) "defs" [ "%o3" ] (res_strings (Insn.defs insn));
+  Alcotest.(check (list string)) "uses" [ "%o1"; "%o2" ] (res_strings (Insn.uses insn))
+
+let test_g0_not_a_resource () =
+  let insn = List.hd (parse "add %g0, %o2, %g0") in
+  Alcotest.(check (list string)) "defs" [] (res_strings (Insn.defs insn));
+  Alcotest.(check (list string)) "uses" [ "%o2" ] (res_strings (Insn.uses insn))
+
+let test_cc_defs_uses () =
+  let cmp = List.hd (parse "cmp %o1, %o2") in
+  check_bool "cmp defines icc" true (List.mem Resource.Icc (Insn.defs cmp));
+  check_bool "cmp has no reg defs" true
+    (not (List.exists Resource.is_register (Insn.defs cmp)));
+  let subcc = List.hd (parse "subcc %o1, %o2, %o3") in
+  check_bool "subcc defines icc" true (List.mem Resource.Icc (Insn.defs subcc));
+  check_bool "subcc defines o3" true
+    (List.mem (Resource.R (Reg.int 11)) (Insn.defs subcc));
+  let be = List.hd (parse "be target") in
+  check_bool "be uses icc" true (List.mem Resource.Icc (Insn.uses be));
+  let fcmp = List.hd (parse "fcmpd %f0, %f2") in
+  check_bool "fcmpd defines fcc" true (List.mem Resource.Fcc (Insn.defs fcmp));
+  let fbe = List.hd (parse "fbe target") in
+  check_bool "fbe uses fcc" true (List.mem Resource.Fcc (Insn.uses fbe))
+
+let test_y_register () =
+  let smul = List.hd (parse "smul %o1, %o2, %o3") in
+  check_bool "smul defines y" true (List.mem Resource.Y (Insn.defs smul));
+  let sdiv = List.hd (parse "sdiv %o1, %o2, %o3") in
+  check_bool "sdiv uses y" true (List.mem Resource.Y (Insn.uses sdiv))
+
+let test_load_defs_uses () =
+  let ld = List.hd (parse "ld [%fp - 8], %o1") in
+  check_bool "ld defines o1" true (List.mem (Resource.R (Reg.int 9)) (Insn.defs ld));
+  check_bool "ld uses fp" true (List.mem (Resource.R Reg.fp) (Insn.uses ld));
+  check_bool "ld uses mem expr" true
+    (List.exists (function Resource.Mem _ -> true | _ -> false) (Insn.uses ld))
+
+let test_store_defs_uses () =
+  let st = List.hd (parse "st %o2, [%o1 + 4]") in
+  check_bool "st defines mem" true
+    (List.exists (function Resource.Mem _ -> true | _ -> false) (Insn.defs st));
+  check_bool "st uses o2" true (List.mem (Resource.R (Reg.int 10)) (Insn.uses st));
+  check_bool "st uses base o1" true (List.mem (Resource.R (Reg.int 9)) (Insn.uses st));
+  check_bool "st defines no register" true
+    (not (List.exists Resource.is_register (Insn.defs st)))
+
+let test_doubleword_load_pair () =
+  let lddf = List.hd (parse "lddf [%fp - 16], %f4") in
+  check_bool "defines f4" true (List.mem (Resource.R (Reg.float 4)) (Insn.defs lddf));
+  check_bool "defines f5 (pair)" true
+    (List.mem (Resource.R (Reg.float 5)) (Insn.defs lddf));
+  (* double-word reference touches the expression and the next word *)
+  let mems =
+    List.filter (function Resource.Mem _ -> true | _ -> false) (Insn.uses lddf)
+  in
+  check_int "two memory words" 2 (List.length mems)
+
+let test_doubleword_store_pair () =
+  let stdf = List.hd (parse "stdf %f6, [%fp - 24]") in
+  check_bool "uses f6" true (List.mem (Resource.R (Reg.float 6)) (Insn.uses stdf));
+  check_bool "uses f7 (pair)" true (List.mem (Resource.R (Reg.float 7)) (Insn.uses stdf));
+  let mems =
+    List.filter (function Resource.Mem _ -> true | _ -> false) (Insn.defs stdf)
+  in
+  check_int "defines two memory words" 2 (List.length mems)
+
+let test_use_positions () =
+  let insn = List.hd (parse "fsubd %f0, %f2, %f4") in
+  let positions = Insn.uses_with_pos insn in
+  check_int "two sources" 2 (List.length positions);
+  check_bool "first source position 0" true
+    (List.exists (fun (r, p) -> Resource.equal r (Resource.R (Reg.float 0)) && p = 0) positions);
+  check_bool "second source position 1" true
+    (List.exists (fun (r, p) -> Resource.equal r (Resource.R (Reg.float 2)) && p = 1) positions)
+
+let test_call_conservative () =
+  let call = List.hd (parse "call foo") in
+  check_bool "call defines memory" true (List.mem Resource.Mem_all (Insn.defs call));
+  check_bool "call uses memory" true (List.mem Resource.Mem_all (Insn.uses call));
+  check_bool "call defines o7" true (List.mem (Resource.R (Reg.int 15)) (Insn.defs call))
+
+(* ------------------------------------------------------------------ *)
+(* parser / printer *)
+
+let test_parse_simple () =
+  let insns = parse "add %o1, %o2, %o3\nld [%fp - 8], %o1" in
+  check_int "two insns" 2 (List.length insns);
+  check_bool "first is add" true ((List.hd insns).Insn.op = Opcode.Add)
+
+let test_parse_labels_and_comments () =
+  let insns = parse "loop:\n  add %o1, 1, %o1 ! increment\n  bne loop # again" in
+  check_int "two insns" 2 (List.length insns);
+  check_bool "label attached" true ((List.hd insns).Insn.label = Some "loop")
+
+let test_parse_annul () =
+  let insns = parse "be,a done" in
+  check_bool "annul bit" true (List.hd insns).Insn.annul
+
+let test_parse_memory_forms () =
+  let forms =
+    [ "ld [%fp - 8], %o1"; "ld [%o1 + 4], %o2"; "ld [x], %o3";
+      "ld [tbl + 12], %o4"; "ld [%sp], %o5" ]
+  in
+  List.iter
+    (fun s ->
+      let insn = List.hd (parse s) in
+      check_bool s true (Insn.memory_expr insn <> None))
+    forms
+
+let test_parse_errors () =
+  let bad = [ "frobnicate %o1"; "add %q1, %o2, %o3"; "ld [%fp - 8, %o1" ] in
+  List.iter
+    (fun s ->
+      match Parser.parse_program_result s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error for %S" s)
+    bad
+
+let test_roundtrip_program () =
+  let text = "start:\n\tld [%fp - 8], %o1\n\tadd %o1, 4, %o2\n\tcmp %o2, 10\n\tbe,a start\n\tnop\n" in
+  let insns = parse text in
+  let printed = Parser.print_program insns in
+  let reparsed = parse printed in
+  check_int "same length" (List.length insns) (List.length reparsed);
+  List.iter2
+    (fun a b ->
+      check_bool "equal insns" true (Insn.equal_ignoring_index a b);
+      check_bool "equal labels" true (a.Insn.label = b.Insn.label))
+    insns reparsed
+
+let suite =
+  [ quick "reg names" test_reg_names;
+    quick "reg round trip" test_reg_roundtrip;
+    quick "reg special" test_reg_special;
+    quick "reg pairs" test_reg_pairs;
+    quick "mem expr strings" test_mem_expr_strings;
+    quick "storage classes" test_storage_classes;
+    quick "same base different offset" test_same_base_different_offset;
+    quick "opcode round trip" test_opcode_roundtrip;
+    quick "opcode classes" test_opcode_classes;
+    quick "alu defs/uses" test_alu_defs_uses;
+    quick "g0 not a resource" test_g0_not_a_resource;
+    quick "cc defs/uses" test_cc_defs_uses;
+    quick "y register" test_y_register;
+    quick "load defs/uses" test_load_defs_uses;
+    quick "store defs/uses" test_store_defs_uses;
+    quick "doubleword load pair" test_doubleword_load_pair;
+    quick "doubleword store pair" test_doubleword_store_pair;
+    quick "use positions" test_use_positions;
+    quick "call conservative" test_call_conservative;
+    quick "parse simple" test_parse_simple;
+    quick "parse labels and comments" test_parse_labels_and_comments;
+    quick "parse annul" test_parse_annul;
+    quick "parse memory forms" test_parse_memory_forms;
+    quick "parse errors" test_parse_errors;
+    quick "round trip program" test_roundtrip_program ]

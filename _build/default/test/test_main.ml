@@ -1,0 +1,19 @@
+(** Test runner: all suites. *)
+
+let () =
+  Alcotest.run "dagsched"
+    [ ("util", Test_util.suite);
+      ("isa", Test_isa.suite);
+      ("machine", Test_machine.suite);
+      ("cfg", Test_cfg.suite);
+      ("dag", Test_dag.suite);
+      ("heuristics", Test_heur.suite);
+      ("scheduling", Test_sched.suite);
+      ("workload", Test_workload.suite);
+      ("codegen", Test_codegen.suite);
+      ("interp", Test_interp.suite);
+      ("extensions", Test_extensions.suite);
+      ("tools", Test_tools.suite);
+      ("behavior", Test_behavior.suite);
+      ("golden", Test_golden.suite);
+      ("properties", Test_props.suite) ]

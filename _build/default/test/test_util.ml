@@ -1,0 +1,137 @@
+(** Utility tests: PRNG determinism and distributions, bit sets, the
+    table printer, and the stats accumulator. *)
+
+open Dagsched
+open Helpers
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.int a 1_000_000 = Prng.int b 1_000_000 then incr same
+  done;
+  check_bool "streams differ" true (!same < 5)
+
+let test_prng_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 10 in
+    check_bool "in range" true (x >= 0 && x < 10);
+    let y = Prng.range rng 5 9 in
+    check_bool "range inclusive" true (y >= 5 && y <= 9);
+    let f = Prng.float rng in
+    check_bool "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_weighted () =
+  let rng = Prng.create 3 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 3000 do
+    let v = Prng.weighted rng [ (1.0, "a"); (9.0, "b") ] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let a = Option.value ~default:0 (Hashtbl.find_opt counts "a") in
+  let b = Option.value ~default:0 (Hashtbl.find_opt counts "b") in
+  check_bool "b dominates" true (b > 6 * a)
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 11 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_bitset_basics () =
+  let b = Bitset.create () in
+  check_bool "empty" true (Bitset.is_empty b);
+  Bitset.set b 3;
+  Bitset.set b 100;
+  check_bool "mem 3" true (Bitset.mem b 3);
+  check_bool "mem 100" true (Bitset.mem b 100);
+  check_bool "not mem 4" false (Bitset.mem b 4);
+  check_int "cardinal" 2 (Bitset.cardinal b);
+  Bitset.clear b 3;
+  check_bool "cleared" false (Bitset.mem b 3);
+  check_int "cardinal after clear" 1 (Bitset.cardinal b)
+
+let test_bitset_growth () =
+  let b = Bitset.create () in
+  Bitset.set b 10_000;
+  check_bool "grew" true (Bitset.mem b 10_000);
+  check_bool "low bits still clear" false (Bitset.mem b 0)
+
+let test_bitset_union () =
+  let a = Bitset.create () and b = Bitset.create () in
+  Bitset.set a 1;
+  Bitset.set b 2;
+  Bitset.set b 300;
+  Bitset.union_into ~into:a b;
+  check_bool "1" true (Bitset.mem a 1);
+  check_bool "2" true (Bitset.mem a 2);
+  check_bool "300" true (Bitset.mem a 300);
+  check_bool "b unchanged" false (Bitset.mem b 1)
+
+let test_bitset_subset_equal () =
+  let a = Bitset.create () and b = Bitset.create () in
+  Bitset.set a 5;
+  Bitset.set b 5;
+  Bitset.set b 7;
+  check_bool "subset" true (Bitset.subset a b);
+  check_bool "not superset" false (Bitset.subset b a);
+  check_bool "not equal" false (Bitset.equal a b);
+  Bitset.set a 7;
+  check_bool "equal now" true (Bitset.equal a b);
+  (* equality across different capacities *)
+  let c = Bitset.create () in
+  Bitset.set c 5;
+  Bitset.set c 7;
+  Bitset.set c 5000;
+  Bitset.clear c 5000;
+  check_bool "equal across capacities" true (Bitset.equal a c)
+
+let test_bitset_elements () =
+  let b = Bitset.create () in
+  List.iter (Bitset.set b) [ 9; 1; 64; 63 ];
+  Alcotest.(check (list int)) "sorted elements" [ 1; 9; 63; 64 ] (Bitset.elements b)
+
+let test_stats () =
+  let s = Stats.of_ints [ 1; 2; 3; 4 ] in
+  check_int "count" 4 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max_value s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "total" 10.0 (Stats.total s);
+  let empty = Stats.create () in
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Stats.mean empty)
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" [ "name"; "n" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let out = Table.render t in
+  check_bool "has title" true (String.length out > 0 && String.sub out 0 4 = "demo");
+  check_bool "has rule" true (String.contains out '-');
+  (* numeric right-alignment: " 1" under "n " *)
+  let lines = String.split_on_char '\n' out in
+  check_bool "enough lines" true (List.length lines >= 4)
+
+let suite =
+  [ quick "prng deterministic" test_prng_deterministic;
+    quick "prng seeds differ" test_prng_seeds_differ;
+    quick "prng bounds" test_prng_bounds;
+    quick "prng weighted" test_prng_weighted;
+    quick "prng shuffle permutes" test_prng_shuffle_permutes;
+    quick "bitset basics" test_bitset_basics;
+    quick "bitset growth" test_bitset_growth;
+    quick "bitset union" test_bitset_union;
+    quick "bitset subset/equal" test_bitset_subset_equal;
+    quick "bitset elements" test_bitset_elements;
+    quick "stats" test_stats;
+    quick "table render" test_table_render ]

@@ -1,0 +1,153 @@
+(** Workload tests: generator determinism, structural calibration against
+    Table 3, fpppp windowing, sweeps, and the embedded paper data. *)
+
+open Dagsched
+open Helpers
+
+let test_generator_deterministic () =
+  let gen () =
+    let rng = Prng.create 99 in
+    Gen.block rng ~params:Gen.fp_loops ~id:0 ~size:30 ()
+  in
+  let a = gen () and b = gen () in
+  check_int "same size" (Block.length a) (Block.length b);
+  Array.iteri
+    (fun i insn ->
+      check_bool "identical instructions" true
+        (Insn.equal_ignoring_index insn b.Block.insns.(i)))
+    a.Block.insns
+
+let test_block_size_exact () =
+  let rng = Prng.create 1 in
+  List.iter
+    (fun size ->
+      let b = Gen.block rng ~params:Gen.int_code ~id:0 ~size () in
+      check_int "exact size" size (Block.length b))
+    [ 1; 2; 3; 10; 100 ]
+
+let test_branch_tail () =
+  let rng = Prng.create 2 in
+  let b = Gen.block rng ~params:Gen.int_code ~id:0 ~size:10 () in
+  check_bool "int blocks end with a branch" true (Block.terminator b <> None);
+  let rng = Prng.create 2 in
+  let b = Gen.block rng ~params:Gen.fp_straightline ~id:0 ~size:10 () in
+  check_bool "straightline blocks do not" true (Block.terminator b = None)
+
+let test_mem_expr_cap () =
+  let rng = Prng.create 3 in
+  let params = { Gen.fp_loops with Gen.max_mem_exprs = 4 } in
+  let b = Gen.block rng ~params ~id:0 ~size:200 () in
+  check_bool "pool capped" true (Block.unique_mem_exprs b <= 4 + 3)
+  (* +3: double-word refs touch the next word, which is a distinct
+     expression outside the pool accounting *)
+
+let test_profiles_present () =
+  check_int "twelve profiles (Table 3 rows)" 12 (List.length Profiles.all);
+  List.iter
+    (fun (row : Paper_data.table3_row) ->
+      check_bool row.Paper_data.benchmark true
+        (Profiles.by_name row.Paper_data.benchmark <> None))
+    Paper_data.table3
+
+(* calibration: generated workloads match Table 3 within tolerance *)
+let close ~rel a b = Float.abs (a -. b) <= rel *. Float.max a b
+
+let test_calibration () =
+  List.iter
+    (fun p ->
+      let s = Profiles.summarize p in
+      let paper = p.Profiles.paper in
+      check_int
+        (p.Profiles.name ^ " block count")
+        paper.Paper_data.blocks s.Summary.blocks
+        |> ignore;
+      check_bool
+        (p.Profiles.name ^ " insts within 5%")
+        true
+        (close ~rel:0.05 (float_of_int s.Summary.insns)
+           (float_of_int paper.Paper_data.insts));
+      check_bool
+        (p.Profiles.name ^ " avg block size within 15%")
+        true
+        (close ~rel:0.15 s.Summary.insns_per_block_avg paper.Paper_data.ipb_avg))
+    (* windowed variants checked separately: their block counts derive
+       from the split *)
+    [ Profiles.grep; Profiles.regex; Profiles.dfa; Profiles.cccp;
+      Profiles.linpack; Profiles.lloops; Profiles.tomcatv; Profiles.nasa7;
+      Profiles.fpppp ]
+
+let test_max_block_exact () =
+  List.iter
+    (fun p ->
+      let s = Profiles.summarize p in
+      check_int
+        (p.Profiles.name ^ " max block size exact")
+        p.Profiles.paper.Paper_data.ipb_max s.Summary.insns_per_block_max)
+    Profiles.all
+
+let test_fpppp_windowing () =
+  let full = Profiles.summarize Profiles.fpppp in
+  List.iter
+    (fun (p, window) ->
+      let s = Profiles.summarize p in
+      check_int (p.Profiles.name ^ " window respected") window
+        s.Summary.insns_per_block_max;
+      check_int (p.Profiles.name ^ " same instructions") full.Summary.insns
+        s.Summary.insns;
+      check_bool (p.Profiles.name ^ " more blocks than full") true
+        (s.Summary.blocks > full.Summary.blocks))
+    [ (Profiles.fpppp_1000, 1000); (Profiles.fpppp_2000, 2000);
+      (Profiles.fpppp_4000, 4000) ]
+
+let test_profiles_deterministic () =
+  let a = Profiles.summarize Profiles.grep in
+  let b = Profiles.summarize Profiles.grep in
+  check_int "blocks" a.Summary.blocks b.Summary.blocks;
+  check_int "insts" a.Summary.insns b.Summary.insns
+
+let test_sweep () =
+  let blocks = Sweep.blocks ~sizes:[ 8; 64; 256 ] () in
+  check_int "three blocks" 3 (List.length blocks);
+  List.iter (fun (size, b) -> check_int "size" size (Block.length b)) blocks;
+  let b = Sweep.block 40 in
+  check_int "single block" 40 (Block.length b)
+
+let test_paper_data_shape () =
+  check_int "table 3 rows" 12 (List.length Paper_data.table3);
+  check_int "table 4 rows" 9 (List.length Paper_data.table4);
+  check_int "table 5 rows" 12 (List.length Paper_data.table5);
+  (* spot-check a few famous numbers *)
+  let fpppp1000_n2 = Option.get (Paper_data.table4_row "fpppp-1000") in
+  Alcotest.(check (float 1e-9)) "n2 on fpppp-1000: 1522 s" 1522.0
+    fpppp1000_n2.Paper_data.run_time;
+  let fpppp1000_tab = Option.get (Paper_data.table5_row "fpppp-1000") in
+  Alcotest.(check (float 1e-9)) "table on fpppp-1000: 23.2 s" 23.2
+    fpppp1000_tab.Paper_data.time_forward;
+  let tomcatv = Paper_data.table3_row "tomcatv" in
+  check_int "tomcatv max block" 326 tomcatv.Paper_data.ipb_max
+
+let test_generated_blocks_parse_roundtrip () =
+  (* generated blocks survive print -> parse *)
+  let b = random_block 2024 in
+  let text = Parser.print_program (Array.to_list b.Block.insns) in
+  let reparsed = Parser.parse_program text in
+  check_int "same length" (Block.length b) (List.length reparsed);
+  List.iteri
+    (fun i insn ->
+      check_bool "same insn" true
+        (Insn.equal_ignoring_index insn b.Block.insns.(i)))
+    reparsed
+
+let suite =
+  [ quick "generator deterministic" test_generator_deterministic;
+    quick "block size exact" test_block_size_exact;
+    quick "branch tail" test_branch_tail;
+    quick "mem expr cap" test_mem_expr_cap;
+    quick "profiles present" test_profiles_present;
+    quick "calibration" test_calibration;
+    quick "max block exact" test_max_block_exact;
+    quick "fpppp windowing" test_fpppp_windowing;
+    quick "profiles deterministic" test_profiles_deterministic;
+    quick "sweep" test_sweep;
+    quick "paper data shape" test_paper_data_shape;
+    quick "generated blocks parse round trip" test_generated_blocks_parse_roundtrip ]
