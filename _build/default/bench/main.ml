@@ -2,8 +2,10 @@
 
     Usage: [main.exe [experiment ...]] where experiment is one of
     [table1 table2 table3 table4 table5 figure1 pairing levels window
-    transitive schedulers micro].  With no arguments, everything runs in
-    order.
+    transitive schedulers parallel micro].  With no arguments, everything
+    runs in order.  [parallel] compares 1-domain and N-domain batch
+    scheduling and writes BENCH_parallel.json (domain count overridable
+    with DAGSCHED_BENCH_DOMAINS; DAGSCHED_BENCH_RUNS=1 for a smoke run).
 
     Timing methodology mirrors the paper's: each benchmark's full
     instruction-scheduling pipeline (DAG construction, intermediate
@@ -483,6 +485,89 @@ let schedulers () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* parallel batch driver: 1 domain vs N domains over the Table 4/5
+   workloads, with a machine-readable BENCH_parallel.json so the perf
+   trajectory is tracked across PRs *)
+
+let parallel () =
+  heading "Parallel batch scheduling: 1 domain vs N domains";
+  let recommended = Pool.recommended () in
+  let n_domains, domains_src =
+    match Sys.getenv_opt "DAGSCHED_BENCH_DOMAINS" with
+    | Some s -> (
+        try (max 1 (int_of_string s), "from DAGSCHED_BENCH_DOMAINS")
+        with _ -> (recommended, "recommended on this host"))
+    | None -> (recommended, "recommended on this host")
+  in
+  Printf.printf
+    "(full pipeline per block — table-forward construction, §6 heuristics,\n\
+    \ forward scheduling, verification — fanned out on a domain pool;\n\
+    \ mean of %d runs; %d domains %s)\n" runs n_domains domains_src;
+  let t =
+    Table.create ~title:""
+      [ "benchmark"; "blocks"; "insns"; "1-domain ms";
+        Printf.sprintf "%d-domain ms" n_domains; "speedup" ]
+  in
+  let workloads =
+    [ Profiles.linpack; Profiles.tomcatv; Profiles.fpppp_1000; Profiles.fpppp ]
+  in
+  let rows =
+    List.map
+      (fun profile ->
+        let blocks = Profiles.generate profile in
+        let seq_s, seq_results =
+          Stats.time_runs ~runs (fun () ->
+              Batch.run ~domains:1 Batch.section6 blocks)
+        in
+        let par_s, par_results =
+          Stats.time_runs ~runs (fun () ->
+              Batch.run ~domains:n_domains Batch.section6 blocks)
+        in
+        (* inline differential check: parallelism must not change results *)
+        List.iter2
+          (fun (a : Batch.result) (b : Batch.result) ->
+            assert (Batch.strip_timing a = Batch.strip_timing b))
+          seq_results par_results;
+        let report = Batch.report ~domains:n_domains ~wall_s:par_s par_results in
+        let speedup = seq_s /. Float.max 1e-9 par_s in
+        Table.add_row t
+          [ profile.Profiles.name; string_of_int report.Batch.blocks;
+            string_of_int report.Batch.insns;
+            Table.fmt_float (1000.0 *. seq_s); Table.fmt_float (1000.0 *. par_s);
+            Table.fmt_float speedup ];
+        (profile.Profiles.name, seq_s, par_s, speedup, report))
+      workloads
+  in
+  Table.print t;
+  let json =
+    Stats.Json.Obj
+      [ ("experiment", Stats.Json.String "parallel");
+        ("runs", Stats.Json.Int runs);
+        ("domains", Stats.Json.Int n_domains);
+        ( "workloads",
+          Stats.Json.List
+            (List.map
+               (fun (name, seq_s, par_s, speedup, report) ->
+                 Stats.Json.Obj
+                   [ ("workload", Stats.Json.String name);
+                     ("seq_s", Stats.Json.Float seq_s);
+                     ("par_s", Stats.Json.Float par_s);
+                     ("speedup", Stats.Json.Float speedup);
+                     ("report", Batch.report_to_json report) ])
+               rows) ) ]
+  in
+  let path = "BENCH_parallel.json" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Stats.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path;
+  if recommended = 1 then
+    Printf.printf
+      "(single-core host: the fan-out path is exercised but no speedup is\n\
+      \ physically available; on an N-core host expect ~min(N, blocks) on\n\
+      \ the large-block workloads)\n"
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks: per-block construction cost *)
 
 let micro () =
@@ -921,7 +1006,7 @@ let experiments =
     ("superscalar", superscalar_bench); ("delayslots", delayslots);
     ("attributes", attributes); ("reservation", reservation_bench);
     ("structure", structure); ("pressure", pressure);
-    ("micro", micro) ]
+    ("parallel", parallel); ("micro", micro) ]
 
 let () =
   let requested =

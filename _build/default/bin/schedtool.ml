@@ -350,6 +350,71 @@ let chain_cmd =
     Term.(const run $ model_arg $ strategy_arg $ inherit_flag $ file_arg)
 
 (* ------------------------------------------------------------------ *)
+(* batch: the parallel batch-scheduling driver *)
+
+let batch_cmd =
+  let run alg model strategy jobs json_path quiet file =
+    let blocks = load_blocks file in
+    let config =
+      { Batch.section6 with
+        Batch.algorithm = alg;
+        opts = opts_of model strategy }
+    in
+    let domains = if jobs <= 0 then Pool.recommended () else jobs in
+    let results, report = Batch.run_with_report ~domains config blocks in
+    if not quiet then
+      List.iter
+        (fun (r : Batch.result) ->
+          Printf.printf "B%d: %d insns, %d arcs, %d -> %d cycles\n"
+            r.Batch.block_id r.Batch.insns r.Batch.dag_arcs
+            r.Batch.original_cycles r.Batch.cycles)
+        results;
+    (match json_path with
+    | None -> ()
+    | Some path ->
+        let text = Stats.Json.to_string (Batch.report_to_json report) ^ "\n" in
+        (* the report must round-trip through the reader before we ship it *)
+        (match Stats.Json.of_string text with
+        | Ok json when Batch.report_of_json json = Ok report -> ()
+        | Ok _ ->
+            Printf.eprintf "internal error: report JSON round trip mismatch\n";
+            exit 3
+        | Error msg ->
+            Printf.eprintf "internal error: report JSON does not parse: %s\n" msg;
+            exit 3);
+        if path = "-" then print_string text
+        else Out_channel.with_open_text path (fun oc -> output_string oc text));
+    Printf.eprintf
+      "batch: %d blocks, %d domains, %d -> %d cycles, %.1f ms wall\n"
+      report.Batch.blocks report.Batch.domains report.Batch.original_cycles
+      report.Batch.scheduled_cycles (1000.0 *. report.Batch.wall_s)
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (0 or absent: one per recommended core).")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the aggregate report as JSON ('-' for stdout).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-block lines.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run the full pipeline over every block in parallel across domains \
+          (deterministic: output is independent of $(b,--jobs)).")
+    Term.(
+      const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ json_path
+      $ quiet $ file_arg)
+
+(* ------------------------------------------------------------------ *)
 (* dot *)
 
 let dot_cmd =
@@ -407,4 +472,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; stats_cmd; build_cmd; schedule_cmd; compare_cmd;
-            optimal_cmd; chain_cmd; dot_cmd; gantt_cmd ]))
+            optimal_cmd; chain_cmd; batch_cmd; dot_cmd; gantt_cmd ]))

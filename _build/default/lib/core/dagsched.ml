@@ -40,6 +40,7 @@ module Prng = Ds_util.Prng
 module Bitset = Ds_util.Bitset
 module Stats = Ds_util.Stats
 module Table = Ds_util.Table
+module Pool = Ds_util.Pool
 
 (* ISA *)
 module Reg = Ds_isa.Reg
@@ -97,6 +98,9 @@ module Resv_sched = Ds_sched.Resv_sched
 module Reglimit = Ds_sched.Reglimit
 module Gantt = Ds_sched.Gantt
 module Emit = Ds_sched.Emit
+
+(* parallel batch driver *)
+module Batch = Ds_driver.Batch
 
 (* workloads *)
 module Gen = Ds_workload.Gen

@@ -1,0 +1,1 @@
+lib/driver/batch.mli: Ds_cfg Ds_dag Ds_heur Ds_sched Ds_util Stdlib

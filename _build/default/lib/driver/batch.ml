@@ -1,0 +1,165 @@
+(** Parallel batch-scheduling driver: fans the per-block pipeline (build
+    DAG -> static heuristic pass -> list scheduling -> verify) out across
+    domains and aggregates timings and schedule statistics.  See
+    batch.mli for the contract. *)
+
+open Ds_sched
+
+type pipeline_config = {
+  algorithm : Ds_dag.Builder.algorithm;
+  opts : Ds_dag.Opts.t;
+  engine : Engine.config;
+  verify : bool;
+}
+
+let section6 =
+  {
+    algorithm = Ds_dag.Builder.Table_forward;
+    opts =
+      { Ds_dag.Opts.default with
+        Ds_dag.Opts.strategy = Ds_dag.Disambiguate.Symbolic };
+    engine =
+      {
+        Engine.direction = Ds_heur.Dyn_state.Forward;
+        mode = Engine.Winnowing;
+        keys =
+          [ Engine.key Ds_heur.Heuristic.Max_path_to_leaf;
+            Engine.key Ds_heur.Heuristic.Max_delay_to_leaf;
+            Engine.key (Ds_heur.Heuristic.Delays_to_children Ds_heur.Heuristic.Max) ];
+      };
+    verify = true;
+  }
+
+type result = {
+  block_id : int;
+  insns : int;
+  dag_arcs : int;
+  order : int array;
+  annot : Ds_heur.Annot.t;
+  original_cycles : int;
+  cycles : int;
+  stalls : int;
+  time_s : float;
+}
+
+let strip_timing r =
+  ( r.block_id, r.insns, r.dag_arcs, r.order, r.annot, r.original_cycles,
+    r.cycles, r.stalls )
+
+exception Invalid_schedule of int * string
+
+let heuristics_of config =
+  List.map (fun k -> k.Engine.heuristic) config.engine.Engine.keys
+
+let run_block config block =
+  let time_s, (dag, annot, sched) =
+    Ds_util.Stats.time_runs ~runs:1 (fun () ->
+        let dag = Ds_dag.Builder.build config.algorithm config.opts block in
+        let annot = Ds_heur.Static_pass.compute_for (heuristics_of config) dag in
+        let order = Engine.run config.engine ~annot dag in
+        let sched = Schedule.make dag order in
+        if config.verify then begin
+          match Verify.check sched with
+          | Ok () -> ()
+          | Error v ->
+              raise
+                (Invalid_schedule
+                   (block.Ds_cfg.Block.id, Verify.violation_to_string v))
+        end;
+        (dag, annot, sched))
+  in
+  { block_id = block.Ds_cfg.Block.id;
+    insns = Ds_cfg.Block.length block;
+    dag_arcs = Ds_dag.Dag.n_arcs dag;
+    order = sched.Schedule.order;
+    annot;
+    original_cycles = Schedule.original_cycles sched;
+    cycles = Schedule.cycles sched;
+    stalls = Schedule.stalls sched;
+    time_s }
+
+let resolve_domains = function
+  | Some d -> max 1 d
+  | None -> Ds_util.Pool.recommended ()
+
+let run ?domains config blocks =
+  let domains = resolve_domains domains in
+  Ds_util.Pool.map ~domains (run_block config) blocks
+
+type report = {
+  domains : int;
+  blocks : int;
+  insns : int;
+  arcs : int;
+  original_cycles : int;
+  scheduled_cycles : int;
+  stalls : int;
+  wall_s : float;
+  block_s_mean : float;
+  block_s_max : float;
+}
+
+let report ~domains ~wall_s results =
+  let times = Ds_util.Stats.create () in
+  let insns = ref 0 and arcs = ref 0 in
+  let before = ref 0 and after = ref 0 and stalls = ref 0 in
+  List.iter
+    (fun r ->
+      Ds_util.Stats.add times r.time_s;
+      insns := !insns + r.insns;
+      arcs := !arcs + r.dag_arcs;
+      before := !before + r.original_cycles;
+      after := !after + r.cycles;
+      stalls := !stalls + r.stalls)
+    results;
+  { domains; blocks = List.length results; insns = !insns; arcs = !arcs;
+    original_cycles = !before; scheduled_cycles = !after; stalls = !stalls;
+    wall_s;
+    block_s_mean = Ds_util.Stats.mean times;
+    block_s_max = Ds_util.Stats.max_value times }
+
+let run_with_report ?domains config blocks =
+  let domains = resolve_domains domains in
+  let wall_s, results =
+    Ds_util.Stats.time_runs ~runs:1 (fun () -> run ~domains config blocks)
+  in
+  (results, report ~domains ~wall_s results)
+
+module Json = Ds_util.Stats.Json
+
+let report_to_json r =
+  Json.Obj
+    [ ("domains", Json.Int r.domains); ("blocks", Json.Int r.blocks);
+      ("insns", Json.Int r.insns); ("arcs", Json.Int r.arcs);
+      ("original_cycles", Json.Int r.original_cycles);
+      ("scheduled_cycles", Json.Int r.scheduled_cycles);
+      ("stalls", Json.Int r.stalls); ("wall_s", Json.Float r.wall_s);
+      ("block_s_mean", Json.Float r.block_s_mean);
+      ("block_s_max", Json.Float r.block_s_max) ]
+
+let report_of_json json =
+  let int_field k =
+    match Json.member k json with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "missing or non-int field %S" k)
+  in
+  let float_field k =
+    match Json.member k json with
+    | Some (Json.Float f) -> Ok f
+    | Some (Json.Int i) -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "missing or non-number field %S" k)
+  in
+  let ( let* ) = Result.bind in
+  let* domains = int_field "domains" in
+  let* blocks = int_field "blocks" in
+  let* insns = int_field "insns" in
+  let* arcs = int_field "arcs" in
+  let* original_cycles = int_field "original_cycles" in
+  let* scheduled_cycles = int_field "scheduled_cycles" in
+  let* stalls = int_field "stalls" in
+  let* wall_s = float_field "wall_s" in
+  let* block_s_mean = float_field "block_s_mean" in
+  let* block_s_max = float_field "block_s_max" in
+  Ok
+    { domains; blocks; insns; arcs; original_cycles; scheduled_cycles;
+      stalls; wall_s; block_s_mean; block_s_max }

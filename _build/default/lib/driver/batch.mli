@@ -1,0 +1,81 @@
+(** Parallel batch-scheduling driver.
+
+    Each basic block's pipeline — DAG construction, intermediate
+    heuristic calculation, list scheduling, verification — is independent
+    of every other block's, so a batch fans out across domains on a
+    {!Ds_util.Pool} and still returns results in input order.  Running
+    with [~domains:1] and [~domains:N] is guaranteed to produce identical
+    schedules, annotations and statistics (the differential test layer in
+    [test/test_driver.ml] pins this down); only the wall-clock fields
+    differ. *)
+
+(** One per-block pipeline: which builder, its options, and the
+    scheduling-engine configuration.  [verify] re-checks every schedule
+    against the DAG (cheap, and what the paper's drivers did). *)
+type pipeline_config = {
+  algorithm : Ds_dag.Builder.algorithm;
+  opts : Ds_dag.Opts.t;
+  engine : Ds_sched.Engine.config;
+  verify : bool;
+}
+
+(** The paper's §6 measurement pipeline: table-building forward
+    construction, symbolic memory disambiguation, a simple forward
+    scheduling pass driven by max path to leaf / max delay to leaf / max
+    delay to child, verification on. *)
+val section6 : pipeline_config
+
+(** Per-block outcome.  Everything except [time_s] is deterministic and
+    identical across domain counts. *)
+type result = {
+  block_id : int;
+  insns : int;
+  dag_arcs : int;
+  order : int array;            (* node ids in scheduled order *)
+  annot : Ds_heur.Annot.t;      (* the static heuristic annotations *)
+  original_cycles : int;        (* simulated cycles, original order *)
+  cycles : int;                 (* simulated cycles, scheduled order *)
+  stalls : int;
+  time_s : float;               (* this block's pipeline wall clock *)
+}
+
+(** The deterministic part of a result (drops [time_s]) — what the
+    differential tests compare. *)
+val strip_timing :
+  result -> int * int * int * int array * Ds_heur.Annot.t * int * int * int
+
+(** Raised (from the submitting domain) when [verify] finds an invalid
+    schedule; carries the block id and the violation. *)
+exception Invalid_schedule of int * string
+
+(** [run ?domains config blocks] schedules every block, fanning out over
+    [domains] workers (default {!Ds_util.Pool.recommended}).  Results are
+    in input order. *)
+val run : ?domains:int -> pipeline_config -> Ds_cfg.Block.t list -> result list
+
+(** Batch aggregate: totals plus per-block timing statistics. *)
+type report = {
+  domains : int;
+  blocks : int;
+  insns : int;
+  arcs : int;
+  original_cycles : int;
+  scheduled_cycles : int;
+  stalls : int;
+  wall_s : float;               (* whole-batch wall clock *)
+  block_s_mean : float;         (* mean per-block pipeline seconds *)
+  block_s_max : float;
+}
+
+val report : domains:int -> wall_s:float -> result list -> report
+
+(** {!run} plus the aggregate, timing the whole batch. *)
+val run_with_report :
+  ?domains:int -> pipeline_config -> Ds_cfg.Block.t list ->
+  result list * report
+
+(** JSON round trip for the report (the [BENCH_parallel.json] /
+    [schedtool batch --json] schema, documented in docs/FORMAT.md). *)
+val report_to_json : report -> Ds_util.Stats.Json.t
+
+val report_of_json : Ds_util.Stats.Json.t -> (report, string) Stdlib.result

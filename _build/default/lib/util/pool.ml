@@ -1,0 +1,110 @@
+(** Fixed-size domain work pool: a chunked task queue drained by worker
+    domains, with deterministic result ordering and exception
+    propagation.  See pool.mli for the contract. *)
+
+type t = {
+  mutex : Mutex.t;
+  has_work : Condition.t;        (* queue non-empty, or stopping *)
+  all_done : Condition.t;        (* pending dropped to zero *)
+  queue : (unit -> unit) Queue.t;
+  mutable pending : int;         (* queued + currently running tasks *)
+  mutable stop : bool;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable workers : unit Domain.t array;
+}
+
+let recommended () = max 1 (Domain.recommended_domain_count ())
+
+(* Workers exit only once stopping AND the queue is drained, so a
+   shutdown never abandons submitted work. *)
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stop do
+    Condition.wait pool.has_work pool.mutex
+  done;
+  match Queue.take_opt pool.queue with
+  | None ->
+      Mutex.unlock pool.mutex
+  | Some task ->
+      Mutex.unlock pool.mutex;
+      let outcome =
+        try task (); None
+        with exn -> Some (exn, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock pool.mutex;
+      (match (outcome, pool.failure) with
+      | Some f, None -> pool.failure <- Some f
+      | _ -> ());
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.broadcast pool.all_done;
+      Mutex.unlock pool.mutex;
+      worker_loop pool
+
+let create ?domains () =
+  let n = match domains with Some d -> max 1 d | None -> recommended () in
+  let pool =
+    { mutex = Mutex.create (); has_work = Condition.create ();
+      all_done = Condition.create (); queue = Queue.create (); pending = 0;
+      stop = false; failure = None; workers = [||] }
+  in
+  pool.workers <- Array.init n (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = Array.length pool.workers
+
+let submit pool task =
+  Mutex.lock pool.mutex;
+  if pool.stop then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  pool.pending <- pool.pending + 1;
+  Queue.push task pool.queue;
+  Condition.signal pool.has_work;
+  Mutex.unlock pool.mutex
+
+let wait pool =
+  Mutex.lock pool.mutex;
+  while pool.pending > 0 do
+    Condition.wait pool.all_done pool.mutex
+  done;
+  let failure = pool.failure in
+  pool.failure <- None;
+  Mutex.unlock pool.mutex;
+  match failure with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.has_work;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+let map_array ?domains ?chunk f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let chunk = match chunk with Some c -> max 1 c | None -> 1 in
+    let pool = create ?domains () in
+    (* index-addressed result slots make the output order independent of
+       scheduling; the mutex in [wait] publishes the workers' writes *)
+    let out = Array.make n None in
+    let i = ref 0 in
+    while !i < n do
+      let lo = !i in
+      let hi = min n (lo + chunk) in
+      submit pool (fun () ->
+          for j = lo to hi - 1 do
+            out.(j) <- Some (f arr.(j))
+          done);
+      i := hi
+    done;
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> wait pool);
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map ?domains ?chunk f xs =
+  Array.to_list (map_array ?domains ?chunk f (Array.of_list xs))

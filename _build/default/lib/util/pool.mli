@@ -1,0 +1,41 @@
+(** Fixed-size domain work pool.
+
+    A pool spawns a fixed number of worker domains which drain a shared
+    task queue guarded by a [Mutex]/[Condition] pair.  [map]/[map_array]
+    are the common entry points: they fan a function out over the items
+    in chunks and return the results in input order, regardless of which
+    domain computed what.  A task that raises does not hang the pool:
+    the first exception is captured and re-raised (with its backtrace)
+    from [wait] on the submitting domain, after the queue drains. *)
+
+type t
+
+(** [Domain.recommended_domain_count], at least 1. *)
+val recommended : unit -> int
+
+(** [create ?domains ()] spawns the workers ([domains] defaults to
+    {!recommended}; values < 1 are clamped to 1).  Call {!shutdown} when
+    done. *)
+val create : ?domains:int -> unit -> t
+
+(** Number of worker domains. *)
+val size : t -> int
+
+(** Enqueue a task.  Raises [Invalid_argument] after {!shutdown}. *)
+val submit : t -> (unit -> unit) -> unit
+
+(** Block until every submitted task has finished.  If any task raised,
+    the first exception is re-raised here (and cleared, so the pool
+    remains usable). *)
+val wait : t -> unit
+
+(** Drain the queue, stop and join the workers.  Idempotent. *)
+val shutdown : t -> unit
+
+(** [map_array ?domains ?chunk f arr] computes [Array.map f arr] on a
+    fresh pool, [chunk] items (default 1) per queued task, preserving
+    input order.  The pool is always shut down, even when [f] raises. *)
+val map_array : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** List analogue of {!map_array}. *)
+val map : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -17,6 +17,33 @@ val total : t -> float
 val of_list : float list -> t
 val of_ints : int list -> t
 
+(** Hand-rolled JSON, used for the machine-readable perf reports
+    ([BENCH_parallel.json], [schedtool batch --json]).  The writer emits
+    floats with a representation that reads back exactly and always
+    carries a [.]/[e] so a round trip preserves the [Int]/[Float]
+    distinction; nan/infinity become [null]. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  (** Parse one JSON value (the whole input). *)
+  val of_string : string -> (t, string) result
+
+  (** Field lookup on [Obj]; [None] on missing field or non-object. *)
+  val member : string -> t -> t option
+end
+
+(** Accumulator summary as JSON ([count]/[mean]/[min]/[max]/[total]). *)
+val to_json : t -> Json.t
+
 (** [time_runs ~runs f] runs [f ()] [runs] times and returns (mean
     wall-clock seconds, last result) — the analogue of the paper's
     "average of user+sys over five runs". *)

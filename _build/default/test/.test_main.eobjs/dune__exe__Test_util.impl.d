@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Bitset Dagsched Hashtbl Helpers List Option Prng Stats String Table
+test/test_util.ml: Alcotest Array Atomic Bitset Dagsched Fun Hashtbl Helpers List Option Pool Prng Stats String Table

@@ -65,6 +65,25 @@ printf 'ld [%%fp - 8], %%o1\nadd %%o1, 1, %%o2\nadd %%o3, 1, %%o4\n' > "$TMP/opt
 "$TOOL" chain -g "$TMP/tiny.s" 2>&1 >/dev/null | grep -q "inherited latencies" \
   || fail "chain: inherited summary"
 
+# batch: parallel driver; stdout must be identical across --jobs values
+# (deterministic fan-out), blocks must come out in input order, and the
+# JSON report must parse back (the tool re-parses it through the JSON
+# reader before writing and exits 3 on a round-trip failure)
+"$TOOL" batch --jobs 1 --json "$TMP/b1.json" "$TMP/grep.s" > "$TMP/b1.out" 2> "$TMP/b1.err" \
+  || fail "batch --jobs 1 failed"
+"$TOOL" batch --jobs 2 --json "$TMP/b2.json" "$TMP/grep.s" > "$TMP/b2.out" 2> "$TMP/b2.err" \
+  || fail "batch --jobs 2 failed"
+cmp -s "$TMP/b1.out" "$TMP/b2.out" || fail "batch output depends on --jobs"
+head -1 "$TMP/b1.out" | grep -q "^B0: " || fail "batch: first block is not B0"
+sed -n 's/^B\([0-9]*\):.*/\1/p' "$TMP/b2.out" | sort -n -c \
+  || fail "batch: stdout not in input order"
+grep -q "2 domains" "$TMP/b2.err" || fail "batch: summary lacks domain count"
+grep -q '"domains": 2' "$TMP/b2.json" || fail "batch json: wrong domains"
+grep -q '"blocks": 730' "$TMP/b2.json" || fail "batch json: wrong block count"
+grep -q '"wall_s": ' "$TMP/b2.json" || fail "batch json: no wall clock"
+"$TOOL" batch -q --jobs 2 --json - "$TMP/grep.s" 2>/dev/null \
+  | grep -q '"scheduled_cycles": ' || fail "batch json on stdout"
+
 # parse errors are reported with a line number and a nonzero exit
 if printf 'frobnicate %%o1\n' | "$TOOL" stats - 2> "$TMP/err"; then
   fail "parse error not detected"

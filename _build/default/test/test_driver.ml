@@ -1,0 +1,147 @@
+(** Differential tests for the parallel batch-scheduling driver:
+    parallelism must not change results.  [Batch.run ~domains:1] and
+    [Batch.run ~domains:N] must produce identical schedules, heuristic
+    annotations and statistics for every block, across all construction
+    algorithms and disambiguation strategies.
+
+    CI can pin the parallel domain count with DAGSCHED_TEST_DOMAINS
+    (default 4; values < 2 are clamped to 2 so the test always crosses a
+    domain boundary). *)
+
+open Dagsched
+open Helpers
+
+let test_domains =
+  match Sys.getenv_opt "DAGSCHED_TEST_DOMAINS" with
+  | Some s -> (try max 2 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+(* The deterministic part of a result; time_s legitimately differs. *)
+let key r = Batch.strip_timing r
+
+let config_with alg strategy =
+  { Batch.section6 with
+    Batch.algorithm = alg;
+    opts = { Batch.section6.Batch.opts with Opts.strategy } }
+
+let check_differential config blocks =
+  let seq = Batch.run ~domains:1 config blocks in
+  let par = Batch.run ~domains:test_domains config blocks in
+  check_int "same result count" (List.length seq) (List.length par);
+  List.iter2
+    (fun a b ->
+      if key a <> key b then
+        Alcotest.failf "parallel result differs for block %d" a.Batch.block_id)
+    seq par;
+  (* aggregate stats agree once wall-clock fields are normalized *)
+  let strip (r : Batch.report) =
+    { r with Batch.domains = 0; wall_s = 0.0; block_s_mean = 0.0;
+      block_s_max = 0.0 }
+  in
+  let rep d results = strip (Batch.report ~domains:d ~wall_s:0.0 results) in
+  check_bool "same report" true (rep 1 seq = rep test_domains par)
+
+(* ------------------------------------------------------------------ *)
+(* the full algorithm x strategy cross product on a fixed seed set *)
+
+let test_differential_cross_product () =
+  let blocks = List.mapi (fun i seed -> { (random_block seed) with Block.id = i })
+      [ 11; 23; 37; 41; 59; 67 ] in
+  List.iter
+    (fun alg ->
+      List.iter
+        (fun strategy -> check_differential (config_with alg strategy) blocks)
+        Disambiguate.all)
+    Builder.all
+
+(* ------------------------------------------------------------------ *)
+(* qcheck property: >= 100 random seeds through the default pipeline *)
+
+let prop_differential_batch seed =
+  (* four blocks per batch so work actually interleaves across workers *)
+  let blocks =
+    List.init 4 (fun i -> { (random_block (seed + (7919 * i))) with Block.id = i })
+  in
+  let seq = Batch.run ~domains:1 Batch.section6 blocks in
+  let par = Batch.run ~domains:test_domains Batch.section6 blocks in
+  List.for_all2 (fun a b -> key a = key b) seq par
+
+(* ------------------------------------------------------------------ *)
+(* ordering and shape *)
+
+let test_results_in_input_order () =
+  let blocks = List.init 37 (fun i -> { (random_block (500 + i)) with Block.id = i }) in
+  let results = Batch.run ~domains:test_domains Batch.section6 blocks in
+  List.iteri
+    (fun i (r : Batch.result) -> check_int "input order" i r.Batch.block_id)
+    results;
+  List.iter2
+    (fun (b : Block.t) (r : Batch.result) ->
+      check_int "block length" (Block.length b) r.Batch.insns;
+      check_int "order is a permutation" (Block.length b)
+        (List.length
+           (List.sort_uniq compare (Array.to_list r.Batch.order))))
+    blocks results
+
+let test_empty_batch () =
+  check_int "no blocks, no results" 0
+    (List.length (Batch.run ~domains:test_domains Batch.section6 []))
+
+(* an invalid-schedule exception from a worker surfaces on the caller *)
+let test_verify_runs () =
+  let blocks = [ random_block 77 ] in
+  let results = Batch.run ~domains:2 { Batch.section6 with Batch.verify = true } blocks in
+  check_int "one result" 1 (List.length results)
+
+(* ------------------------------------------------------------------ *)
+(* report JSON round trip *)
+
+let test_report_round_trip () =
+  let blocks = List.init 12 (fun i -> { (random_block (900 + i)) with Block.id = i }) in
+  let _, report = Batch.run_with_report ~domains:test_domains Batch.section6 blocks in
+  let text = Stats.Json.to_string (Batch.report_to_json report) in
+  match Stats.Json.of_string text with
+  | Error msg -> Alcotest.failf "report does not parse back: %s" msg
+  | Ok json -> (
+      match Batch.report_of_json json with
+      | Error msg -> Alcotest.failf "report does not rebuild: %s" msg
+      | Ok report' ->
+          check_bool "round trip preserves the report" true (report = report'))
+
+(* ------------------------------------------------------------------ *)
+(* generation determinism across domains: two [random_block seed] calls
+   from different domains yield equal blocks (the generator threads its
+   Prng.t explicitly; this is the regression test that keeps it so) *)
+
+let print_block b = Parser.print_program (Array.to_list b.Block.insns)
+
+let test_generation_cross_domain () =
+  List.iter
+    (fun seed ->
+      let d1 = Domain.spawn (fun () -> print_block (random_block seed)) in
+      let d2 = Domain.spawn (fun () -> print_block (random_block seed)) in
+      let a = Domain.join d1 and b = Domain.join d2 in
+      let here = print_block (random_block seed) in
+      check_string "domains agree" a b;
+      check_string "domain agrees with caller" a here)
+    [ 1; 42; 1234; 99991 ]
+
+let test_profile_generation_cross_domain () =
+  let summarize () =
+    Format.asprintf "%a" Summary.pp (Profiles.summarize Profiles.grep)
+  in
+  let d = Domain.spawn summarize in
+  check_string "profile generation domain-independent" (summarize ())
+    (Domain.join d)
+
+let suite =
+  [ quick "differential: builders x strategies" test_differential_cross_product;
+    qcheck ~count:120 "differential: random batches (>= 100 seeds)"
+      arb_block prop_differential_batch;
+    quick "results in input order" test_results_in_input_order;
+    quick "empty batch" test_empty_batch;
+    quick "verification runs in workers" test_verify_runs;
+    quick "report JSON round trip" test_report_round_trip;
+    quick "random_block equal across domains" test_generation_cross_domain;
+    quick "profile generation equal across domains"
+      test_profile_generation_cross_domain ]

@@ -13,6 +13,7 @@ let () =
       ("codegen", Test_codegen.suite);
       ("interp", Test_interp.suite);
       ("extensions", Test_extensions.suite);
+      ("driver", Test_driver.suite);
       ("tools", Test_tools.suite);
       ("behavior", Test_behavior.suite);
       ("golden", Test_golden.suite);

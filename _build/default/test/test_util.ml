@@ -1,5 +1,6 @@
 (** Utility tests: PRNG determinism and distributions, bit sets, the
-    table printer, and the stats accumulator. *)
+    table printer, the stats accumulator, the domain work pool, and the
+    hand-rolled JSON writer/reader. *)
 
 open Dagsched
 open Helpers
@@ -111,6 +112,128 @@ let test_stats () =
   let empty = Stats.create () in
   Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Stats.mean empty)
 
+(* ------------------------------------------------------------------ *)
+(* the domain work pool *)
+
+let test_pool_empty () =
+  Alcotest.(check (list int)) "empty input" [] (Pool.map ~domains:3 (fun x -> x) [])
+
+let test_pool_single () =
+  Alcotest.(check (list int)) "single item" [ 42 ]
+    (Pool.map ~domains:3 (fun x -> x * 2) [ 21 ])
+
+let test_pool_many_items_few_workers () =
+  let n = 500 in
+  let input = List.init n (fun i -> i) in
+  let expected = List.map (fun i -> (i * i) + 1) input in
+  Alcotest.(check (list int)) "items >> workers"
+    expected
+    (Pool.map ~domains:4 ~chunk:7 (fun i -> (i * i) + 1) input)
+
+let test_pool_ordering_uneven_tasks () =
+  (* earlier items busy-wait longer, so a racy pool would reorder *)
+  let spin i =
+    let k = ref 0 in
+    for _ = 1 to (50 - i) * 2000 do incr k done;
+    ignore !k;
+    i
+  in
+  let input = List.init 50 (fun i -> i) in
+  Alcotest.(check (list int)) "order preserved" input
+    (Pool.map ~domains:4 spin input)
+
+exception Boom of int
+
+let test_pool_exception_propagates () =
+  (* a raising task surfaces the exception instead of hanging a worker *)
+  match
+    Pool.map ~domains:3 (fun i -> if i = 13 then raise (Boom i) else i)
+      (List.init 40 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 13 -> ()
+
+let test_pool_usable_after_failed_wait () =
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
+      Pool.submit pool (fun () -> raise (Boom 1));
+      (match Pool.wait pool with
+      | () -> Alcotest.fail "expected Boom"
+      | exception Boom 1 -> ());
+      (* the failure was cleared; the pool still runs tasks *)
+      let hit = Atomic.make 0 in
+      for _ = 1 to 20 do
+        Pool.submit pool (fun () -> Atomic.incr hit)
+      done;
+      Pool.wait pool;
+      check_int "tasks after failure" 20 (Atomic.get hit))
+
+let test_pool_submit_after_shutdown () =
+  let pool = Pool.create ~domains:2 () in
+  Pool.shutdown pool;
+  match Pool.submit pool (fun () -> ()) with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* hand-rolled JSON *)
+
+let sample_json =
+  Stats.Json.(
+    Obj
+      [ ("name", String "batch \"x\"\n");
+        ("ok", Bool true);
+        ("none", Null);
+        ("n", Int (-42));
+        ("xs", List [ Int 1; Float 0.5; String "s"; List []; Obj [] ]);
+        ("wall", Float 0.30000000000000004) ])
+
+let test_json_writer () =
+  check_string "rendering"
+    "{\"name\": \"batch \\\"x\\\"\\n\", \"ok\": true, \"none\": null, \
+     \"n\": -42, \"xs\": [1, 0.5, \"s\", [], {}], \
+     \"wall\": 0.30000000000000004}"
+    (Stats.Json.to_string sample_json)
+
+let test_json_round_trip () =
+  match Stats.Json.of_string (Stats.Json.to_string sample_json) with
+  | Ok v -> check_bool "round trip" true (v = sample_json)
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_json_number_forms () =
+  let parse s =
+    match Stats.Json.of_string s with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "parse %S failed: %s" s msg
+  in
+  check_bool "int" true (parse "3" = Stats.Json.Int 3);
+  check_bool "negative int" true (parse "-7" = Stats.Json.Int (-7));
+  check_bool "float" true (parse "3.5" = Stats.Json.Float 3.5);
+  check_bool "exponent" true (parse "1e3" = Stats.Json.Float 1000.0);
+  check_bool "float stays float" true
+    (parse (Stats.Json.to_string (Stats.Json.Float 3.0)) = Stats.Json.Float 3.0)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Stats.Json.of_string s with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" s
+      | Error _ -> ())
+    [ "{"; "[1,"; "\"unterminated"; "truish"; ""; "1 2"; "{\"a\" 1}" ]
+
+let test_json_member () =
+  check_bool "member hit" true
+    (Stats.Json.member "n" sample_json = Some (Stats.Json.Int (-42)));
+  check_bool "member miss" true (Stats.Json.member "zzz" sample_json = None);
+  check_bool "member of non-obj" true
+    (Stats.Json.member "x" (Stats.Json.Int 1) = None)
+
+let test_stats_to_json () =
+  let s = Stats.of_ints [ 1; 2; 3 ] in
+  let j = Stats.to_json s in
+  check_bool "count" true (Stats.Json.member "count" j = Some (Stats.Json.Int 3));
+  check_bool "mean" true (Stats.Json.member "mean" j = Some (Stats.Json.Float 2.0))
+
 let test_table_render () =
   let t = Table.create ~title:"demo" [ "name"; "n" ] in
   Table.add_row t [ "alpha"; "1" ];
@@ -134,4 +257,17 @@ let suite =
     quick "bitset subset/equal" test_bitset_subset_equal;
     quick "bitset elements" test_bitset_elements;
     quick "stats" test_stats;
+    quick "pool empty" test_pool_empty;
+    quick "pool single" test_pool_single;
+    quick "pool many items few workers" test_pool_many_items_few_workers;
+    quick "pool ordering under uneven tasks" test_pool_ordering_uneven_tasks;
+    quick "pool exception propagates" test_pool_exception_propagates;
+    quick "pool usable after failed wait" test_pool_usable_after_failed_wait;
+    quick "pool submit after shutdown" test_pool_submit_after_shutdown;
+    quick "json writer" test_json_writer;
+    quick "json round trip" test_json_round_trip;
+    quick "json number forms" test_json_number_forms;
+    quick "json parse errors" test_json_parse_errors;
+    quick "json member" test_json_member;
+    quick "stats to_json" test_stats_to_json;
     quick "table render" test_table_render ]

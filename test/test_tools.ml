@@ -1,5 +1,6 @@
-(** Tests for the tooling layer: DOT export, Gantt rendering, and the
-    register-limited scheduler. *)
+(** Tests for the tooling layer: DOT export, Gantt rendering, the
+    register-limited scheduler, and the batch driver behind
+    `schedtool batch`. *)
 
 open Dagsched
 open Helpers
@@ -160,6 +161,71 @@ let test_emit_program () =
   List.iteri (fun i insn -> check_int "index" i insn.Insn.index) insns
 
 (* ------------------------------------------------------------------ *)
+(* the batch driver behind `schedtool batch` *)
+
+(* a small multi-block program, exactly what the CLI feeds the driver *)
+let batch_program () =
+  Cfg_builder.partition
+    (parse
+       "ld [%fp - 8], %o1\n\
+        add %o1, 1, %o2\n\
+        cmp %o2, 0\n\
+        be L1\n\
+        nop\n\
+        ld [%fp - 16], %o3\n\
+        add %o3, %o2, %o4\n\
+        st %o4, [%fp - 24]\n\
+        cmp %o4, 5\n\
+        bne L2\n\
+        nop\n\
+        fdivd %f0, %f2, %f4\n\
+        faddd %f4, %f6, %f8\n\
+        stdf %f8, [%fp - 32]")
+
+let test_batch_cli_pipeline () =
+  let blocks = batch_program () in
+  check_bool "several blocks" true (List.length blocks >= 3);
+  let results, report =
+    Batch.run_with_report ~domains:2 Batch.section6 blocks
+  in
+  (* per-block lines come out in input order with consistent counts *)
+  List.iter2
+    (fun (b : Block.t) (r : Batch.result) ->
+      check_int "id" b.Block.id r.Batch.block_id;
+      check_int "insns" (Block.length b) r.Batch.insns;
+      check_bool "scheduling does not regress" true
+        (r.Batch.cycles <= r.Batch.original_cycles))
+    blocks results;
+  check_int "report blocks" (List.length blocks) report.Batch.blocks;
+  check_int "report domains" 2 report.Batch.domains;
+  (* the CLI's --json path: write, parse back, rebuild, compare *)
+  let text = Stats.Json.to_string (Batch.report_to_json report) in
+  match Stats.Json.of_string text with
+  | Error msg -> Alcotest.failf "batch json does not parse: %s" msg
+  | Ok json ->
+      check_bool "batch json rebuilds" true
+        (Batch.report_of_json json = Ok report)
+
+let test_batch_matches_direct_pipeline () =
+  (* the driver must compute exactly what the sequential code computes *)
+  let blocks = batch_program () in
+  let config = Batch.section6 in
+  let results = Batch.run ~domains:2 config blocks in
+  List.iter2
+    (fun b (r : Batch.result) ->
+      let dag = Builder.build config.Batch.algorithm config.Batch.opts b in
+      let heuristics =
+        List.map (fun k -> k.Engine.heuristic) config.Batch.engine.Engine.keys
+      in
+      let annot = Static_pass.compute_for heuristics dag in
+      let order = Engine.run config.Batch.engine ~annot dag in
+      Alcotest.(check (array int)) "same schedule" order r.Batch.order;
+      check_int "same cycles"
+        (Schedule.cycles (Schedule.make dag order))
+        r.Batch.cycles)
+    blocks results
+
+(* ------------------------------------------------------------------ *)
 (* decision tracing *)
 
 let test_trace_matches_run () =
@@ -219,6 +285,8 @@ let suite =
     quick "emit pads with nop" test_emit_pads_with_nop;
     quick "emit plain block" test_emit_plain_block;
     quick "emit program" test_emit_program;
+    quick "batch cli pipeline" test_batch_cli_pipeline;
+    quick "batch matches direct pipeline" test_batch_matches_direct_pipeline;
     quick "trace matches run" test_trace_matches_run;
     quick "trace right heuristic" test_trace_decides_with_right_heuristic;
     quick "trace chosen in candidates" test_trace_chosen_in_candidates ]
