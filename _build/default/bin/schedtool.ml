@@ -373,9 +373,15 @@ let batch_cmd =
     | None -> ()
     | Some path ->
         let text = Stats.Json.to_string (Batch.report_to_json report) ^ "\n" in
-        (* the report must round-trip through the reader before we ship it *)
+        (* the report must round-trip through the reader before we ship
+           it; compare with the NaN-tolerant field-wise equality — under
+           structural [=] a valid report with any NaN field would fail
+           its own self-check *)
         (match Stats.Json.of_string text with
-        | Ok json when Batch.report_of_json json = Ok report -> ()
+        | Ok json
+          when (match Batch.report_of_json json with
+               | Ok report' -> Batch.report_equal report report'
+               | Error _ -> false) -> ()
         | Ok _ ->
             Printf.eprintf "internal error: report JSON round trip mismatch\n";
             exit 3
@@ -413,6 +419,120 @@ let batch_cmd =
     Term.(
       const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ json_path
       $ quiet $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* shard: a whole corpus across a fleet of batch drivers *)
+
+let policy_conv =
+  let parse s =
+    match Shard.policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown policy %S (available: %s)" s
+               (String.concat ", "
+                  (List.map Shard.policy_to_string Shard.all_policies))))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Shard.policy_to_string p))
+
+let shard_cmd =
+  let run alg model strategy jobs shards policy json_path quiet files =
+    let files = if files = [] then [ "-" ] else files in
+    let corpus = List.map (fun path -> (path, load_blocks path)) files in
+    let config =
+      { Batch.section6 with
+        Batch.algorithm = alg;
+        opts = opts_of model strategy }
+    in
+    let domains = if jobs <= 0 then Pool.recommended () else jobs in
+    let shards = if shards <= 0 then List.length corpus else shards in
+    let _, merged = Shard.run ~domains ~policy ~shards config corpus in
+    if not quiet then
+      List.iteri
+        (fun i (r : Batch.report) ->
+          (* timing-free so stdout is byte-identical for any --jobs *)
+          Printf.printf "shard %d: %d blocks, %d insns, %d arcs, %d -> %d cycles\n"
+            i r.Batch.blocks r.Batch.insns r.Batch.arcs
+            r.Batch.original_cycles r.Batch.scheduled_cycles)
+        merged.Shard.per_shard;
+    (match json_path with
+    | None -> ()
+    | Some path ->
+        let text = Stats.Json.to_string (Shard.merged_to_json merged) ^ "\n" in
+        (* same self-check as batch: the merged report must round-trip
+           through the reader (NaN-tolerantly) before we ship it *)
+        (match Stats.Json.of_string text with
+        | Ok json
+          when (match Shard.merged_of_json json with
+               | Ok merged' -> Shard.merged_equal merged merged'
+               | Error _ -> false) -> ()
+        | Ok _ ->
+            Printf.eprintf "internal error: shard JSON round trip mismatch\n";
+            exit 3
+        | Error msg ->
+            Printf.eprintf "internal error: shard JSON does not parse: %s\n" msg;
+            exit 3);
+        if path = "-" then print_string text
+        else Out_channel.with_open_text path (fun oc -> output_string oc text));
+    let agg = merged.Shard.aggregate in
+    Printf.eprintf
+      "shard: %d files, %d blocks, %d shards (%s), %d domains, %d -> %d \
+       cycles, %.1f ms wall\n"
+      (List.length corpus) agg.Batch.blocks merged.Shard.shards
+      (Shard.policy_to_string merged.Shard.policy)
+      agg.Batch.domains agg.Batch.original_cycles agg.Batch.scheduled_cycles
+      (1000.0 *. agg.Batch.wall_s)
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains shared by the fleet (0 or absent: one per \
+                recommended core).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "k"; "shards" ] ~docv:"K"
+          ~doc:"Shard count (0 or absent: one per input file).")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Shard.Balanced
+      & info [ "p"; "policy" ] ~docv:"POLICY"
+          ~doc:"Partition policy: balanced (greedy on block length) or \
+                round-robin.")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the merged report (aggregate + per-shard) as JSON \
+                ('-' for stdout).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-shard lines.")
+  in
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"Assembly inputs forming the corpus ('-' for stdin; \
+                default stdin).")
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Partition a multi-file corpus into shards and run one batch \
+          pipeline per shard over a shared domain pool (aggregate \
+          statistics are independent of $(b,--shards), $(b,--policy) and \
+          $(b,--jobs)).")
+    Term.(
+      const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ shards
+      $ policy $ json_path $ quiet $ files)
 
 (* ------------------------------------------------------------------ *)
 (* dot *)
@@ -472,4 +592,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; stats_cmd; build_cmd; schedule_cmd; compare_cmd;
-            optimal_cmd; chain_cmd; batch_cmd; dot_cmd; gantt_cmd ]))
+            optimal_cmd; chain_cmd; batch_cmd; shard_cmd; dot_cmd;
+            gantt_cmd ]))

@@ -99,8 +99,9 @@ module Reglimit = Ds_sched.Reglimit
 module Gantt = Ds_sched.Gantt
 module Emit = Ds_sched.Emit
 
-(* parallel batch driver *)
+(* parallel batch driver + corpus sharding *)
 module Batch = Ds_driver.Batch
+module Shard = Ds_driver.Shard
 
 (* workloads *)
 module Gen = Ds_workload.Gen

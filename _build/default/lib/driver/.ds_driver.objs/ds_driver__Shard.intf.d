@@ -1,0 +1,1 @@
+lib/driver/shard.mli: Batch Ds_cfg Ds_util Stdlib

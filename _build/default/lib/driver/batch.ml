@@ -82,6 +82,9 @@ let resolve_domains = function
   | Some d -> max 1 d
   | None -> Ds_util.Pool.recommended ()
 
+let run_on ~pool config blocks =
+  Ds_util.Pool.map_on pool (run_block config) blocks
+
 let run ?domains config blocks =
   let domains = resolve_domains domains in
   Ds_util.Pool.map ~domains (run_block config) blocks
@@ -118,12 +121,56 @@ let report ~domains ~wall_s results =
     block_s_mean = Ds_util.Stats.mean times;
     block_s_max = Ds_util.Stats.max_value times }
 
+(* Per-shard means weighted by block count reconstruct the corpus-level
+   mean exactly up to rounding (mean_i * n_i recovers each shard's sum). *)
+let report_merge ~domains ?wall_s reports =
+  let blocks = ref 0 and insns = ref 0 and arcs = ref 0 in
+  let before = ref 0 and after = ref 0 and stalls = ref 0 in
+  let walls = ref 0.0 and time_sum = ref 0.0 and time_max = ref 0.0 in
+  List.iter
+    (fun r ->
+      blocks := !blocks + r.blocks;
+      insns := !insns + r.insns;
+      arcs := !arcs + r.arcs;
+      before := !before + r.original_cycles;
+      after := !after + r.scheduled_cycles;
+      stalls := !stalls + r.stalls;
+      walls := !walls +. r.wall_s;
+      time_sum := !time_sum +. (r.block_s_mean *. float_of_int r.blocks);
+      if r.block_s_max > !time_max then time_max := r.block_s_max)
+    reports;
+  let wall_s = match wall_s with Some w -> w | None -> !walls in
+  { domains; blocks = !blocks; insns = !insns; arcs = !arcs;
+    original_cycles = !before; scheduled_cycles = !after; stalls = !stalls;
+    wall_s;
+    block_s_mean =
+      (if !blocks = 0 then 0.0 else !time_sum /. float_of_int !blocks);
+    block_s_max = !time_max }
+
+(* The pool lives outside the timed region: wall_s covers scheduling
+   work only, not domain spawn/join, so --jobs comparisons are fair. *)
 let run_with_report ?domains config blocks =
   let domains = resolve_domains domains in
-  let wall_s, results =
-    Ds_util.Stats.time_runs ~runs:1 (fun () -> run ~domains config blocks)
-  in
-  (results, report ~domains ~wall_s results)
+  let pool = Ds_util.Pool.create ~domains () in
+  Fun.protect
+    ~finally:(fun () -> Ds_util.Pool.shutdown pool)
+    (fun () ->
+      let wall_s, results =
+        Ds_util.Stats.time_runs ~runs:1 (fun () -> run_on ~pool config blocks)
+      in
+      (results, report ~domains ~wall_s results))
+
+let float_eq a b = a = b || (Float.is_nan a && Float.is_nan b)
+
+let report_equal a b =
+  a.domains = b.domains && a.blocks = b.blocks && a.insns = b.insns
+  && a.arcs = b.arcs
+  && a.original_cycles = b.original_cycles
+  && a.scheduled_cycles = b.scheduled_cycles
+  && a.stalls = b.stalls
+  && float_eq a.wall_s b.wall_s
+  && float_eq a.block_s_mean b.block_s_mean
+  && float_eq a.block_s_max b.block_s_max
 
 module Json = Ds_util.Stats.Json
 
@@ -147,6 +194,9 @@ let report_of_json json =
     match Json.member k json with
     | Some (Json.Float f) -> Ok f
     | Some (Json.Int i) -> Ok (float_of_int i)
+    (* the writer encodes non-finite floats as null; reading null back as
+       nan makes the round trip total (compare with report_equal) *)
+    | Some Json.Null -> Ok Float.nan
     | _ -> Error (Printf.sprintf "missing or non-number field %S" k)
   in
   let ( let* ) = Result.bind in

@@ -53,6 +53,12 @@ exception Invalid_schedule of int * string
     in input order. *)
 val run : ?domains:int -> pipeline_config -> Ds_cfg.Block.t list -> result list
 
+(** [run_on ~pool config blocks] is {!run} on an existing pool, which
+    stays usable afterwards — this is how a sharded corpus reuses one
+    set of worker domains across many batches ({!Shard}). *)
+val run_on :
+  pool:Ds_util.Pool.t -> pipeline_config -> Ds_cfg.Block.t list -> result list
+
 (** Batch aggregate: totals plus per-block timing statistics. *)
 type report = {
   domains : int;
@@ -69,13 +75,32 @@ type report = {
 
 val report : domains:int -> wall_s:float -> result list -> report
 
-(** {!run} plus the aggregate, timing the whole batch. *)
+(** [report_merge ~domains reports] folds per-shard reports into one
+    corpus-level aggregate: counters add, [block_s_mean] is the
+    block-count-weighted mean, [block_s_max] the max.  [wall_s] defaults
+    to the sum of the shard walls (right for a fleet run sequentially
+    over one shared pool); pass the measured corpus wall to override.
+    Merging [[]] yields the all-zero report. *)
+val report_merge : domains:int -> ?wall_s:float -> report list -> report
+
+(** {!run} plus the aggregate, timing the whole batch.  The worker pool
+    is created (and torn down) {e outside} the timed region, so
+    [wall_s] measures scheduling work, not domain spawn cost. *)
 val run_with_report :
   ?domains:int -> pipeline_config -> Ds_cfg.Block.t list ->
   result list * report
 
+(** Field-wise report equality with NaN-tolerant float comparison (two
+    NaN fields are equal).  Use this — not structural [=], under which a
+    report with any NaN field is unequal to itself — to validate a JSON
+    round trip. *)
+val report_equal : report -> report -> bool
+
 (** JSON round trip for the report (the [BENCH_parallel.json] /
-    [schedtool batch --json] schema, documented in docs/FORMAT.md). *)
+    [schedtool batch --json] schema, documented in docs/FORMAT.md).
+    The writer encodes non-finite float fields as [null]; the reader
+    maps [null] float fields back to [nan], so the round trip is total
+    up to {!report_equal}. *)
 val report_to_json : report -> Ds_util.Stats.Json.t
 
 val report_of_json : Ds_util.Stats.Json.t -> (report, string) Stdlib.result

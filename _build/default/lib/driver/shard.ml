@@ -1,0 +1,158 @@
+(** Workload sharding on top of the batch driver: partition a corpus,
+    one batch per shard over a shared domain pool, merge the reports.
+    See shard.mli for the contract. *)
+
+type policy = Round_robin | Balanced
+
+let all_policies = [ Round_robin; Balanced ]
+
+let policy_to_string = function
+  | Round_robin -> "round-robin"
+  | Balanced -> "balanced"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "round-robin" | "round_robin" | "rr" -> Some Round_robin
+  | "balanced" -> Some Balanced
+  | _ -> None
+
+type corpus = (string * Ds_cfg.Block.t list) list
+
+let partition policy ~shards blocks =
+  let shards = max 1 shards in
+  let arr = Array.of_list blocks in
+  let n = Array.length arr in
+  (* member index lists per shard, assembled back in corpus order so a
+     shard's batch sees its blocks in the same relative order the corpus
+     presented them *)
+  let members = Array.make shards [] in
+  (match policy with
+  | Round_robin ->
+      for i = n - 1 downto 0 do
+        members.(i mod shards) <- i :: members.(i mod shards)
+      done
+  | Balanced ->
+      let weight i = Ds_cfg.Block.length arr.(i) in
+      let order = Array.init n Fun.id in
+      (* largest first; ties broken by corpus position for determinism *)
+      Array.sort
+        (fun i j ->
+          match compare (weight j) (weight i) with
+          | 0 -> compare i j
+          | c -> c)
+        order;
+      let load = Array.make shards 0 in
+      Array.iter
+        (fun i ->
+          let lightest = ref 0 in
+          for s = 1 to shards - 1 do
+            if load.(s) < load.(!lightest) then lightest := s
+          done;
+          load.(!lightest) <- load.(!lightest) + weight i;
+          members.(!lightest) <- i :: members.(!lightest))
+        order;
+      Array.iteri
+        (fun s is -> members.(s) <- List.sort compare is)
+        members);
+  Array.map (fun is -> List.map (fun i -> arr.(i)) is) members
+
+type merged = {
+  shards : int;
+  policy : policy;
+  corpus : string list;
+  aggregate : Batch.report;
+  per_shard : Batch.report list;
+}
+
+let resolve_domains = function
+  | Some d -> max 1 d
+  | None -> Ds_util.Pool.recommended ()
+
+let run ?domains ?(policy = Balanced) ~shards config corpus =
+  let domains = resolve_domains domains in
+  let shards = max 1 shards in
+  let parts = partition policy ~shards (List.concat_map snd corpus) in
+  let pool = Ds_util.Pool.create ~domains () in
+  Fun.protect
+    ~finally:(fun () -> Ds_util.Pool.shutdown pool)
+    (fun () ->
+      (* the fleet runs shard-by-shard: each batch already saturates the
+         shared pool, so running shards concurrently would only contend *)
+      let wall_s, shard_runs =
+        Ds_util.Stats.time_runs ~runs:1 (fun () ->
+            Array.map
+              (fun shard_blocks ->
+                let shard_wall, results =
+                  Ds_util.Stats.time_runs ~runs:1 (fun () ->
+                      Batch.run_on ~pool config shard_blocks)
+                in
+                (results, Batch.report ~domains ~wall_s:shard_wall results))
+              parts)
+      in
+      let per_shard = Array.to_list (Array.map snd shard_runs) in
+      ( Array.map fst shard_runs,
+        { shards; policy; corpus = List.map fst corpus;
+          aggregate = Batch.report_merge ~domains ~wall_s per_shard;
+          per_shard } ))
+
+let merged_equal a b =
+  a.shards = b.shards && a.policy = b.policy && a.corpus = b.corpus
+  && Batch.report_equal a.aggregate b.aggregate
+  && List.length a.per_shard = List.length b.per_shard
+  && List.for_all2 Batch.report_equal a.per_shard b.per_shard
+
+module Json = Ds_util.Stats.Json
+
+let merged_to_json m =
+  Json.Obj
+    [ ("shards", Json.Int m.shards);
+      ("policy", Json.String (policy_to_string m.policy));
+      ("corpus", Json.List (List.map (fun l -> Json.String l) m.corpus));
+      ("aggregate", Batch.report_to_json m.aggregate);
+      ("per_shard", Json.List (List.map Batch.report_to_json m.per_shard)) ]
+
+let merged_of_json json =
+  let ( let* ) = Result.bind in
+  let field k =
+    match Json.member k json with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" k)
+  in
+  let* shards =
+    match Json.member "shards" json with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error "missing or non-int field \"shards\""
+  in
+  let* policy =
+    match Json.member "policy" json with
+    | Some (Json.String s) -> (
+        match policy_of_string s with
+        | Some p -> Ok p
+        | None -> Error (Printf.sprintf "unknown policy %S" s))
+    | _ -> Error "missing or non-string field \"policy\""
+  in
+  let* corpus =
+    match Json.member "corpus" json with
+    | Some (Json.List xs) ->
+        List.fold_right
+          (fun x acc ->
+            let* acc = acc in
+            match x with
+            | Json.String s -> Ok (s :: acc)
+            | _ -> Error "non-string corpus label")
+          xs (Ok [])
+    | _ -> Error "missing or non-list field \"corpus\""
+  in
+  let* aggregate = Result.bind (field "aggregate") Batch.report_of_json in
+  let* per_shard =
+    match Json.member "per_shard" json with
+    | Some (Json.List xs) ->
+        List.fold_right
+          (fun x acc ->
+            let* acc = acc in
+            let* r = Batch.report_of_json x in
+            Ok (r :: acc))
+          xs (Ok [])
+    | _ -> Error "missing or non-list field \"per_shard\""
+  in
+  Ok { shards; policy; corpus; aggregate; per_shard }

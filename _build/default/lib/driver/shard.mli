@@ -1,0 +1,81 @@
+(** Workload sharding: a corpus across a fleet of batch drivers.
+
+    The {!Batch} driver fans the blocks of {e one} program across
+    domains; this layer scales the same way across {e many} programs.  A
+    corpus (several input files and/or generated workload profiles) is
+    partitioned into shards, one {!Batch} pipeline runs per shard — all
+    shards sharing a single {!Ds_util.Pool}, so worker domains are
+    spawned once per corpus, not once per shard — and the per-shard
+    reports are merged into one aggregate with the per-shard breakdown
+    preserved.
+
+    Sharding is an accounting boundary, not a semantic one: every block
+    is scheduled by the identical per-block pipeline, so for any corpus
+    the merged aggregate statistics (blocks, insns, arcs, cycles,
+    stalls) are independent of the shard count, the partition policy and
+    the domain count.  The differential tests in [test/test_driver.ml]
+    pin [shards:1] against [shards:K] for every policy. *)
+
+(** How blocks are assigned to shards.
+
+    - [Round_robin]: block [i] of the flattened corpus goes to shard
+      [i mod shards].  Oblivious to block size.
+    - [Balanced]: greedy size balancing keyed on block length — blocks
+      are taken largest-first and each goes to the currently lightest
+      shard (fewest assigned instructions).  With skewed corpora (one
+      fpppp-style giant block amid hundreds of small ones) this keeps
+      shard weights within one block of each other.
+
+    Both policies are deterministic, and each shard keeps its blocks in
+    corpus order. *)
+type policy = Round_robin | Balanced
+
+val all_policies : policy list
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+(** A corpus: labelled block lists — one entry per input file or
+    generated workload ({!Ds_workload.Profiles.corpus}).  Labels are
+    carried into the merged report for provenance only. *)
+type corpus = (string * Ds_cfg.Block.t list) list
+
+(** [partition policy ~shards blocks] assigns every block to exactly one
+    of [shards] (clamped to >= 1) shards.  Shards may come out empty
+    when [shards] exceeds the block count. *)
+val partition :
+  policy -> shards:int -> Ds_cfg.Block.t list -> Ds_cfg.Block.t list array
+
+(** Merged corpus report: the aggregate plus the per-shard breakdown
+    (index [i] of [per_shard] is shard [i]'s {!Batch.report}; its
+    [wall_s] is that shard's batch wall, while [aggregate.wall_s] is the
+    whole-corpus wall, measured around the fleet with the shared pool
+    already up). *)
+type merged = {
+  shards : int;
+  policy : policy;
+  corpus : string list;                 (* input labels, corpus order *)
+  aggregate : Batch.report;
+  per_shard : Batch.report list;
+}
+
+(** [run ?domains ?policy ~shards config corpus] partitions the
+    flattened corpus ([policy] defaults to [Balanced]), runs one batch
+    per shard over a shared pool of [domains] workers (default
+    {!Ds_util.Pool.recommended}), and merges the reports.  Element [i]
+    of the returned array holds shard [i]'s per-block results in shard
+    order.  An empty corpus yields [shards] empty shards and an all-zero
+    aggregate. *)
+val run :
+  ?domains:int -> ?policy:policy -> shards:int -> Batch.pipeline_config ->
+  corpus -> Batch.result list array * merged
+
+(** Field-wise equality with NaN-tolerant float comparison on the
+    embedded reports (see {!Batch.report_equal}). *)
+val merged_equal : merged -> merged -> bool
+
+(** JSON round trip for the merged report (the [BENCH_shard.json] /
+    [schedtool shard --json] schema, documented in docs/FORMAT.md).
+    Total up to {!merged_equal}, like the batch report round trip. *)
+val merged_to_json : merged -> Ds_util.Stats.Json.t
+
+val merged_of_json : Ds_util.Stats.Json.t -> (merged, string) Stdlib.result

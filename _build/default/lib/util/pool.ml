@@ -83,12 +83,11 @@ let shutdown pool =
   Array.iter Domain.join pool.workers;
   pool.workers <- [||]
 
-let map_array ?domains ?chunk f arr =
+let map_array_on pool ?chunk f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let chunk = match chunk with Some c -> max 1 c | None -> 1 in
-    let pool = create ?domains () in
     (* index-addressed result slots make the output order independent of
        scheduling; the mutex in [wait] publishes the workers' writes *)
     let out = Array.make n None in
@@ -102,8 +101,24 @@ let map_array ?domains ?chunk f arr =
           done);
       i := hi
     done;
-    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> wait pool);
+    (* [wait] re-raises any task failure BEFORE the slots are read, so a
+       chunk abandoned mid-way (slots after the raising element stay
+       [None]) can never reach the [assert false] below — pinned by a
+       regression test in test_util.ml *)
+    wait pool;
     Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_on pool ?chunk f xs =
+  Array.to_list (map_array_on pool ?chunk f (Array.of_list xs))
+
+let map_array ?domains ?chunk f arr =
+  if Array.length arr = 0 then [||]
+  else begin
+    let pool = create ?domains () in
+    Fun.protect
+      ~finally:(fun () -> shutdown pool)
+      (fun () -> map_array_on pool ?chunk f arr)
   end
 
 let map ?domains ?chunk f xs =

@@ -32,9 +32,29 @@ val wait : t -> unit
 (** Drain the queue, stop and join the workers.  Idempotent. *)
 val shutdown : t -> unit
 
-(** [map_array ?domains ?chunk f arr] computes [Array.map f arr] on a
-    fresh pool, [chunk] items (default 1) per queued task, preserving
-    input order.  The pool is always shut down, even when [f] raises. *)
+(** [map_array_on pool f arr] computes [Array.map f arr] on an existing
+    pool, [chunk] items (default 1) per queued task, preserving input
+    order.  The pool stays usable afterwards, so a sequence of maps (one
+    batch per shard, say) reuses the same worker domains instead of
+    paying domain spawn/join per call.
+
+    Not reentrant: one map at a time per pool — it uses {!wait}, which
+    blocks until the pool's {e whole} queue drains.
+
+    Exception ordering under [~chunk]: when [f] raises mid-chunk, the
+    remaining items of that chunk are skipped and their result slots are
+    never written.  That is safe — and the internal [assert false] on an
+    unwritten slot unreachable — only because {!wait} re-raises the
+    captured exception {e before} any slot is read.  A regression test
+    (test_util.ml "pool chunk exception ordering") pins this raise-
+    before-read ordering. *)
+val map_array_on : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** List analogue of {!map_array_on}. *)
+val map_on : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_array ?domains ?chunk f arr] is {!map_array_on} on a fresh
+    pool.  The pool is always shut down, even when [f] raises. *)
 val map_array : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 
 (** List analogue of {!map_array}. *)

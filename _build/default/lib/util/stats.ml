@@ -38,6 +38,12 @@ let of_ints xs =
   List.iter (add_int t) xs;
   t
 
+let merge a b =
+  { n = a.n + b.n;
+    sum = a.sum +. b.sum;
+    max = Float.max a.max b.max;
+    min = Float.min a.min b.min }
+
 (* ------------------------------------------------------------------ *)
 (* Hand-rolled JSON, used for the machine-readable perf reports
    (BENCH_parallel.json, schedtool batch --json).  No external deps. *)
@@ -53,12 +59,17 @@ module Json = struct
     | Obj of (string * t) list
 
   (* Shortest of %.12g / %.17g that reads back exactly; always spelled as
-     a float so a round trip preserves the Int/Float distinction. *)
+     a float so a round trip preserves the Int/Float distinction.  JSON
+     has no nan/infinity, and %g would happily print both ("nan", "inf"),
+     producing unparseable output — every non-finite float is encoded as
+     null here so no caller can emit invalid JSON. *)
   let float_repr f =
-    let s = Printf.sprintf "%.12g" f in
-    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
-    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
-    else s ^ ".0"
+    if not (Float.is_finite f) then "null"
+    else
+      let s = Printf.sprintf "%.12g" f in
+      let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+      else s ^ ".0"
 
   let escape buf s =
     String.iter
@@ -78,10 +89,7 @@ module Json = struct
     | Null -> Buffer.add_string buf "null"
     | Bool b -> Buffer.add_string buf (if b then "true" else "false")
     | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float f ->
-        (* JSON has no nan/infinity *)
-        if not (Float.is_finite f) then Buffer.add_string buf "null"
-        else Buffer.add_string buf (float_repr f)
+    | Float f -> Buffer.add_string buf (float_repr f)
     | String s ->
         Buffer.add_char buf '"';
         escape buf s;

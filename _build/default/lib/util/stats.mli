@@ -17,11 +17,20 @@ val total : t -> float
 val of_list : float list -> t
 val of_ints : int list -> t
 
+(** [merge a b] is the accumulator of the concatenated samples: counts
+    and sums add, max/min combine.  Neither argument is mutated.  Used to
+    fold per-shard statistics into corpus-level ones. *)
+val merge : t -> t -> t
+
 (** Hand-rolled JSON, used for the machine-readable perf reports
-    ([BENCH_parallel.json], [schedtool batch --json]).  The writer emits
-    floats with a representation that reads back exactly and always
-    carries a [.]/[e] so a round trip preserves the [Int]/[Float]
-    distinction; nan/infinity become [null]. *)
+    ([BENCH_parallel.json], [BENCH_shard.json], [schedtool batch/shard
+    --json]).  The writer emits floats with a representation that reads
+    back exactly and always carries a [.]/[e] so a round trip preserves
+    the [Int]/[Float] distinction.  JSON has no nan/infinity: every
+    non-finite [Float] is encoded as [null] (so the writer can never
+    produce invalid JSON), and readers of specific schemas may map
+    [Null] float fields back to [nan] to make their round trip total
+    (see {!Ds_driver.Batch.report_of_json}). *)
 module Json : sig
   type t =
     | Null

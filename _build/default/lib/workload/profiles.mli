@@ -34,7 +34,15 @@ val fpppp_4000 : t
 (** The twelve Table-3 rows, in the paper's order. *)
 val all : t list
 
+(** The nine distinct benchmark programs the paper measures (Tables 4-5):
+    {!all} minus the fpppp-N re-partitionings of the same program. *)
+val benchmarks : t list
+
 val by_name : string -> t option
+
+(** [corpus profiles] generates every profile and pairs it with its name
+    — the corpus shape {!Ds_driver.Shard.run} consumes. *)
+val corpus : t list -> (string * Ds_cfg.Block.t list) list
 
 (** Generator parameters the profile's flavor implies. *)
 val params_of : t -> Gen.params

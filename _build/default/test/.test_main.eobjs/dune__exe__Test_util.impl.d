@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Atomic Bitset Dagsched Fun Hashtbl Helpers List Option Pool Prng Stats String Table
+test/test_util.ml: Alcotest Array Atomic Bitset Dagsched Float Fun Hashtbl Helpers List Option Pool Printf Prng Stats String Table

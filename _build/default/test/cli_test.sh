@@ -84,6 +84,57 @@ grep -q '"wall_s": ' "$TMP/b2.json" || fail "batch json: no wall clock"
 "$TOOL" batch -q --jobs 2 --json - "$TMP/grep.s" 2>/dev/null \
   | grep -q '"scheduled_cycles": ' || fail "batch json on stdout"
 
+# shard: fleet driver over a multi-file corpus.  The aggregate int
+# statistics must be invariant under shard count, policy, jobs and
+# file order; one shard must agree with an unsharded batch run.
+"$TOOL" gen -p linpack > "$TMP/linpack.s"
+aggregate() { sed 's/.*"aggregate": {\([^}]*\)}.*/\1/' "$1" \
+  | tr ',' '\n' | grep -v '_s\b\|_s"' | grep -E '"(blocks|insns|arcs|original_cycles|scheduled_cycles|stalls)"'; }
+
+"$TOOL" shard -q --jobs 2 --shards 1 --json "$TMP/s1.json" \
+  "$TMP/grep.s" "$TMP/linpack.s" || fail "shard --shards 1 failed"
+"$TOOL" shard -q --jobs 2 --shards 3 --json "$TMP/s3.json" \
+  "$TMP/grep.s" "$TMP/linpack.s" || fail "shard --shards 3 failed"
+aggregate "$TMP/s1.json" > "$TMP/agg1"
+aggregate "$TMP/s3.json" > "$TMP/agg3"
+cmp -s "$TMP/agg1" "$TMP/agg3" || fail "shard aggregate depends on shard count"
+
+# 1 shard == plain batch over the concatenated corpus
+cat "$TMP/grep.s" "$TMP/linpack.s" > "$TMP/both.s"
+"$TOOL" batch -q --jobs 2 --json "$TMP/both.json" "$TMP/both.s" \
+  || fail "batch on concatenated corpus failed"
+for field in blocks insns arcs original_cycles scheduled_cycles stalls; do
+  want=$(grep -o "\"$field\": [0-9]*" "$TMP/both.json" | head -1)
+  grep -qF "$want" "$TMP/agg1" || fail "shard vs batch mismatch on $field"
+done
+
+# per-shard stdout is timing-free, hence identical across --jobs
+"$TOOL" shard --jobs 1 --shards 3 "$TMP/grep.s" "$TMP/linpack.s" \
+  > "$TMP/sj1.out" 2>/dev/null || fail "shard --jobs 1 failed"
+"$TOOL" shard --jobs 2 --shards 3 "$TMP/grep.s" "$TMP/linpack.s" \
+  > "$TMP/sj2.out" 2>/dev/null || fail "shard --jobs 2 failed"
+cmp -s "$TMP/sj1.out" "$TMP/sj2.out" || fail "shard output depends on --jobs"
+
+# both policies accepted; round-robin reaches the same aggregate
+"$TOOL" shard -q --jobs 2 --shards 3 --policy round-robin \
+  --json "$TMP/srr.json" "$TMP/grep.s" "$TMP/linpack.s" \
+  || fail "shard --policy round-robin failed"
+aggregate "$TMP/srr.json" > "$TMP/aggrr"
+cmp -s "$TMP/agg1" "$TMP/aggrr" || fail "shard aggregate depends on policy"
+
+# merged JSON carries the corpus labels and per-shard breakdown
+grep -q '"corpus": \[' "$TMP/s3.json" || fail "shard json: no corpus list"
+grep -q '"per_shard": \[' "$TMP/s3.json" || fail "shard json: no per-shard list"
+grep -q '"policy": "balanced"' "$TMP/s3.json" || fail "shard json: no policy"
+grep -cq 'nan\|inf' "$TMP/s3.json" && fail "shard json: non-finite literal"
+
+# empty inputs are fine for both drivers: zero blocks, exit 0
+: > "$TMP/empty.s"
+"$TOOL" batch -q --jobs 2 --json - "$TMP/empty.s" 2>/dev/null \
+  | grep -q '"blocks": 0' || fail "batch on empty input"
+"$TOOL" shard -q --jobs 2 --shards 3 --json - "$TMP/empty.s" 2>/dev/null \
+  | grep -q '"blocks": 0' || fail "shard on empty input"
+
 # parse errors are reported with a line number and a nonzero exit
 if printf 'frobnicate %%o1\n' | "$TOOL" stats - 2> "$TMP/err"; then
   fail "parse error not detected"

@@ -108,6 +108,222 @@ let test_report_round_trip () =
       | Ok report' ->
           check_bool "round trip preserves the report" true (report = report'))
 
+(* a NaN wall-clock field must survive the round trip (writer: null;
+   reader: nan) and compare equal under report_equal — structural [=]
+   would reject the report against itself *)
+let test_report_round_trip_nan () =
+  let report =
+    { (Batch.report ~domains:2 ~wall_s:Float.nan []) with
+      Batch.block_s_max = Float.infinity }
+  in
+  check_bool "structural = is NaN-blind" false (report = report);
+  let text = Stats.Json.to_string (Batch.report_to_json report) in
+  match Stats.Json.of_string text with
+  | Error msg -> Alcotest.failf "NaN report does not parse back: %s" msg
+  | Ok json -> (
+      match Batch.report_of_json json with
+      | Error msg -> Alcotest.failf "NaN report does not rebuild: %s" msg
+      | Ok report' ->
+          check_bool "wall_s reads back as nan" true
+            (Float.is_nan report'.Batch.wall_s);
+          (* infinity also went through null, so it reads back as nan *)
+          check_bool "block_s_max reads back as nan" true
+            (Float.is_nan report'.Batch.block_s_max);
+          check_bool "report_equal tolerates NaN fields" true
+            (Batch.report_equal
+               { report with Batch.block_s_max = Float.nan }
+               report'))
+
+let test_batch_report_empty () =
+  let r = Batch.report ~domains:3 ~wall_s:0.0 [] in
+  check_int "blocks" 0 r.Batch.blocks;
+  check_int "insns" 0 r.Batch.insns;
+  check_int "cycles" 0 r.Batch.scheduled_cycles;
+  Alcotest.(check (float 1e-9)) "mean" 0.0 r.Batch.block_s_mean;
+  Alcotest.(check (float 1e-9)) "max" 0.0 r.Batch.block_s_max;
+  check_bool "merge of nothing is the zero report" true
+    (Batch.report_equal r (Batch.report_merge ~domains:3 ~wall_s:0.0 []))
+
+(* ------------------------------------------------------------------ *)
+(* sharding: partition properties *)
+
+(* a corpus with unique block ids and mixed sizes, across two "files" *)
+let shard_corpus () =
+  let file label lo n =
+    ( label,
+      List.init n (fun i ->
+          { (random_block (lo + (31 * i))) with Block.id = lo + i }) )
+  in
+  [ file "a.s" 1000 9; file "b.s" 2000 7 ]
+
+let corpus_blocks corpus = List.concat_map snd corpus
+
+let ids blocks = List.map (fun (b : Block.t) -> b.Block.id) blocks
+
+let test_partition_covers_exactly () =
+  let blocks = corpus_blocks (shard_corpus ()) in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun shards ->
+          let parts = Shard.partition policy ~shards blocks in
+          check_int "shard count" shards (Array.length parts);
+          let all = List.concat (Array.to_list (Array.map ids parts)) in
+          (* every block lands in exactly one shard *)
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s/%d covers the corpus"
+               (Shard.policy_to_string policy) shards)
+            (List.sort compare (ids blocks))
+            (List.sort compare all);
+          (* and each shard keeps corpus order *)
+          Array.iter
+            (fun part ->
+              let is = ids part in
+              check_bool "shard preserves corpus order" true
+                (List.sort compare is = is))
+            parts)
+        [ 1; 2; 5; 100 ])
+    Shard.all_policies
+
+let test_partition_round_robin_even () =
+  let blocks = corpus_blocks (shard_corpus ()) in
+  let parts = Shard.partition Shard.Round_robin ~shards:3 blocks in
+  let sizes = Array.to_list (Array.map List.length parts) in
+  let mn = List.fold_left min max_int sizes
+  and mx = List.fold_left max 0 sizes in
+  check_bool "round robin is even" true (mx - mn <= 1)
+
+let test_partition_balanced_bound () =
+  (* greedy bound: max load - min load <= the largest single weight *)
+  let blocks = corpus_blocks (shard_corpus ()) in
+  let heaviest =
+    List.fold_left (fun m b -> max m (Block.length b)) 0 blocks
+  in
+  let parts = Shard.partition Shard.Balanced ~shards:4 blocks in
+  let loads =
+    Array.to_list
+      (Array.map
+         (fun part ->
+           List.fold_left (fun a b -> a + Block.length b) 0 part)
+         parts)
+  in
+  let mn = List.fold_left min max_int loads
+  and mx = List.fold_left max 0 loads in
+  check_bool
+    (Printf.sprintf "balanced spread %d within heaviest block %d" (mx - mn)
+       heaviest)
+    true
+    (mx - mn <= heaviest)
+
+let test_partition_deterministic () =
+  let blocks = corpus_blocks (shard_corpus ()) in
+  List.iter
+    (fun policy ->
+      let a = Shard.partition policy ~shards:3 blocks in
+      let b = Shard.partition policy ~shards:3 blocks in
+      check_bool "same partition twice" true
+        (Array.map ids a = Array.map ids b))
+    Shard.all_policies
+
+(* ------------------------------------------------------------------ *)
+(* sharding: the merge-determinism differential — for any corpus the
+   merged aggregate statistics are independent of shard count, policy
+   and domain count, and agree with an unsharded batch *)
+
+let aggregate_key (r : Batch.report) =
+  ( r.Batch.blocks, r.Batch.insns, r.Batch.arcs, r.Batch.original_cycles,
+    r.Batch.scheduled_cycles, r.Batch.stalls )
+
+let test_shard_merge_determinism () =
+  let corpus = shard_corpus () in
+  let blocks = corpus_blocks corpus in
+  let batch_results = Batch.run ~domains:1 Batch.section6 blocks in
+  let reference =
+    aggregate_key (Batch.report ~domains:1 ~wall_s:0.0 batch_results)
+  in
+  let batch_keys =
+    List.sort compare (List.map Batch.strip_timing batch_results)
+  in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun shards ->
+          List.iter
+            (fun domains ->
+              let results, merged =
+                Shard.run ~domains ~policy ~shards Batch.section6 corpus
+              in
+              check_bool
+                (Printf.sprintf "aggregate invariant (%s, %d shards, %d domains)"
+                   (Shard.policy_to_string policy) shards domains)
+                true
+                (aggregate_key merged.Shard.aggregate = reference);
+              (* per-shard reports decompose the aggregate *)
+              check_bool "per-shard blocks sum" true
+                (List.fold_left
+                   (fun a (r : Batch.report) -> a + r.Batch.blocks)
+                   0 merged.Shard.per_shard
+                = merged.Shard.aggregate.Batch.blocks);
+              (* and the per-block results are the batch results, just
+                 redistributed: same multiset of deterministic keys *)
+              let shard_keys =
+                Array.to_list results |> List.concat
+                |> List.map Batch.strip_timing |> List.sort compare
+              in
+              check_bool "per-block results match unsharded batch" true
+                (shard_keys = batch_keys))
+            [ 1; test_domains ])
+        [ 1; 2; 5 ])
+    Shard.all_policies
+
+let test_shard_merged_json_round_trip () =
+  let _, merged =
+    Shard.run ~domains:test_domains ~shards:3 Batch.section6 (shard_corpus ())
+  in
+  let text = Stats.Json.to_string (Shard.merged_to_json merged) in
+  match Stats.Json.of_string text with
+  | Error msg -> Alcotest.failf "merged report does not parse back: %s" msg
+  | Ok json -> (
+      match Shard.merged_of_json json with
+      | Error msg -> Alcotest.failf "merged report does not rebuild: %s" msg
+      | Ok merged' ->
+          check_bool "round trip preserves the merged report" true
+            (Shard.merged_equal merged merged'))
+
+let test_shard_empty_corpus () =
+  List.iter
+    (fun corpus ->
+      let results, merged =
+        Shard.run ~domains:test_domains ~shards:3 Batch.section6 corpus
+      in
+      check_int "three shards" 3 (Array.length results);
+      Array.iter (fun rs -> check_int "no results" 0 (List.length rs)) results;
+      check_int "zero blocks" 0 merged.Shard.aggregate.Batch.blocks;
+      check_int "zero cycles" 0 merged.Shard.aggregate.Batch.scheduled_cycles;
+      Alcotest.(check (float 1e-9)) "zero mean" 0.0
+        merged.Shard.aggregate.Batch.block_s_mean;
+      (* and the degenerate report still round-trips *)
+      match Stats.Json.of_string (Stats.Json.to_string (Shard.merged_to_json merged)) with
+      | Error msg -> Alcotest.failf "empty merged report unparseable: %s" msg
+      | Ok json ->
+          check_bool "empty corpus round trip" true
+            (match Shard.merged_of_json json with
+            | Ok merged' -> Shard.merged_equal merged merged'
+            | Error _ -> false))
+    [ []; [ ("empty.s", []) ] ]
+
+let test_shard_more_shards_than_blocks () =
+  let corpus = [ ("tiny", [ { (random_block 31) with Block.id = 0 } ]) ] in
+  let results, merged =
+    Shard.run ~domains:2 ~shards:5 Batch.section6 corpus
+  in
+  check_int "five shards" 5 (Array.length results);
+  check_int "one block scheduled" 1 merged.Shard.aggregate.Batch.blocks;
+  let occupied =
+    Array.to_list results |> List.filter (fun rs -> rs <> [])
+  in
+  check_int "exactly one occupied shard" 1 (List.length occupied)
+
 (* ------------------------------------------------------------------ *)
 (* generation determinism across domains: two [random_block seed] calls
    from different domains yield equal blocks (the generator threads its
@@ -142,6 +358,16 @@ let suite =
     quick "empty batch" test_empty_batch;
     quick "verification runs in workers" test_verify_runs;
     quick "report JSON round trip" test_report_round_trip;
+    quick "report JSON round trip with NaN" test_report_round_trip_nan;
+    quick "report on empty batch" test_batch_report_empty;
+    quick "partition covers corpus exactly" test_partition_covers_exactly;
+    quick "partition round robin even" test_partition_round_robin_even;
+    quick "partition balanced within bound" test_partition_balanced_bound;
+    quick "partition deterministic" test_partition_deterministic;
+    quick "shard merge determinism" test_shard_merge_determinism;
+    quick "shard merged JSON round trip" test_shard_merged_json_round_trip;
+    quick "shard empty corpus" test_shard_empty_corpus;
+    quick "more shards than blocks" test_shard_more_shards_than_blocks;
     quick "random_block equal across domains" test_generation_cross_domain;
     quick "profile generation equal across domains"
       test_profile_generation_cross_domain ]

@@ -109,8 +109,29 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max_value s);
   Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_value s);
   Alcotest.(check (float 1e-9)) "total" 10.0 (Stats.total s);
+  (* zero samples: every summary is a defined, finite 0.0 — what the
+     batch/shard reports rely on for empty corpora *)
   let empty = Stats.create () in
-  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Stats.mean empty)
+  check_int "empty count" 0 (Stats.count empty);
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Stats.mean empty);
+  Alcotest.(check (float 1e-9)) "empty max" 0.0 (Stats.max_value empty);
+  Alcotest.(check (float 1e-9)) "empty min" 0.0 (Stats.min_value empty)
+
+let test_stats_merge () =
+  let whole = Stats.of_ints [ 1; 2; 3; 4; 10 ] in
+  let merged = Stats.merge (Stats.of_ints [ 1; 2 ]) (Stats.of_ints [ 3; 4; 10 ]) in
+  check_int "count" (Stats.count whole) (Stats.count merged);
+  Alcotest.(check (float 1e-9)) "mean" (Stats.mean whole) (Stats.mean merged);
+  Alcotest.(check (float 1e-9)) "max" (Stats.max_value whole) (Stats.max_value merged);
+  Alcotest.(check (float 1e-9)) "min" (Stats.min_value whole) (Stats.min_value merged);
+  Alcotest.(check (float 1e-9)) "total" (Stats.total whole) (Stats.total merged);
+  (* the empty accumulator is the identity *)
+  let with_empty = Stats.merge (Stats.create ()) whole in
+  check_int "identity count" (Stats.count whole) (Stats.count with_empty);
+  Alcotest.(check (float 1e-9)) "identity max"
+    (Stats.max_value whole) (Stats.max_value with_empty);
+  Alcotest.(check (float 1e-9)) "identity min"
+    (Stats.min_value whole) (Stats.min_value with_empty)
 
 (* ------------------------------------------------------------------ *)
 (* the domain work pool *)
@@ -175,6 +196,59 @@ let test_pool_submit_after_shutdown () =
   | () -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+let test_pool_map_on_reuse () =
+  (* several maps over one pool: same results as fresh-pool maps, and the
+     pool survives each round (what the shard fleet relies on) *)
+  let pool = Pool.create ~domains:3 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
+      for round = 1 to 4 do
+        let n = 30 * round in
+        let input = List.init n (fun i -> i) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d" round)
+          (List.map (fun i -> i * round) input)
+          (Pool.map_on pool ~chunk:3 (fun i -> i * round) input)
+      done;
+      Alcotest.(check (list int)) "empty input on live pool" []
+        (Pool.map_on pool (fun x -> x) []))
+
+let test_pool_map_on_usable_after_exception () =
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
+      (match Pool.map_on pool (fun i -> if i = 3 then raise (Boom i) else i)
+               (List.init 8 (fun i -> i)) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 3 -> ());
+      (* the failure was cleared by [wait]; the next map still works *)
+      Alcotest.(check (list int)) "map after failure" [ 0; 2; 4 ]
+        (Pool.map_on pool (fun i -> 2 * i) [ 0; 1; 2 ]))
+
+let test_pool_chunk_exception_ordering () =
+  (* Regression (pool.mli "Exception ordering under ~chunk"): when f
+     raises mid-chunk, the rest of that chunk is skipped and its result
+     slots never written — the caller must see the task's own exception
+     re-raised from [wait], never the internal assert on an unwritten
+     slot.  Other chunks still drain before the re-raise. *)
+  let n = 8 in
+  let visited = Array.make n false in
+  let f i =
+    visited.(i) <- true;
+    if i = 1 then raise (Boom i);
+    i
+  in
+  (match Pool.map_array ~domains:1 ~chunk:4 f (Array.init n (fun i -> i)) with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 1 -> ()
+  | exception Assert_failure _ ->
+      Alcotest.fail "unwritten chunk slot was read before the re-raise");
+  (* same chunk after the raising element: skipped *)
+  check_bool "element before the raise ran" true visited.(0);
+  check_bool "raising element ran" true visited.(1);
+  check_bool "rest of the failing chunk skipped" false (visited.(2) || visited.(3));
+  (* the other chunk drains (single worker, so it ran before the re-raise) *)
+  check_bool "later chunk still drained" true
+    (visited.(4) && visited.(5) && visited.(6) && visited.(7))
+
 (* ------------------------------------------------------------------ *)
 (* hand-rolled JSON *)
 
@@ -212,6 +286,39 @@ let test_json_number_forms () =
   check_bool "exponent" true (parse "1e3" = Stats.Json.Float 1000.0);
   check_bool "float stays float" true
     (parse (Stats.Json.to_string (Stats.Json.Float 3.0)) = Stats.Json.Float 3.0)
+
+let test_json_non_finite_floats () =
+  (* JSON has no nan/infinity: the writer must never emit the raw %g
+     spellings ("nan", "inf", "nan.0", ...), which no parser — including
+     ours — would read back.  Non-finite floats are encoded as null. *)
+  List.iter
+    (fun f ->
+      check_string "encoded as null" "null" (Stats.Json.to_string (Stats.Json.Float f)))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  (* writer-to-reader round trip: null reads back as Null *)
+  (match Stats.Json.of_string (Stats.Json.to_string (Stats.Json.Float Float.nan)) with
+  | Ok Stats.Json.Null -> ()
+  | Ok _ -> Alcotest.fail "nan did not round-trip to Null"
+  | Error msg -> Alcotest.failf "nan round trip does not parse: %s" msg);
+  (* non-finite values nested in containers stay valid JSON too *)
+  let nested =
+    Stats.Json.(Obj [ ("xs", List [ Float Float.infinity; Int 1 ]) ])
+  in
+  match Stats.Json.of_string (Stats.Json.to_string nested) with
+  | Ok v ->
+      check_bool "infinity nested round trip" true
+        (v = Stats.Json.(Obj [ ("xs", List [ Null; Int 1 ]) ]))
+  | Error msg -> Alcotest.failf "nested round trip does not parse: %s" msg
+
+let test_json_negative_zero () =
+  (* -0.0 is finite and must survive a round trip with its sign *)
+  let text = Stats.Json.to_string (Stats.Json.Float (-0.0)) in
+  check_string "rendering" "-0.0" text;
+  match Stats.Json.of_string text with
+  | Ok (Stats.Json.Float f) ->
+      check_bool "sign preserved" true (1.0 /. f = Float.neg_infinity)
+  | Ok _ -> Alcotest.fail "-0.0 did not parse as a float"
+  | Error msg -> Alcotest.failf "-0.0 does not parse: %s" msg
 
 let test_json_parse_errors () =
   List.iter
@@ -257,6 +364,7 @@ let suite =
     quick "bitset subset/equal" test_bitset_subset_equal;
     quick "bitset elements" test_bitset_elements;
     quick "stats" test_stats;
+    quick "stats merge" test_stats_merge;
     quick "pool empty" test_pool_empty;
     quick "pool single" test_pool_single;
     quick "pool many items few workers" test_pool_many_items_few_workers;
@@ -264,9 +372,14 @@ let suite =
     quick "pool exception propagates" test_pool_exception_propagates;
     quick "pool usable after failed wait" test_pool_usable_after_failed_wait;
     quick "pool submit after shutdown" test_pool_submit_after_shutdown;
+    quick "pool map_on reuses one pool" test_pool_map_on_reuse;
+    quick "pool map_on usable after exception" test_pool_map_on_usable_after_exception;
+    quick "pool chunk exception ordering" test_pool_chunk_exception_ordering;
     quick "json writer" test_json_writer;
     quick "json round trip" test_json_round_trip;
     quick "json number forms" test_json_number_forms;
+    quick "json non-finite floats" test_json_non_finite_floats;
+    quick "json negative zero" test_json_negative_zero;
     quick "json parse errors" test_json_parse_errors;
     quick "json member" test_json_member;
     quick "stats to_json" test_stats_to_json;

@@ -93,6 +93,9 @@ let all =
   [ grep; regex; dfa; cccp; linpack; lloops; tomcatv; nasa7; fpppp_1000;
     fpppp_2000; fpppp_4000; fpppp ]
 
+let benchmarks =
+  [ grep; regex; dfa; cccp; linpack; lloops; tomcatv; nasa7; fpppp ]
+
 let by_name name = List.find_opt (fun p -> p.name = name) all
 
 (* Bounded geometric size sample: >= 1, < cap, continue-probability p. *)
@@ -214,3 +217,6 @@ let generate profile =
 
 (** Structural summary of the generated workload (our Table 3 row). *)
 let summarize profile = Ds_cfg.Summary.of_blocks (generate profile)
+
+(** Corpus view for the sharding driver: label x generated blocks. *)
+let corpus profiles = List.map (fun p -> (p.name, generate p)) profiles
