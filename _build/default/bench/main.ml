@@ -2,13 +2,17 @@
 
     Usage: [main.exe [experiment ...]] where experiment is one of
     [table1 table2 table3 table4 table5 figure1 pairing levels window
-    transitive schedulers parallel shard micro].  With no arguments,
-    everything runs in order.  [parallel] compares 1-domain and N-domain
-    batch scheduling and writes BENCH_parallel.json (domain count
-    overridable with DAGSCHED_BENCH_DOMAINS; DAGSCHED_BENCH_RUNS=1 for a
-    smoke run); [shard] runs the whole nine-benchmark corpus through the
-    sharding driver and writes BENCH_shard.json (shard count overridable
-    with DAGSCHED_BENCH_SHARDS).
+    transitive schedulers parallel shard fleet micro].  With no
+    arguments, everything runs in order.  [parallel] compares 1-domain
+    and N-domain batch scheduling and writes BENCH_parallel.json (domain
+    count overridable with DAGSCHED_BENCH_DOMAINS; DAGSCHED_BENCH_RUNS=1
+    for a smoke run); [shard] runs the whole nine-benchmark corpus
+    through the sharding driver and writes BENCH_shard.json (shard count
+    overridable with DAGSCHED_BENCH_SHARDS); [fleet] pushes the same
+    corpus through worker OS processes (schedtool worker), checks the
+    aggregate against the in-process shard run, and writes
+    BENCH_fleet.json (worker count overridable with
+    DAGSCHED_BENCH_WORKERS; schedtool path with DAGSCHED_SCHEDTOOL).
 
     Timing methodology mirrors the paper's: each benchmark's full
     instruction-scheduling pipeline (DAG construction, intermediate
@@ -677,6 +681,134 @@ let shard_bench () =
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* multi-process fleet: the same nine-benchmark corpus through worker OS
+   processes, differentially checked against the in-process shard run,
+   with a machine-readable BENCH_fleet.json *)
+
+let fleet_bench () =
+  heading "Multi-process fleet: nine benchmarks across worker processes";
+  let schedtool =
+    match Sys.getenv_opt "DAGSCHED_SCHEDTOOL" with
+    | Some p -> p
+    | None ->
+        Filename.concat
+          (Filename.dirname Sys.executable_name)
+          (Filename.concat ".." (Filename.concat "bin" "schedtool.exe"))
+  in
+  if not (Sys.file_exists schedtool) then
+    Printf.printf
+      "schedtool binary not found at %s (set DAGSCHED_SCHEDTOOL); skipping\n"
+      schedtool
+  else begin
+    let n_workers =
+      match Sys.getenv_opt "DAGSCHED_BENCH_WORKERS" with
+      | Some s -> (try max 1 (int_of_string s) with _ -> 3)
+      | None -> 3
+    in
+    let corpus = Profiles.corpus Profiles.benchmarks in
+    Printf.printf
+      "(the whole Table-3 corpus — %d programs, one file each — partitioned\n\
+      \ across %d worker processes (schedtool worker), single-domain workers;\n\
+      \ DAGSCHED_BENCH_WORKERS overrides; aggregate checked against the\n\
+      \ in-process shard driver)\n"
+      (List.length corpus) n_workers;
+    (* workers re-read the corpus from disk, so write each program out
+       with the block labels `schedtool gen` uses — without them the
+       blocks would merge on re-parse *)
+    let dir = Filename.temp_file "dagsched_bench_fleet" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o700;
+    let files =
+      List.map
+        (fun (name, blocks) ->
+          let path = Filename.concat dir (name ^ ".s") in
+          Out_channel.with_open_text path (fun oc ->
+              List.iter
+                (fun b ->
+                  Printf.fprintf oc "B%d:\n%s" b.Block.id
+                    (Parser.print_program (Block.to_list b)))
+                blocks);
+          path)
+        corpus
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) files;
+        try Sys.rmdir dir with Sys_error _ -> ())
+    @@ fun () ->
+    (* in-process reference over the same bytes the workers will read *)
+    let reread =
+      List.map
+        (fun path ->
+          ( path,
+            Cfg_builder.partition
+              (Parser.parse_program
+                 (In_channel.with_open_text path In_channel.input_all)) ))
+        files
+    in
+    let _, reference =
+      Shard.run ~domains:1 ~shards:n_workers Batch.section6 reread
+    in
+    let manifests =
+      Fleet.plan ~workers:n_workers ~algorithm:Builder.Table_forward
+        ~strategy:Disambiguate.Symbolic ~model:Latency.simple_risc.Latency.name
+        ~domains:1 files
+    in
+    let fleet_s, t =
+      Stats.time_runs ~runs:1 (fun () ->
+          Fleet.run ~worker:[| schedtool; "worker" |] ~corpus:files manifests)
+    in
+    let ints (r : Batch.report) =
+      ( r.Batch.blocks, r.Batch.insns, r.Batch.arcs, r.Batch.original_cycles,
+        r.Batch.scheduled_cycles, r.Batch.stalls )
+    in
+    (* inline differential check: process isolation must not change the
+       aggregate statistics, only the accounting *)
+    assert (Fleet.failed_shards t = []);
+    assert (ints t.Fleet.aggregate = ints reference.Shard.aggregate);
+    let tbl =
+      Table.create ~title:""
+        [ "worker"; "files"; "blocks"; "insns"; "attempts"; "wall ms" ]
+    in
+    List.iter
+      (fun (l : Fleet.worker_log) ->
+        let blocks, insns =
+          match l.Fleet.report with
+          | Some r -> (string_of_int r.Batch.blocks, string_of_int r.Batch.insns)
+          | None -> ("-", "-")
+        in
+        Table.add_row tbl
+          [ string_of_int l.Fleet.shard;
+            string_of_int (List.length l.Fleet.files); blocks; insns;
+            string_of_int l.Fleet.attempts;
+            Table.fmt_float (1000.0 *. l.Fleet.wall_s) ])
+      t.Fleet.logs;
+    Table.print tbl;
+    Printf.printf
+      "fleet aggregate == in-process shard aggregate (%d blocks, %d -> %d \
+       cycles); %.1f ms wall\n"
+      t.Fleet.aggregate.Batch.blocks t.Fleet.aggregate.Batch.original_cycles
+      t.Fleet.aggregate.Batch.scheduled_cycles (1000.0 *. fleet_s);
+    let json =
+      Stats.Json.Obj
+        [ ("experiment", Stats.Json.String "fleet");
+          ("workers", Stats.Json.Int n_workers);
+          ("total_s", Stats.Json.Float fleet_s);
+          ("fleet", Fleet.to_json t);
+          ("reference", Shard.merged_to_json reference) ]
+    in
+    let text = Stats.Json.to_string json in
+    (match Stats.Json.of_string text with
+    | Ok _ -> ()
+    | Error msg -> failwith ("BENCH_fleet.json does not parse back: " ^ msg));
+    let path = "BENCH_fleet.json" in
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc text;
+        output_char oc '\n');
+    Printf.printf "wrote %s\n" path
+  end
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks: per-block construction cost *)
 
 let micro () =
@@ -1115,7 +1247,8 @@ let experiments =
     ("superscalar", superscalar_bench); ("delayslots", delayslots);
     ("attributes", attributes); ("reservation", reservation_bench);
     ("structure", structure); ("pressure", pressure);
-    ("parallel", parallel); ("shard", shard_bench); ("micro", micro) ]
+    ("parallel", parallel); ("shard", shard_bench); ("fleet", fleet_bench);
+    ("micro", micro) ]
 
 let () =
   let requested =

@@ -535,6 +535,236 @@ let shard_cmd =
       $ policy $ json_path $ quiet $ files)
 
 (* ------------------------------------------------------------------ *)
+(* worker: one fleet shard, driven by a manifest file *)
+
+let worker_cmd =
+  let run manifest_path =
+    (* the crash-injection knob fires before any work so a sabotaged
+       worker looks like a worker that died early *)
+    Fleet.maybe_sabotage ();
+    let text =
+      try read_input manifest_path
+      with Sys_error msg ->
+        Printf.eprintf "manifest error: %s\n" msg;
+        exit 2
+    in
+    let manifest =
+      match Stats.Json.of_string text with
+      | Error msg ->
+          Printf.eprintf "manifest error: %s\n" msg;
+          exit 2
+      | Ok json -> (
+          match Fleet.manifest_of_json json with
+          | Error e ->
+              Printf.eprintf "manifest error: %s\n"
+                (Stats.Json.error_to_string e);
+              exit 2
+          | Ok m -> m)
+    in
+    let config =
+      match Fleet.config_of_manifest manifest with
+      | Ok c -> c
+      | Error msg ->
+          Printf.eprintf "manifest error: %s\n" msg;
+          exit 2
+    in
+    let blocks =
+      try List.concat_map load_blocks manifest.Fleet.files
+      with Sys_error msg ->
+        (* an unreadable corpus file is this worker's failure, reported
+           cleanly so the orchestrator degrades instead of seeing a crash *)
+        Printf.eprintf "input error: %s\n" msg;
+        exit 2
+    in
+    let _, report =
+      Batch.run_with_report ~domains:manifest.Fleet.domains config blocks
+    in
+    print_string (Stats.Json.to_string (Batch.report_to_json report));
+    print_newline ()
+  in
+  let manifest_arg =
+    Arg.(
+      value & pos 0 string "-"
+      & info [] ~docv:"MANIFEST"
+          ~doc:"Shard manifest JSON ('-' for stdin): files + pipeline \
+                options, as written by $(b,schedtool fleet).")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Run one fleet shard: read a manifest, run the batch pipeline over \
+          its files, print the aggregate report as JSON on stdout.  Spawned \
+          by $(b,schedtool fleet); usable standalone for debugging.")
+    Term.(const run $ manifest_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fleet: shards as separate OS processes with supervision *)
+
+let timeout_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some t when Float.is_finite t && t > 0.0 -> Ok t
+    | _ -> Error (`Msg (Printf.sprintf "timeout must be a positive number of seconds, got %S" s))
+  in
+  Arg.conv (parse, fun fmt t -> Format.fprintf fmt "%g" t)
+
+let retries_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some r when r >= 0 -> Ok r
+    | _ -> Error (`Msg (Printf.sprintf "retries must be a non-negative integer, got %S" s))
+  in
+  Arg.conv (parse, fun fmt r -> Format.pp_print_int fmt r)
+
+let fleet_cmd =
+  let run alg model strategy jobs workers timeout retries backoff policy
+      json_path quiet files =
+    let files = if files = [] then [ "-" ] else files in
+    let domains = if jobs <= 0 then Pool.recommended () else jobs in
+    let workers = if workers <= 0 then List.length files else workers in
+    let manifests =
+      Fleet.plan ~policy ~workers ~algorithm:alg ~strategy
+        ~model:model.Latency.name ~domains files
+    in
+    let options =
+      { Fleet.default_options with
+        Fleet.timeout_s = timeout; retries; backoff_s = backoff }
+    in
+    let t =
+      Fleet.run ~options
+        ~worker:[| Sys.executable_name; "worker" |]
+        ~corpus:files manifests
+    in
+    if not quiet then
+      List.iter
+        (fun (l : Fleet.worker_log) ->
+          Printf.eprintf "worker %d: %s, %d attempt%s, %.1f ms%s\n"
+            l.Fleet.shard
+            (match l.Fleet.report with Some _ -> "ok" | None -> "FAILED")
+            l.Fleet.attempts
+            (if l.Fleet.attempts = 1 then "" else "s")
+            (1000.0 *. l.Fleet.wall_s)
+            (match l.Fleet.failures with
+            | [] -> ""
+            | fs ->
+                " ("
+                ^ String.concat "; " (List.map Fleet.failure_to_string fs)
+                ^ ")"))
+        t.Fleet.logs;
+    (match json_path with
+    | None -> ()
+    | Some path ->
+        let text = Stats.Json.to_string (Fleet.to_json t) ^ "\n" in
+        (* same self-check as batch/shard: the full report must
+           round-trip through the reader before we ship it *)
+        (match Stats.Json.of_string text with
+        | Ok json
+          when (match Fleet.of_json json with
+               | Ok t' -> Fleet.equal t t'
+               | Error _ -> false) -> ()
+        | Ok _ ->
+            Printf.eprintf "internal error: fleet JSON round trip mismatch\n";
+            exit 3
+        | Error msg ->
+            Printf.eprintf "internal error: fleet JSON does not parse: %s\n" msg;
+            exit 3);
+        if path = "-" then print_string text
+        else Out_channel.with_open_text path (fun oc -> output_string oc text));
+    (* stdout: the timing-free summary — byte-stable across --workers /
+       --retries on a fault-free corpus (the full timed report goes to
+       --json) *)
+    if json_path <> Some "-" then
+      print_string (Stats.Json.to_string (Fleet.summary_to_json t) ^ "\n");
+    let agg = t.Fleet.aggregate in
+    Printf.eprintf
+      "fleet: %d files, %d workers, %d blocks, %d -> %d cycles, %.1f ms wall%s\n"
+      (List.length files) t.Fleet.workers agg.Batch.blocks
+      agg.Batch.original_cycles agg.Batch.scheduled_cycles
+      (1000.0 *. agg.Batch.wall_s)
+      (match Fleet.failed_shards t with
+      | [] -> ""
+      | fs ->
+          Printf.sprintf ", %d shard%s FAILED" (List.length fs)
+            (if List.length fs = 1 then "" else "s"));
+    if Fleet.failed_shards t <> [] then exit 4
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains per worker process (default 1: fleet \
+                parallelism comes from processes).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "w"; "workers" ] ~docv:"K"
+          ~doc:"Worker process count (0 or absent: one per input file).")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt timeout_conv Fleet.default_options.Fleet.timeout_s
+      & info [ "timeout" ] ~docv:"S"
+          ~doc:"Per-attempt wall-clock timeout in seconds (positive; a \
+                worker past it is killed and the attempt counts as failed).")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt retries_conv Fleet.default_options.Fleet.retries
+      & info [ "retries" ] ~docv:"R"
+          ~doc:"Extra attempts per shard after the first fails \
+                (non-negative; exponential backoff between attempts).")
+  in
+  let backoff =
+    Arg.(
+      value
+      & opt timeout_conv Fleet.default_options.Fleet.backoff_s
+      & info [ "backoff" ] ~docv:"S"
+          ~doc:"Initial retry backoff in seconds (doubles per attempt).")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Shard.Balanced
+      & info [ "p"; "policy" ] ~docv:"POLICY"
+          ~doc:"File partition policy: balanced (greedy on file size) or \
+                round-robin.")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full fleet report (aggregate + per-shard + \
+                supervision log) as JSON ('-' for stdout, replacing the \
+                summary).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-worker lines.")
+  in
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"Assembly inputs forming the corpus (must be real files — \
+                workers re-read them).")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Partition a multi-file corpus across worker OS processes \
+          ($(b,schedtool worker)) with per-worker timeouts, retries with \
+          exponential backoff, and graceful degradation (a permanently \
+          failed shard is reported, not fatal to the rest; exit code 4).  \
+          Aggregate statistics match $(b,schedtool shard) for any \
+          $(b,--workers) and $(b,--retries).")
+    Term.(
+      const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ workers
+      $ timeout $ retries $ backoff $ policy $ json_path $ quiet $ files)
+
+(* ------------------------------------------------------------------ *)
 (* dot *)
 
 let dot_cmd =
@@ -592,5 +822,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; stats_cmd; build_cmd; schedule_cmd; compare_cmd;
-            optimal_cmd; chain_cmd; batch_cmd; shard_cmd; dot_cmd;
-            gantt_cmd ]))
+            optimal_cmd; chain_cmd; batch_cmd; shard_cmd; worker_cmd;
+            fleet_cmd; dot_cmd; gantt_cmd ]))

@@ -99,9 +99,10 @@ module Reglimit = Ds_sched.Reglimit
 module Gantt = Ds_sched.Gantt
 module Emit = Ds_sched.Emit
 
-(* parallel batch driver + corpus sharding *)
+(* parallel batch driver + corpus sharding + multi-process fleet *)
 module Batch = Ds_driver.Batch
 module Shard = Ds_driver.Shard
+module Fleet = Ds_driver.Fleet
 
 (* workloads *)
 module Gen = Ds_workload.Gen

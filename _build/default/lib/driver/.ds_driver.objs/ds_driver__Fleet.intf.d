@@ -1,0 +1,1 @@
+lib/driver/fleet.mli: Batch Ds_dag Ds_util Shard Stdlib

@@ -184,21 +184,12 @@ let report_to_json r =
       ("block_s_mean", Json.Float r.block_s_mean);
       ("block_s_max", Json.Float r.block_s_max) ]
 
-let report_of_json json =
-  let int_field k =
-    match Json.member k json with
-    | Some (Json.Int i) -> Ok i
-    | _ -> Error (Printf.sprintf "missing or non-int field %S" k)
-  in
-  let float_field k =
-    match Json.member k json with
-    | Some (Json.Float f) -> Ok f
-    | Some (Json.Int i) -> Ok (float_of_int i)
-    (* the writer encodes non-finite floats as null; reading null back as
-       nan makes the round trip total (compare with report_equal) *)
-    | Some Json.Null -> Ok Float.nan
-    | _ -> Error (Printf.sprintf "missing or non-number field %S" k)
-  in
+let report_of_json ?(path = []) json =
+  (* get_float maps null back to nan: the writer encodes non-finite
+     floats as null, so the round trip stays total (compare with
+     report_equal) *)
+  let int_field k = Json.get_int ~path k json in
+  let float_field k = Json.get_float ~path k json in
   let ( let* ) = Result.bind in
   let* domains = int_field "domains" in
   let* blocks = int_field "blocks" in

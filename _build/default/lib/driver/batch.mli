@@ -103,4 +103,12 @@ val report_equal : report -> report -> bool
     up to {!report_equal}. *)
 val report_to_json : report -> Ds_util.Stats.Json.t
 
-val report_of_json : Ds_util.Stats.Json.t -> (report, string) Stdlib.result
+(** The reader is total over arbitrary JSON values: malformed, truncated
+    or wrong-schema input yields a typed {!Ds_util.Stats.Json.error}
+    naming the offending field — no exception escapes.  [path] prefixes
+    the error path when the report is embedded in a larger document
+    (e.g. a {!Shard} merged report's [aggregate] field). *)
+val report_of_json :
+  ?path:string list ->
+  Ds_util.Stats.Json.t ->
+  (report, Ds_util.Stats.Json.error) Stdlib.result

@@ -1,0 +1,463 @@
+(** Multi-process fleet runner: shards as separate OS worker processes
+    with fault-tolerant supervision.  See fleet.mli for the contract. *)
+
+module Json = Ds_util.Stats.Json
+
+(* ------------------------------------------------------------------ *)
+(* shard manifests *)
+
+type manifest = {
+  files : string list;
+  algorithm : Ds_dag.Builder.algorithm;
+  strategy : Ds_dag.Disambiguate.t;
+  model : string;
+  domains : int;
+}
+
+let manifest_to_json m =
+  Json.Obj
+    [ ("files", Json.List (List.map (fun f -> Json.String f) m.files));
+      ("algorithm", Json.String (Ds_dag.Builder.to_string m.algorithm));
+      ("strategy", Json.String (Ds_dag.Disambiguate.to_string m.strategy));
+      ("model", Json.String m.model);
+      ("domains", Json.Int m.domains) ]
+
+let manifest_of_json ?(path = []) json =
+  let ( let* ) = Result.bind in
+  let* files = Json.get_list ~path "files" Json.decode_string json in
+  let* algorithm_name = Json.get_string ~path "algorithm" json in
+  let* algorithm =
+    match Ds_dag.Builder.of_string algorithm_name with
+    | Some a -> Ok a
+    | None ->
+        Json.decode_error ~path:(path @ [ "algorithm" ])
+          (Printf.sprintf "unknown algorithm %S" algorithm_name)
+  in
+  let* strategy_name = Json.get_string ~path "strategy" json in
+  let* strategy =
+    match Ds_dag.Disambiguate.of_string strategy_name with
+    | Some s -> Ok s
+    | None ->
+        Json.decode_error ~path:(path @ [ "strategy" ])
+          (Printf.sprintf "unknown strategy %S" strategy_name)
+  in
+  let* model = Json.get_string ~path "model" json in
+  let* domains = Json.get_int ~path "domains" json in
+  Ok { files; algorithm; strategy; model; domains = max 1 domains }
+
+let config_of_manifest m =
+  match Ds_machine.Latency.by_name m.model with
+  | None -> Error (Printf.sprintf "unknown latency model %S" m.model)
+  | Some model ->
+      Ok
+        { Batch.section6 with
+          Batch.algorithm = m.algorithm;
+          opts =
+            { Ds_dag.Opts.default with
+              Ds_dag.Opts.model; strategy = m.strategy } }
+
+let plan ?(policy = Shard.Balanced) ~workers ~algorithm ~strategy ~model
+    ~domains files =
+  let workers = max 1 workers in
+  (* weight = file byte size: the only balance signal available without
+     parsing; an unreadable file weighs 0 and its worker reports the
+     failure, which is the degradation path, not an orchestrator error *)
+  let weight f = try (Unix.stat f).Unix.st_size with Unix.Unix_error _ -> 0 in
+  Shard.partition_weighted policy ~shards:workers ~weight files
+  |> Array.map (fun files -> { files; algorithm; strategy; model; domains })
+  |> Array.to_list
+
+(* ------------------------------------------------------------------ *)
+(* supervision outcomes *)
+
+type failure =
+  | Exited of int
+  | Signaled of int
+  | Timed_out
+  | Bad_output of string
+
+let failure_to_string = function
+  | Exited c -> Printf.sprintf "exit %d" c
+  | Signaled s -> Printf.sprintf "signal %d" s
+  | Timed_out -> "timeout"
+  | Bad_output msg -> "bad output: " ^ msg
+
+type worker_log = {
+  shard : int;
+  files : string list;
+  attempts : int;
+  failures : failure list;
+  wall_s : float;
+  report : Batch.report option;
+}
+
+type t = {
+  workers : int;
+  timeout_s : float;
+  retries : int;
+  corpus : string list;
+  aggregate : Batch.report;
+  logs : worker_log list;
+}
+
+let per_shard t = List.filter_map (fun l -> l.report) t.logs
+
+let failed_shards t =
+  List.filter_map
+    (fun l -> if l.report = None then Some l.shard else None)
+    t.logs
+
+type options = {
+  timeout_s : float;
+  retries : int;
+  backoff_s : float;
+  poll_s : float;
+}
+
+let default_options =
+  { timeout_s = 60.0; retries = 2; backoff_s = 0.1; poll_s = 0.005 }
+
+(* ------------------------------------------------------------------ *)
+(* the supervisor *)
+
+type slot_state =
+  | Waiting of float (* earliest next-attempt time *)
+  | Running of { pid : int; started : float }
+  | Finished
+
+type slot = {
+  index : int;
+  manifest : manifest;
+  manifest_path : string;
+  out_path : string;
+  mutable state : slot_state;
+  mutable attempts : int;
+  mutable rev_failures : failure list;
+  mutable work_s : float;
+  mutable result : Batch.report option;
+}
+
+let worker_env ~shard ~attempt =
+  let ours e =
+    String.starts_with ~prefix:"DAGSCHED_WORKER_SHARD=" e
+    || String.starts_with ~prefix:"DAGSCHED_WORKER_ATTEMPT=" e
+  in
+  let base =
+    Array.to_list (Unix.environment ()) |> List.filter (fun e -> not (ours e))
+  in
+  Array.of_list
+    (base
+    @ [ "DAGSCHED_WORKER_SHARD=" ^ string_of_int shard;
+        "DAGSCHED_WORKER_ATTEMPT=" ^ string_of_int attempt ])
+
+let parse_output slot =
+  match In_channel.with_open_bin slot.out_path In_channel.input_all with
+  | exception Sys_error msg -> Error (Bad_output ("unreadable output: " ^ msg))
+  | text -> (
+      match Json.of_string text with
+      | Error msg -> Error (Bad_output ("output does not parse: " ^ msg))
+      | Ok json -> (
+          match Batch.report_of_json json with
+          | Ok r -> Ok r
+          | Error e ->
+              Error (Bad_output ("bad report: " ^ Json.error_to_string e))))
+
+let run ?(options = default_options) ~worker ~corpus manifests =
+  let timeout_s = Float.max 1e-3 options.timeout_s in
+  let retries = max 0 options.retries in
+  let backoff_s = Float.max 0.0 options.backoff_s in
+  let poll_s = Float.max 1e-4 options.poll_s in
+  let wall0 = Unix.gettimeofday () in
+  let slots =
+    List.mapi
+      (fun index m ->
+        let manifest_path = Filename.temp_file "dagsched_manifest" ".json" in
+        Out_channel.with_open_text manifest_path (fun oc ->
+            output_string oc (Json.to_string (manifest_to_json m));
+            output_char oc '\n');
+        { index; manifest = m; manifest_path;
+          out_path = Filename.temp_file "dagsched_worker" ".json";
+          state = Waiting 0.0; attempts = 0; rev_failures = [];
+          work_s = 0.0; result = None })
+      manifests
+  in
+  let cleanup () =
+    List.iter
+      (fun s ->
+        (try Sys.remove s.manifest_path with Sys_error _ -> ());
+        try Sys.remove s.out_path with Sys_error _ -> ())
+      slots
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let spawn slot =
+    slot.attempts <- slot.attempts + 1;
+    let argv = Array.append worker [| slot.manifest_path |] in
+    let fd =
+      Unix.openfile slot.out_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+        0o600
+    in
+    let pid =
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          Unix.create_process_env argv.(0) argv
+            (worker_env ~shard:slot.index ~attempt:slot.attempts)
+            Unix.stdin fd Unix.stderr)
+    in
+    slot.state <- Running { pid; started = Unix.gettimeofday () }
+  in
+  let settle slot started outcome =
+    slot.work_s <- slot.work_s +. (Unix.gettimeofday () -. started);
+    match outcome with
+    | Ok r ->
+        slot.result <- Some r;
+        slot.state <- Finished
+    | Error f ->
+        slot.rev_failures <- f :: slot.rev_failures;
+        if slot.attempts > retries then slot.state <- Finished
+        else
+          (* exponential backoff: backoff_s, 2*backoff_s, 4*backoff_s, ... *)
+          let delay = backoff_s *. (2.0 ** float_of_int (slot.attempts - 1)) in
+          slot.state <- Waiting (Unix.gettimeofday () +. delay)
+  in
+  let unfinished () = List.exists (fun s -> s.state <> Finished) slots in
+  while unfinished () do
+    let progressed = ref false in
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun slot ->
+        match slot.state with
+        | Finished -> ()
+        | Waiting not_before ->
+            if not_before <= now then begin
+              spawn slot;
+              progressed := true
+            end
+        | Running { pid; started } -> (
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ ->
+                if now -. started > timeout_s then begin
+                  (* a kill on an already-exited pid still succeeds while
+                     the zombie is unreaped, so this cannot race *)
+                  (try Unix.kill pid Sys.sigkill
+                   with Unix.Unix_error _ -> ());
+                  ignore (Unix.waitpid [] pid);
+                  settle slot started (Error Timed_out);
+                  progressed := true
+                end
+            | _, status ->
+                let outcome =
+                  match status with
+                  | Unix.WEXITED 0 -> parse_output slot
+                  | Unix.WEXITED c -> Error (Exited c)
+                  | Unix.WSIGNALED s | Unix.WSTOPPED s -> Error (Signaled s)
+                in
+                settle slot started outcome;
+                progressed := true))
+      slots;
+    if (not !progressed) && unfinished () then Unix.sleepf poll_s
+  done;
+  let wall_s = Unix.gettimeofday () -. wall0 in
+  let logs =
+    List.map
+      (fun s ->
+        { shard = s.index; files = s.manifest.files; attempts = s.attempts;
+          failures = List.rev s.rev_failures; wall_s = s.work_s;
+          report = s.result })
+      slots
+  in
+  let domains =
+    match manifests with m :: _ -> max 1 m.domains | [] -> 1
+  in
+  let surviving = List.filter_map (fun s -> s.result) slots in
+  { workers = List.length manifests; timeout_s; retries; corpus;
+    aggregate = Batch.report_merge ~domains ~wall_s surviving; logs }
+
+(* ------------------------------------------------------------------ *)
+(* equality (field-wise, NaN-tolerant on embedded reports) *)
+
+let float_eq a b = a = b || (Float.is_nan a && Float.is_nan b)
+
+let report_opt_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> Batch.report_equal a b
+  | _ -> false
+
+let log_equal a b =
+  a.shard = b.shard && a.files = b.files && a.attempts = b.attempts
+  && a.failures = b.failures
+  && float_eq a.wall_s b.wall_s
+  && report_opt_equal a.report b.report
+
+let equal a b =
+  a.workers = b.workers
+  && float_eq a.timeout_s b.timeout_s
+  && a.retries = b.retries && a.corpus = b.corpus
+  && Batch.report_equal a.aggregate b.aggregate
+  && List.length a.logs = List.length b.logs
+  && List.for_all2 log_equal a.logs b.logs
+
+(* ------------------------------------------------------------------ *)
+(* JSON: the shard merged-report shape (corpus/aggregate/per_shard) plus
+   a fleet section, so downstream aggregate consumers read both alike *)
+
+let failure_to_json = function
+  | Exited c -> Json.Obj [ ("kind", Json.String "exit"); ("code", Json.Int c) ]
+  | Signaled s ->
+      Json.Obj [ ("kind", Json.String "signal"); ("signal", Json.Int s) ]
+  | Timed_out -> Json.Obj [ ("kind", Json.String "timeout") ]
+  | Bad_output msg ->
+      Json.Obj
+        [ ("kind", Json.String "bad-output"); ("message", Json.String msg) ]
+
+let failure_of_json ~path json =
+  let ( let* ) = Result.bind in
+  let* kind = Json.get_string ~path "kind" json in
+  match kind with
+  | "exit" ->
+      let* code = Json.get_int ~path "code" json in
+      Ok (Exited code)
+  | "signal" ->
+      let* s = Json.get_int ~path "signal" json in
+      Ok (Signaled s)
+  | "timeout" -> Ok Timed_out
+  | "bad-output" ->
+      let* msg = Json.get_string ~path "message" json in
+      Ok (Bad_output msg)
+  | k ->
+      Json.decode_error ~path:(path @ [ "kind" ])
+        (Printf.sprintf "unknown failure kind %S" k)
+
+let log_to_json l =
+  Json.Obj
+    [ ("shard", Json.Int l.shard);
+      ("files", Json.List (List.map (fun f -> Json.String f) l.files));
+      ("status", Json.String (if l.report = None then "failed" else "ok"));
+      ("attempts", Json.Int l.attempts);
+      ("failures", Json.List (List.map failure_to_json l.failures));
+      ("wall_s", Json.Float l.wall_s) ]
+
+let to_json t =
+  Json.Obj
+    [ ("workers", Json.Int t.workers);
+      ("timeout_s", Json.Float t.timeout_s);
+      ("retries", Json.Int t.retries);
+      ("corpus", Json.List (List.map (fun l -> Json.String l) t.corpus));
+      ("aggregate", Batch.report_to_json t.aggregate);
+      ( "per_shard",
+        Json.List (List.map Batch.report_to_json (per_shard t)) );
+      ( "failed_shards",
+        Json.List (List.map (fun i -> Json.Int i) (failed_shards t)) );
+      ("fleet", Json.List (List.map log_to_json t.logs)) ]
+
+let log_of_json ~path json =
+  let ( let* ) = Result.bind in
+  let* shard = Json.get_int ~path "shard" json in
+  let* files = Json.get_list ~path "files" Json.decode_string json in
+  let* status = Json.get_string ~path "status" json in
+  let* ok =
+    match status with
+    | "ok" -> Ok true
+    | "failed" -> Ok false
+    | s ->
+        Json.decode_error ~path:(path @ [ "status" ])
+          (Printf.sprintf "unknown status %S" s)
+  in
+  let* attempts = Json.get_int ~path "attempts" json in
+  let* failures = Json.get_list ~path "failures" failure_of_json json in
+  let* wall_s = Json.get_float ~path "wall_s" json in
+  (* the per-shard report is carried in the top-level per_shard list and
+     re-attached by of_json below *)
+  Ok (ok, { shard; files; attempts; failures; wall_s; report = None })
+
+let of_json ?(path = []) json =
+  let ( let* ) = Result.bind in
+  let* workers = Json.get_int ~path "workers" json in
+  let* timeout_s = Json.get_float ~path "timeout_s" json in
+  let* retries = Json.get_int ~path "retries" json in
+  let* corpus = Json.get_list ~path "corpus" Json.decode_string json in
+  let* aggregate_json = Json.get_field ~path "aggregate" json in
+  let* aggregate =
+    Batch.report_of_json ~path:(path @ [ "aggregate" ]) aggregate_json
+  in
+  let* reports =
+    Json.get_list ~path "per_shard"
+      (fun ~path x -> Batch.report_of_json ~path x)
+      json
+  in
+  let* tagged_logs = Json.get_list ~path "fleet" log_of_json json in
+  (* zip the surviving reports (shard order) back onto the "ok" logs *)
+  let rec attach acc reports = function
+    | [] ->
+        if reports = [] then Ok (List.rev acc)
+        else
+          Json.decode_error ~path:(path @ [ "per_shard" ])
+            "more reports than surviving workers"
+    | (true, log) :: rest -> (
+        match reports with
+        | r :: reports -> attach ({ log with report = Some r } :: acc) reports rest
+        | [] ->
+            Json.decode_error ~path:(path @ [ "per_shard" ])
+              "fewer reports than surviving workers")
+    | (false, log) :: rest -> attach (log :: acc) reports rest
+  in
+  let* logs = attach [] reports tagged_logs in
+  Ok { workers; timeout_s; retries; corpus; aggregate; logs }
+
+(* timing-free, so `schedtool fleet` stdout is byte-stable across
+   --workers / --retries for a fault-free corpus *)
+let summary_to_json t =
+  let a = t.aggregate in
+  Json.Obj
+    [ ("corpus", Json.List (List.map (fun l -> Json.String l) t.corpus));
+      ("blocks", Json.Int a.Batch.blocks);
+      ("insns", Json.Int a.Batch.insns);
+      ("arcs", Json.Int a.Batch.arcs);
+      ("original_cycles", Json.Int a.Batch.original_cycles);
+      ("scheduled_cycles", Json.Int a.Batch.scheduled_cycles);
+      ("stalls", Json.Int a.Batch.stalls);
+      ( "failed_shards",
+        Json.List (List.map (fun i -> Json.Int i) (failed_shards t)) ) ]
+
+(* ------------------------------------------------------------------ *)
+(* crash injection (test knob) *)
+
+let sabotage_exit_code = 7
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some i -> i
+      | None -> default)
+  | None -> default
+
+let maybe_sabotage () =
+  match Sys.getenv_opt "DAGSCHED_WORKER_FAIL" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      let attempt = env_int "DAGSCHED_WORKER_ATTEMPT" 1 in
+      let shard = env_int "DAGSCHED_WORKER_SHARD" 0 in
+      let mode, upto, target =
+        match String.split_on_char ':' spec with
+        | [ m; n ] -> (m, int_of_string_opt n, None)
+        | [ m; n; s ] -> (m, int_of_string_opt n, int_of_string_opt s)
+        | _ -> (spec, None, None)
+      in
+      let applies =
+        (match upto with Some n -> attempt <= n | None -> false)
+        && match target with Some t -> t = shard | None -> true
+      in
+      if applies then
+        match mode with
+        | "exit" -> exit sabotage_exit_code
+        | "truncate" ->
+            (* half a report: parses as garbage, exercises Bad_output *)
+            print_string "{\"domains\": 1, \"blocks\": ";
+            exit 0
+        | "hang" ->
+            (* far past any sane timeout; the orchestrator must kill us *)
+            Unix.sleepf 3600.0;
+            exit sabotage_exit_code
+        | _ -> ())

@@ -18,9 +18,9 @@ let policy_of_string s =
 
 type corpus = (string * Ds_cfg.Block.t list) list
 
-let partition policy ~shards blocks =
+let partition_weighted policy ~shards ~weight items =
   let shards = max 1 shards in
-  let arr = Array.of_list blocks in
+  let arr = Array.of_list items in
   let n = Array.length arr in
   (* member index lists per shard, assembled back in corpus order so a
      shard's batch sees its blocks in the same relative order the corpus
@@ -32,7 +32,7 @@ let partition policy ~shards blocks =
         members.(i mod shards) <- i :: members.(i mod shards)
       done
   | Balanced ->
-      let weight i = Ds_cfg.Block.length arr.(i) in
+      let weight i = weight arr.(i) in
       let order = Array.init n Fun.id in
       (* largest first; ties broken by corpus position for determinism *)
       Array.sort
@@ -55,6 +55,9 @@ let partition policy ~shards blocks =
         (fun s is -> members.(s) <- List.sort compare is)
         members);
   Array.map (fun is -> List.map (fun i -> arr.(i)) is) members
+
+let partition policy ~shards blocks =
+  partition_weighted policy ~shards ~weight:Ds_cfg.Block.length blocks
 
 type merged = {
   shards : int;
@@ -111,48 +114,25 @@ let merged_to_json m =
       ("aggregate", Batch.report_to_json m.aggregate);
       ("per_shard", Json.List (List.map Batch.report_to_json m.per_shard)) ]
 
-let merged_of_json json =
+let merged_of_json ?(path = []) json =
   let ( let* ) = Result.bind in
-  let field k =
-    match Json.member k json with
-    | Some v -> Ok v
-    | None -> Error (Printf.sprintf "missing field %S" k)
-  in
-  let* shards =
-    match Json.member "shards" json with
-    | Some (Json.Int i) -> Ok i
-    | _ -> Error "missing or non-int field \"shards\""
-  in
+  let* shards = Json.get_int ~path "shards" json in
+  let* policy_name = Json.get_string ~path "policy" json in
   let* policy =
-    match Json.member "policy" json with
-    | Some (Json.String s) -> (
-        match policy_of_string s with
-        | Some p -> Ok p
-        | None -> Error (Printf.sprintf "unknown policy %S" s))
-    | _ -> Error "missing or non-string field \"policy\""
+    match policy_of_string policy_name with
+    | Some p -> Ok p
+    | None ->
+        Json.decode_error ~path:(path @ [ "policy" ])
+          (Printf.sprintf "unknown policy %S" policy_name)
   in
-  let* corpus =
-    match Json.member "corpus" json with
-    | Some (Json.List xs) ->
-        List.fold_right
-          (fun x acc ->
-            let* acc = acc in
-            match x with
-            | Json.String s -> Ok (s :: acc)
-            | _ -> Error "non-string corpus label")
-          xs (Ok [])
-    | _ -> Error "missing or non-list field \"corpus\""
+  let* corpus = Json.get_list ~path "corpus" Json.decode_string json in
+  let* aggregate_json = Json.get_field ~path "aggregate" json in
+  let* aggregate =
+    Batch.report_of_json ~path:(path @ [ "aggregate" ]) aggregate_json
   in
-  let* aggregate = Result.bind (field "aggregate") Batch.report_of_json in
   let* per_shard =
-    match Json.member "per_shard" json with
-    | Some (Json.List xs) ->
-        List.fold_right
-          (fun x acc ->
-            let* acc = acc in
-            let* r = Batch.report_of_json x in
-            Ok (r :: acc))
-          xs (Ok [])
-    | _ -> Error "missing or non-list field \"per_shard\""
+    Json.get_list ~path "per_shard"
+      (fun ~path x -> Batch.report_of_json ~path x)
+      json
   in
   Ok { shards; policy; corpus; aggregate; per_shard }

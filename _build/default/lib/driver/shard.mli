@@ -45,6 +45,15 @@ type corpus = (string * Ds_cfg.Block.t list) list
 val partition :
   policy -> shards:int -> Ds_cfg.Block.t list -> Ds_cfg.Block.t list array
 
+(** The generalization behind {!partition}: deal arbitrary items across
+    shards, with [Balanced] greedily balancing the given [weight]
+    (largest-first onto the lightest shard).  {!Fleet} uses this to
+    spread corpus {e files} across worker processes by byte size, the
+    way {!partition} spreads blocks by instruction count.  Deterministic;
+    each shard keeps its items in input order. *)
+val partition_weighted :
+  policy -> shards:int -> weight:('a -> int) -> 'a list -> 'a list array
+
 (** Merged corpus report: the aggregate plus the per-shard breakdown
     (index [i] of [per_shard] is shard [i]'s {!Batch.report}; its
     [wall_s] is that shard's batch wall, while [aggregate.wall_s] is the
@@ -78,4 +87,13 @@ val merged_equal : merged -> merged -> bool
     Total up to {!merged_equal}, like the batch report round trip. *)
 val merged_to_json : merged -> Ds_util.Stats.Json.t
 
-val merged_of_json : Ds_util.Stats.Json.t -> (merged, string) Stdlib.result
+(** Total over arbitrary JSON: malformed, truncated or wrong-schema
+    input yields a typed {!Ds_util.Stats.Json.error} naming the
+    offending field (e.g. [$.per_shard[2].blocks]) — no exception
+    escapes.  This is the reader that accepts externally produced
+    reports (fleet workers, offline merges), so it must never trust its
+    input. *)
+val merged_of_json :
+  ?path:string list ->
+  Ds_util.Stats.Json.t ->
+  (merged, Ds_util.Stats.Json.error) Stdlib.result

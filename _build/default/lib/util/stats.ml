@@ -169,10 +169,21 @@ module Json = struct
             | 'u' ->
                 advance ();
                 if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
                 let code =
-                  try int_of_string ("0x" ^ String.sub s !pos 4)
-                  with _ -> fail "bad \\u escape"
+                  if
+                    String.for_all
+                      (function
+                        | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+                        | _ -> false)
+                      hex
+                  then int_of_string ("0x" ^ hex)
+                  else fail "bad \\u escape"
                 in
+                (* surrogate halves are not scalar values; Uchar.of_int
+                   would raise Invalid_argument and escape of_string's
+                   Error channel entirely *)
+                if not (Uchar.is_valid code) then fail "bad \\u escape";
                 pos := !pos + 4;
                 Buffer.add_utf_8_uchar buf (Uchar.of_int code)
             | _ -> fail "unknown escape");
@@ -266,6 +277,98 @@ module Json = struct
   let member key = function
     | Obj fields -> List.assoc_opt key fields
     | _ -> None
+
+  let type_name = function
+    | Null -> "null"
+    | Bool _ -> "a bool"
+    | Int _ -> "an int"
+    | Float _ -> "a float"
+    | String _ -> "a string"
+    | List _ -> "a list"
+    | Obj _ -> "an object"
+
+  (* ---------------------------------------------------------------- *)
+  (* Typed decode errors for schema readers (Batch.report_of_json and
+     friends).  A decoder threads the path from the document root down
+     to the offending value, so a malformed report names the exact
+     field instead of a bare "bad JSON". *)
+
+  type error = { path : string list; message : string }
+
+  let error_to_string e =
+    match e.path with
+    | [] -> e.message
+    | segs -> Printf.sprintf "$.%s: %s" (String.concat "." segs) e.message
+
+  (* the parser's [exception Error] shadows the result constructor, so
+     qualify *)
+  let decode_error ~path message = Result.Error { path; message }
+
+  let index_seg name i = Printf.sprintf "%s[%d]" name i
+
+  (* field accessors rooted at [path]; missing field and wrong type are
+     distinguished in the message *)
+  let get_field ~path k json =
+    match json with
+    | Obj _ -> (
+        match member k json with
+        | Some v -> Ok v
+        | None -> decode_error ~path:(path @ [ k ]) "missing field")
+    | v ->
+        decode_error ~path
+          (Printf.sprintf "expected an object, found %s" (type_name v))
+
+  let get_int ~path k json =
+    match get_field ~path k json with
+    | Ok (Int i) -> Ok i
+    | Ok v ->
+        decode_error ~path:(path @ [ k ])
+          (Printf.sprintf "expected an int, found %s" (type_name v))
+    | Error _ as e -> e
+
+  (* [Int] promotes; [Null] reads back as [nan] — the writer encodes
+     every non-finite float as null, so this keeps round trips total *)
+  let get_float ~path k json =
+    match get_field ~path k json with
+    | Ok (Float f) -> Ok f
+    | Ok (Int i) -> Ok (float_of_int i)
+    | Ok Null -> Ok Float.nan
+    | Ok v ->
+        decode_error ~path:(path @ [ k ])
+          (Printf.sprintf "expected a number, found %s" (type_name v))
+    | Error _ as e -> e
+
+  let get_string ~path k json =
+    match get_field ~path k json with
+    | Ok (String s) -> Ok s
+    | Ok v ->
+        decode_error ~path:(path @ [ k ])
+          (Printf.sprintf "expected a string, found %s" (type_name v))
+    | Error _ as e -> e
+
+  (* [get_list ~path k decode json] decodes field [k] as a list,
+     applying [decode] to each element with its indexed path. *)
+  let get_list ~path k decode json =
+    match get_field ~path k json with
+    | Ok (List xs) ->
+        let rec go i acc = function
+          | [] -> Ok (List.rev acc)
+          | x :: rest -> (
+              match decode ~path:(path @ [ index_seg k i ]) x with
+              | Ok v -> go (i + 1) (v :: acc) rest
+              | Error _ as e -> e)
+        in
+        go 0 [] xs
+    | Ok v ->
+        decode_error ~path:(path @ [ k ])
+          (Printf.sprintf "expected a list, found %s" (type_name v))
+    | Error _ as e -> e
+
+  let decode_string ~path = function
+    | String s -> Ok s
+    | v ->
+        decode_error ~path
+          (Printf.sprintf "expected a string, found %s" (type_name v))
 end
 
 (** Accumulator summary as JSON, for the perf reports. *)

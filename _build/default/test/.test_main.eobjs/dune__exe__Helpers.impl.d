@@ -1,1 +1,1 @@
-test/helpers.ml: Alcotest Array Block Builder Dag Dagsched Gen Insn Latency List Opts Parser Printf Prng QCheck QCheck_alcotest
+test/helpers.ml: Alcotest Array Block Builder Dag Dagsched Gen Insn Latency List Opts Parser Printf Prng QCheck QCheck_alcotest String

@@ -1,1 +1,1 @@
-test/test_driver.ml: Alcotest Array Batch Block Builder Dagsched Disambiguate Domain Float Format Helpers List Opts Parser Printf Profiles Shard Stats Summary Sys
+test/test_driver.ml: Alcotest Array Batch Block Builder Bytes Dagsched Disambiguate Domain Float Format Helpers List Opts Parser Printf Profiles Shard Stats String Summary Sys

@@ -141,4 +141,60 @@ if printf 'frobnicate %%o1\n' | "$TOOL" stats - 2> "$TMP/err"; then
 fi
 grep -q "line 1" "$TMP/err" || fail "parse error lacks line number"
 
+# worker: manifest round trip — the report on stdout is a plain batch
+# report over the manifest's files
+printf '{"files": ["%s"], "algorithm": "table-forward", "strategy": "base-offset", "model": "simple_risc", "domains": 1}\n' \
+  "$TMP/grep.s" > "$TMP/manifest.json"
+"$TOOL" worker "$TMP/manifest.json" > "$TMP/worker.json" 2>/dev/null \
+  || fail "worker failed"
+grep -q '"blocks": 730' "$TMP/worker.json" || fail "worker: wrong block count"
+grep -q '"wall_s": ' "$TMP/worker.json" || fail "worker: no wall clock"
+
+# a malformed manifest is a clean exit 2, not a crash
+printf '{"files": 3}\n' > "$TMP/badmanifest.json"
+"$TOOL" worker "$TMP/badmanifest.json" 2> "$TMP/err" && rc=0 || rc=$?
+[ "$rc" -eq 2 ] || fail "worker bad manifest: exit $rc, want 2"
+grep -q 'manifest error' "$TMP/err" || fail "worker bad manifest: no message"
+
+# fleet: multi-process orchestrator.  The summary on stdout is
+# timing-free, hence byte-identical across --workers, and the aggregate
+# int statistics must match the in-process shard driver's.
+"$TOOL" fleet -q --workers 1 --json "$TMP/f1.json" \
+  "$TMP/grep.s" "$TMP/linpack.s" > "$TMP/f1.out" \
+  || fail "fleet --workers 1 failed"
+"$TOOL" fleet -q --workers 2 --json "$TMP/f2.json" \
+  "$TMP/grep.s" "$TMP/linpack.s" > "$TMP/f2.out" \
+  || fail "fleet --workers 2 failed"
+cmp -s "$TMP/f1.out" "$TMP/f2.out" || fail "fleet summary depends on --workers"
+aggregate "$TMP/f2.json" > "$TMP/aggf"
+cmp -s "$TMP/agg1" "$TMP/aggf" || fail "fleet aggregate != shard aggregate"
+grep -q '"failed_shards": \[\]' "$TMP/f2.json" || fail "fleet json: spurious failures"
+grep -q '"fleet": \[' "$TMP/f2.json" || fail "fleet json: no supervision log"
+
+# a worker that fails its first attempt is retried and the fleet
+# converges to the same summary
+env DAGSCHED_WORKER_FAIL="exit:1" \
+  "$TOOL" fleet -q --workers 2 --retries 1 --backoff 0.01 \
+  "$TMP/grep.s" "$TMP/linpack.s" > "$TMP/fr.out" 2> "$TMP/fr.err" \
+  || fail "fleet with retried fault failed"
+cmp -s "$TMP/f1.out" "$TMP/fr.out" || fail "retried fleet summary differs"
+
+# a permanently failing shard degrades the fleet (exit 4, distinct from
+# parse errors' 2 and self-check failures' 3) and is named in the report
+env DAGSCHED_WORKER_FAIL="exit:99" \
+  "$TOOL" fleet -q --workers 2 --retries 0 --json "$TMP/fdead.json" \
+  "$TMP/grep.s" "$TMP/linpack.s" > "$TMP/fdead.out" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" -eq 4 ] || fail "fleet permanent failure: exit $rc, want 4"
+grep -q '"failed_shards": \[0, 1\]' "$TMP/fdead.json" \
+  || fail "fleet json: failed shards not recorded"
+grep -q '"blocks": 0' "$TMP/fdead.out" || fail "fleet: dead shards still counted"
+
+# flag validation: cmdliner rejects bad --timeout/--retries with its
+# CLI-error exit code before any work runs
+for bad in "--timeout 0" "--timeout -1" "--timeout abc" "--retries -1" "--retries x"; do
+  # shellcheck disable=SC2086
+  "$TOOL" fleet $bad "$TMP/grep.s" 2>/dev/null && rc=0 || rc=$?
+  [ "$rc" -eq 124 ] || fail "fleet $bad: exit $rc, want 124"
+done
+
 echo "CLI TESTS OK"

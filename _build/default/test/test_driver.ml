@@ -104,7 +104,9 @@ let test_report_round_trip () =
   | Error msg -> Alcotest.failf "report does not parse back: %s" msg
   | Ok json -> (
       match Batch.report_of_json json with
-      | Error msg -> Alcotest.failf "report does not rebuild: %s" msg
+      | Error e ->
+          Alcotest.failf "report does not rebuild: %s"
+            (Stats.Json.error_to_string e)
       | Ok report' ->
           check_bool "round trip preserves the report" true (report = report'))
 
@@ -122,7 +124,9 @@ let test_report_round_trip_nan () =
   | Error msg -> Alcotest.failf "NaN report does not parse back: %s" msg
   | Ok json -> (
       match Batch.report_of_json json with
-      | Error msg -> Alcotest.failf "NaN report does not rebuild: %s" msg
+      | Error e ->
+          Alcotest.failf "NaN report does not rebuild: %s"
+            (Stats.Json.error_to_string e)
       | Ok report' ->
           check_bool "wall_s reads back as nan" true
             (Float.is_nan report'.Batch.wall_s);
@@ -285,7 +289,9 @@ let test_shard_merged_json_round_trip () =
   | Error msg -> Alcotest.failf "merged report does not parse back: %s" msg
   | Ok json -> (
       match Shard.merged_of_json json with
-      | Error msg -> Alcotest.failf "merged report does not rebuild: %s" msg
+      | Error e ->
+          Alcotest.failf "merged report does not rebuild: %s"
+            (Stats.Json.error_to_string e)
       | Ok merged' ->
           check_bool "round trip preserves the merged report" true
             (Shard.merged_equal merged merged'))
@@ -323,6 +329,130 @@ let test_shard_more_shards_than_blocks () =
     Array.to_list results |> List.filter (fun rs -> rs <> [])
   in
   check_int "exactly one occupied shard" 1 (List.length occupied)
+
+(* ------------------------------------------------------------------ *)
+(* adversarial inputs: the JSON readers accept externally produced
+   reports (fleet workers, offline merges), so malformed, truncated or
+   wrong-schema input must yield a typed error naming the offending
+   field — never an exception *)
+
+let set_field k v = function
+  | Stats.Json.Obj fs ->
+      Stats.Json.Obj (List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) fs)
+  | j -> j
+
+let remove_field k = function
+  | Stats.Json.Obj fs -> Stats.Json.Obj (List.filter (fun (k', _) -> k' <> k) fs)
+  | j -> j
+
+let sample_report =
+  { (Batch.report ~domains:2 ~wall_s:0.125 []) with
+    Batch.blocks = 3; insns = 17; arcs = 21; original_cycles = 40;
+    scheduled_cycles = 31; stalls = 2 }
+
+let sample_merged =
+  { Shard.shards = 2; policy = Shard.Balanced; corpus = [ "a.s"; "b.s" ];
+    aggregate = sample_report; per_shard = [ sample_report; sample_report ] }
+
+let expect_report_error name mutated expected_path =
+  match Batch.report_of_json mutated with
+  | Ok _ -> Alcotest.failf "%s: mutation not detected" name
+  | Error e ->
+      let msg = Stats.Json.error_to_string e in
+      if not (Helpers.contains msg expected_path) then
+        Alcotest.failf "%s: error %S does not name %S" name msg expected_path
+
+let test_report_of_json_adversarial () =
+  let json = Batch.report_to_json sample_report in
+  (* sanity: unmutated parses *)
+  (match Batch.report_of_json json with
+  | Ok r -> check_bool "unmutated report parses" true (Batch.report_equal r sample_report)
+  | Error e -> Alcotest.failf "unmutated: %s" (Stats.Json.error_to_string e));
+  expect_report_error "missing field" (remove_field "blocks" json) "blocks";
+  expect_report_error "int field holds a string"
+    (set_field "insns" (Stats.Json.String "many") json) "insns";
+  expect_report_error "int field holds a float"
+    (set_field "stalls" (Stats.Json.Float 1.5) json) "stalls";
+  expect_report_error "float field holds a string"
+    (set_field "wall_s" (Stats.Json.String "fast") json) "wall_s";
+  expect_report_error "not an object" (Stats.Json.List [ json ]) "object";
+  expect_report_error "null document" Stats.Json.Null "object"
+
+let test_merged_of_json_adversarial () =
+  let json = Shard.merged_to_json sample_merged in
+  (match Shard.merged_of_json json with
+  | Ok m -> check_bool "unmutated merged parses" true (Shard.merged_equal m sample_merged)
+  | Error e -> Alcotest.failf "unmutated: %s" (Stats.Json.error_to_string e));
+  let expect name mutated expected_path =
+    match Shard.merged_of_json mutated with
+    | Ok _ -> Alcotest.failf "%s: mutation not detected" name
+    | Error e ->
+        let msg = Stats.Json.error_to_string e in
+        if not (Helpers.contains msg expected_path) then
+          Alcotest.failf "%s: error %S does not name %S" name msg expected_path
+  in
+  expect "unknown policy"
+    (set_field "policy" (Stats.Json.String "bogus") json) "policy";
+  expect "corpus holds an int"
+    (set_field "corpus" (Stats.Json.List [ Stats.Json.Int 3 ]) json)
+    "corpus[0]";
+  expect "aggregate replaced by a string"
+    (set_field "aggregate" (Stats.Json.String "gone") json) "aggregate";
+  (* the error path indexes into the embedded per-shard report *)
+  let broken_shard =
+    set_field "blocks" (Stats.Json.String "three")
+      (Batch.report_to_json sample_report)
+  in
+  expect "per_shard[1] report broken"
+    (set_field "per_shard"
+       (Stats.Json.List [ Batch.report_to_json sample_report; broken_shard ])
+       json)
+    "per_shard[1].blocks";
+  expect "per_shard holds a scalar"
+    (set_field "per_shard" (Stats.Json.Int 9) json) "per_shard"
+
+(* \u escape hardening: a surrogate half used to blow up Uchar.of_int
+   with an Invalid_argument that escaped of_string's Error channel *)
+let test_json_unicode_escape_total () =
+  (match Stats.Json.of_string "\"\\u0041\"" with
+  | Ok (Stats.Json.String "A") -> ()
+  | Ok j -> Alcotest.failf "\\u0041 parsed to %s" (Stats.Json.to_string j)
+  | Error msg -> Alcotest.failf "\\u0041 rejected: %s" msg);
+  List.iter
+    (fun text ->
+      match Stats.Json.of_string text with
+      | Ok j ->
+          Alcotest.failf "%S accepted as %s" text (Stats.Json.to_string j)
+      | Error _ -> ())
+    [ "\"\\ud800\"";       (* high surrogate: not a scalar value *)
+      "\"\\udfff\"";       (* low surrogate *)
+      "\"\\uzzzz\"";       (* non-hex digits *)
+      "\"\\u00" ]          (* truncated escape *)
+
+(* every prefix and every single-byte corruption of a valid report
+   document must flow out as Ok or Error — no exception may escape the
+   of_string + of_json pipeline *)
+let test_json_no_exception_escapes () =
+  let text = Stats.Json.to_string (Shard.merged_to_json sample_merged) in
+  let feed s =
+    match Stats.Json.of_string s with
+    | Error _ -> ()
+    | Ok json -> (
+        match Shard.merged_of_json json with Ok _ | Error _ -> ())
+  in
+  for len = 0 to String.length text - 1 do
+    feed (String.sub text 0 len)
+  done;
+  let corruptions = [ '\000'; '\255'; '{'; '}'; '"'; '\\'; '['; '9'; ' ' ] in
+  String.iteri
+    (fun i _ ->
+      List.iter
+        (fun c ->
+          let b = Bytes.of_string text in
+          Bytes.set b i c;
+          feed (Bytes.to_string b))
+        corruptions)
+    text
 
 (* ------------------------------------------------------------------ *)
 (* generation determinism across domains: two [random_block seed] calls
@@ -368,6 +498,10 @@ let suite =
     quick "shard merged JSON round trip" test_shard_merged_json_round_trip;
     quick "shard empty corpus" test_shard_empty_corpus;
     quick "more shards than blocks" test_shard_more_shards_than_blocks;
+    quick "adversarial report JSON" test_report_of_json_adversarial;
+    quick "adversarial merged JSON" test_merged_of_json_adversarial;
+    quick "unicode escapes are total" test_json_unicode_escape_total;
+    quick "no exception escapes the readers" test_json_no_exception_escapes;
     quick "random_block equal across domains" test_generation_cross_domain;
     quick "profile generation equal across domains"
       test_profile_generation_cross_domain ]

@@ -1,0 +1,321 @@
+(** Multi-process fleet tests (the [@slow] alias; see test/dune).
+
+    Two layers:
+
+    - {e differential}: the fleet orchestrator must produce the same
+      aggregate integer statistics as the in-process shard driver on the
+      nine-benchmark Table-3 corpus, for any worker count and retry
+      budget, and its stdout summary JSON must be byte-identical across
+      worker counts;
+    - {e crash injection}: with the hidden [DAGSCHED_WORKER_FAIL] knob
+      making workers exit nonzero, emit truncated JSON, or hang past the
+      timeout on their first N attempts, the orchestrator must retry
+      with backoff and converge to exactly the no-fault aggregate — and
+      a shard whose budget is exhausted must degrade into
+      [failed_shards], not abort the fleet. *)
+
+open Dagsched
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let schedtool =
+  match Sys.getenv_opt "SCHEDTOOL" with
+  | Some p -> p
+  | None -> Filename.concat (Filename.dirname Sys.executable_name)
+              (Filename.concat ".." (Filename.concat "bin" "schedtool.exe"))
+
+let worker = [| schedtool; "worker" |]
+
+(* fast supervision constants so the retry/backoff paths run in
+   milliseconds, not the CLI's human-scale defaults *)
+let fast_options =
+  { Fleet.default_options with Fleet.timeout_s = 30.0; backoff_s = 0.01 }
+
+let ints (r : Batch.report) =
+  ( r.Batch.blocks, r.Batch.insns, r.Batch.arcs, r.Batch.original_cycles,
+    r.Batch.scheduled_cycles, r.Batch.stalls )
+
+(* ------------------------------------------------------------------ *)
+(* corpus on disk: workers re-read their files, so each program is
+   written with the block labels `schedtool gen` emits — without them
+   straight-line blocks would merge on re-parse *)
+
+let write_corpus dir profiles =
+  List.map
+    (fun p ->
+      let path = Filename.concat dir (p.Profiles.name ^ ".s") in
+      Out_channel.with_open_text path (fun oc ->
+          List.iter
+            (fun b ->
+              Printf.fprintf oc "B%d:\n%s" b.Block.id
+                (Parser.print_program (Block.to_list b)))
+            (Profiles.generate p));
+      path)
+    profiles
+
+let with_corpus profiles f =
+  let dir = Filename.temp_file "dagsched_fleet_test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let files = write_corpus dir profiles in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) files;
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f files)
+
+(* in-process reference over the same bytes the workers read *)
+let reference_aggregate ~shards files =
+  let corpus =
+    List.map
+      (fun path ->
+        ( path,
+          Cfg_builder.partition
+            (Parser.parse_program
+               (In_channel.with_open_text path In_channel.input_all)) ))
+      files
+  in
+  let _, merged = Shard.run ~domains:1 ~shards Batch.section6 corpus in
+  merged.Shard.aggregate
+
+let plan ~workers files =
+  Fleet.plan ~workers ~algorithm:Builder.Table_forward
+    ~strategy:Disambiguate.Symbolic ~model:Latency.simple_risc.Latency.name
+    ~domains:1 files
+
+let run_fleet ?(options = fast_options) ~workers files =
+  Fleet.run ~options ~worker ~corpus:files (plan ~workers files)
+
+(* the knob must be scrubbed even on an assertion failure, or one failing
+   test would sabotage every later fleet run in the process *)
+let with_fault spec f =
+  Unix.putenv "DAGSCHED_WORKER_FAIL" spec;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "DAGSCHED_WORKER_FAIL" "")
+    f
+
+(* ------------------------------------------------------------------ *)
+(* differential: fleet == in-process shard on the Table-3 corpus,
+   invariant under worker count x retry budget *)
+
+let test_differential () =
+  with_corpus Profiles.benchmarks @@ fun files ->
+  let expected = ints (reference_aggregate ~shards:3 files) in
+  let summaries = ref [] in
+  List.iter
+    (fun workers ->
+      List.iter
+        (fun retries ->
+          let t =
+            run_fleet ~options:{ fast_options with Fleet.retries } ~workers
+              files
+          in
+          check_bool
+            (Printf.sprintf "no failed shards (workers=%d retries=%d)" workers
+               retries)
+            true
+            (Fleet.failed_shards t = []);
+          check_bool
+            (Printf.sprintf "aggregate == shard (workers=%d retries=%d)"
+               workers retries)
+            true
+            (ints t.Fleet.aggregate = expected);
+          check_int
+            (Printf.sprintf "worker count recorded (workers=%d)" workers)
+            workers t.Fleet.workers;
+          summaries :=
+            Stats.Json.to_string (Fleet.summary_to_json t) :: !summaries)
+        [ 0; 2 ])
+    [ 1; 3; 9 ];
+  match !summaries with
+  | [] -> Alcotest.fail "no fleet runs"
+  | s :: rest ->
+      List.iter
+        (fun s' ->
+          check_string "summary JSON byte-stable across workers x retries" s
+            s')
+        rest
+
+(* ------------------------------------------------------------------ *)
+(* crash injection *)
+
+let crash_profiles = [ Profiles.grep; Profiles.linpack ]
+
+let test_crash_exit () =
+  with_corpus crash_profiles @@ fun files ->
+  let baseline = run_fleet ~workers:2 files in
+  check_bool "fault-free baseline" true (Fleet.failed_shards baseline = []);
+  let t =
+    with_fault "exit:2" (fun () ->
+        run_fleet ~options:{ fast_options with Fleet.retries = 2 } ~workers:2
+          files)
+  in
+  check_bool "all shards recover" true (Fleet.failed_shards t = []);
+  check_bool "recovered aggregate == no-fault aggregate" true
+    (ints t.Fleet.aggregate = ints baseline.Fleet.aggregate);
+  List.iter
+    (fun (l : Fleet.worker_log) ->
+      check_int
+        (Printf.sprintf "shard %d took three attempts" l.Fleet.shard)
+        3 l.Fleet.attempts;
+      check_bool
+        (Printf.sprintf "shard %d recorded two sabotage exits" l.Fleet.shard)
+        true
+        (l.Fleet.failures
+        = [ Fleet.Exited Fleet.sabotage_exit_code;
+            Fleet.Exited Fleet.sabotage_exit_code ]))
+    t.Fleet.logs
+
+let test_crash_truncate () =
+  with_corpus crash_profiles @@ fun files ->
+  let baseline = run_fleet ~workers:2 files in
+  let t =
+    with_fault "truncate:1" (fun () ->
+        run_fleet ~options:{ fast_options with Fleet.retries = 1 } ~workers:2
+          files)
+  in
+  check_bool "all shards recover from truncated output" true
+    (Fleet.failed_shards t = []);
+  check_bool "recovered aggregate == no-fault aggregate" true
+    (ints t.Fleet.aggregate = ints baseline.Fleet.aggregate);
+  List.iter
+    (fun (l : Fleet.worker_log) ->
+      check_int "two attempts" 2 l.Fleet.attempts;
+      match l.Fleet.failures with
+      | [ Fleet.Bad_output _ ] -> ()
+      | fs ->
+          Alcotest.failf "shard %d: expected one Bad_output, got [%s]"
+            l.Fleet.shard
+            (String.concat "; " (List.map Fleet.failure_to_string fs)))
+    t.Fleet.logs
+
+let test_crash_hang () =
+  with_corpus crash_profiles @@ fun files ->
+  let baseline = run_fleet ~workers:2 files in
+  (* only shard 0 hangs (third spec field), so the timeout must not
+     disturb the healthy shard *)
+  let t =
+    with_fault "hang:1:0" (fun () ->
+        run_fleet
+          ~options:{ fast_options with Fleet.timeout_s = 1.0; retries = 1 }
+          ~workers:2 files)
+  in
+  check_bool "all shards recover from a hung worker" true
+    (Fleet.failed_shards t = []);
+  check_bool "recovered aggregate == no-fault aggregate" true
+    (ints t.Fleet.aggregate = ints baseline.Fleet.aggregate);
+  List.iter
+    (fun (l : Fleet.worker_log) ->
+      if l.Fleet.shard = 0 then begin
+        check_int "hung shard retried once" 2 l.Fleet.attempts;
+        check_bool "hung shard recorded the timeout" true
+          (l.Fleet.failures = [ Fleet.Timed_out ])
+      end
+      else begin
+        check_int "healthy shard ran once" 1 l.Fleet.attempts;
+        check_bool "healthy shard recorded no failures" true
+          (l.Fleet.failures = [])
+      end)
+    t.Fleet.logs
+
+let test_permanent_failure_degrades () =
+  with_corpus crash_profiles @@ fun files ->
+  let baseline = run_fleet ~workers:2 files in
+  (* shard 1 fails every attempt: the fleet must degrade to shard 0's
+     statistics, not abort *)
+  let t =
+    with_fault "exit:99:1" (fun () ->
+        run_fleet ~options:{ fast_options with Fleet.retries = 1 } ~workers:2
+          files)
+  in
+  check_bool "exactly shard 1 failed" true (Fleet.failed_shards t = [ 1 ]);
+  check_int "one surviving report" 1 (List.length (Fleet.per_shard t));
+  let surviving =
+    List.filter (fun (l : Fleet.worker_log) -> l.Fleet.report <> None)
+      baseline.Fleet.logs
+    |> List.filter_map (fun (l : Fleet.worker_log) ->
+           if l.Fleet.shard = 0 then l.Fleet.report else None)
+  in
+  (match (Fleet.per_shard t, surviving) with
+  | [ got ], [ want ] ->
+      check_bool "degraded aggregate covers exactly the surviving shard" true
+        (ints got = ints want)
+  | _ -> Alcotest.fail "expected exactly one surviving shard either side");
+  (* and with every shard sabotaged the aggregate collapses to zero *)
+  let all_dead =
+    with_fault "exit:99" (fun () ->
+        run_fleet ~options:{ fast_options with Fleet.retries = 0 } ~workers:2
+          files)
+  in
+  check_bool "every shard failed" true
+    (Fleet.failed_shards all_dead = [ 0; 1 ]);
+  check_int "zero blocks survive" 0 all_dead.Fleet.aggregate.Batch.blocks
+
+(* ------------------------------------------------------------------ *)
+(* JSON round trips *)
+
+let test_manifest_round_trip () =
+  let m =
+    { Fleet.files = [ "a.s"; "b.s"; "dir/c with space.s" ];
+      algorithm = Builder.Table_backward;
+      strategy = Disambiguate.Symbolic;
+      model = Latency.deep_fp.Latency.name;
+      domains = 4 }
+  in
+  let text = Stats.Json.to_string (Fleet.manifest_to_json m) in
+  match Stats.Json.of_string text with
+  | Error msg -> Alcotest.failf "manifest does not parse back: %s" msg
+  | Ok json -> (
+      match Fleet.manifest_of_json json with
+      | Error e ->
+          Alcotest.failf "manifest does not rebuild: %s"
+            (Stats.Json.error_to_string e)
+      | Ok m' -> check_bool "round trip preserves the manifest" true (m = m'))
+
+let test_fleet_json_round_trip () =
+  with_corpus crash_profiles @@ fun files ->
+  (* include a permanently failed shard so the round trip covers the
+     failed/ok report re-attachment in of_json *)
+  let t =
+    with_fault "exit:99:1" (fun () ->
+        run_fleet ~options:{ fast_options with Fleet.retries = 1 } ~workers:2
+          files)
+  in
+  let text = Stats.Json.to_string (Fleet.to_json t) in
+  match Stats.Json.of_string text with
+  | Error msg -> Alcotest.failf "fleet report does not parse back: %s" msg
+  | Ok json -> (
+      match Fleet.of_json json with
+      | Error e ->
+          Alcotest.failf "fleet report does not rebuild: %s"
+            (Stats.Json.error_to_string e)
+      | Ok t' ->
+          check_bool "round trip preserves the fleet report" true
+            (Fleet.equal t t'))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  if not (Sys.file_exists schedtool) then begin
+    Printf.eprintf "schedtool binary not found at %s (set SCHEDTOOL)\n"
+      schedtool;
+    exit 1
+  end;
+  Alcotest.run "fleet"
+    [ ( "differential",
+        [ Alcotest.test_case "fleet == shard across workers x retries" `Slow
+            test_differential ] );
+      ( "crash-injection",
+        [ Alcotest.test_case "nonzero exit, retried" `Slow test_crash_exit;
+          Alcotest.test_case "truncated output, retried" `Slow
+            test_crash_truncate;
+          Alcotest.test_case "hang, killed and retried" `Slow test_crash_hang;
+          Alcotest.test_case "permanent failure degrades" `Slow
+            test_permanent_failure_degrades ] );
+      ( "json",
+        [ Alcotest.test_case "manifest round trip" `Quick
+            test_manifest_round_trip;
+          Alcotest.test_case "fleet report round trip" `Slow
+            test_fleet_json_round_trip ] ) ]

@@ -52,6 +52,12 @@ let check_string = Alcotest.(check string)
 
 let quick name f = Alcotest.test_case name `Quick f
 
+(** Substring test, for asserting an error message names a field. *)
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= hn && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
 (** Random block for property tests: deterministic from a seed, with the
     flavor and size also derived from the seed. *)
 let random_block seed =
