@@ -12,7 +12,10 @@
     corpus through worker OS processes (schedtool worker), checks the
     aggregate against the in-process shard run, and writes
     BENCH_fleet.json (worker count overridable with
-    DAGSCHED_BENCH_WORKERS; schedtool path with DAGSCHED_SCHEDTOOL).
+    DAGSCHED_BENCH_WORKERS; schedtool path with DAGSCHED_SCHEDTOOL);
+    [obs] measures the batch pipeline with tracing+metrics disabled vs
+    enabled over the same corpus and writes BENCH_obs.json (target:
+    under 5% overhead enabled).
 
     Timing methodology mirrors the paper's: each benchmark's full
     instruction-scheduling pipeline (DAG construction, intermediate
@@ -809,6 +812,114 @@ let fleet_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* observability overhead: the batch pipeline with tracing+metrics off
+   vs on over the Table-3 corpus, with a machine-readable BENCH_obs.json *)
+
+let obs_bench () =
+  heading "Observability overhead: tracing/metrics off vs on";
+  let corpus = Profiles.corpus Profiles.benchmarks in
+  let blocks = List.concat_map snd corpus in
+  Printf.printf
+    "(full batch pipeline over the Table-3 corpus — %d programs, %d blocks —\n\
+    \ single domain, mean of %d runs; target: enabled overhead under 5%%;\n\
+    \ results differentially checked against the untraced run)\n"
+    (List.length corpus) (List.length blocks) runs;
+  (* Each timed run resets the recorders first: a real traced run holds
+     one run's spans, so letting them accumulate across the benchmark's
+     repetitions would charge the later runs GC pressure no real run
+     pays.  The two configurations are interleaved off/on within each
+     iteration — on a shared host the baseline itself drifts by more
+     than the overhead being measured, and pairing cancels the drift. *)
+  let timed_run ~enabled =
+    if enabled then begin Trace.enable (); Metrics.enable () end
+    else begin Trace.disable (); Metrics.disable () end;
+    Trace.reset ();
+    Metrics.reset ();
+    let t0 = Clock.now () in
+    let r = Batch.run ~domains:1 Batch.section6 blocks in
+    (Clock.since t0, r)
+  in
+  (* untimed warmup so neither configuration pays first-run cache/GC
+     costs *)
+  ignore (timed_run ~enabled:false);
+  let off_total = ref 0.0 and on_total = ref 0.0 in
+  let off_results = ref [] and on_results = ref [] in
+  for _ = 1 to runs do
+    let d, r = timed_run ~enabled:false in
+    off_total := !off_total +. d;
+    off_results := r;
+    let d, r = timed_run ~enabled:true in
+    on_total := !on_total +. d;
+    on_results := r
+  done;
+  let off_s = !off_total /. float_of_int runs
+  and on_s = !on_total /. float_of_int runs
+  and off_results = !off_results
+  and on_results = !on_results in
+  (* the last timed run was enabled, so the recorders hold one traced
+     run's spans and metrics *)
+  let spans = Trace.snapshot () in
+  let snap = Metrics.snapshot () in
+  Trace.disable ();
+  Metrics.disable ();
+  Trace.reset ();
+  Metrics.reset ();
+  (* inline differential check: observability must not change any
+     scheduling result *)
+  List.iter2
+    (fun (a : Batch.result) (b : Batch.result) ->
+      assert (Batch.strip_timing a = Batch.strip_timing b))
+    off_results on_results;
+  let overhead_pct = 100.0 *. ((on_s /. Float.max 1e-9 off_s) -. 1.0) in
+  let t = Table.create ~title:"" [ "config"; "ms/run"; "overhead %" ] in
+  Table.add_row t [ "disabled"; Table.fmt_float (1000.0 *. off_s); "-" ];
+  Table.add_row t
+    [ "trace+metrics"; Table.fmt_float (1000.0 *. on_s);
+      Table.fmt_float overhead_pct ];
+  Table.print t;
+  Printf.printf
+    "%d spans, %d counters, %d histograms recorded per traced run\n"
+    (List.length spans)
+    (List.length snap.Metrics.counters)
+    (List.length snap.Metrics.histograms);
+  if overhead_pct > 5.0 then
+    Printf.printf
+      "(overhead above the 5%% target on this host — the run pays ~1M\n\
+      \ counter bumps and ~125k span clock reads against the baseline;\n\
+      \ on a slow single-core container that ratio is unfavourable, and\n\
+      \ the target is judged on an unloaded multicore host)\n";
+  let json =
+    Stats.Json.Obj
+      [ ("experiment", Stats.Json.String "obs");
+        ("runs", Stats.Json.Int runs);
+        ("blocks", Stats.Json.Int (List.length blocks));
+        ("disabled_s", Stats.Json.Float off_s);
+        ("enabled_s", Stats.Json.Float on_s);
+        ("overhead_pct", Stats.Json.Float overhead_pct);
+        ("spans", Stats.Json.Int (List.length spans));
+        ( "phases",
+          Stats.Json.List
+            (List.map
+               (fun (p : Trace.phase_stat) ->
+                 Stats.Json.Obj
+                   [ ("phase", Stats.Json.String p.Trace.phase);
+                     ("spans", Stats.Json.Int p.Trace.spans);
+                     ("total_us", Stats.Json.Float p.Trace.total_us);
+                     ("max_us", Stats.Json.Float p.Trace.max_us) ])
+               (Trace.summary spans)) );
+        ("metrics", Metrics.snapshot_to_json snap) ]
+  in
+  let text = Stats.Json.to_string json in
+  (match Stats.Json.of_string text with
+  | Ok _ -> ()
+  | Error msg -> failwith ("BENCH_obs.json does not parse back: " ^ msg));
+  let path = "BENCH_obs.json" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc text;
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks: per-block construction cost *)
 
 let micro () =
@@ -1248,7 +1359,7 @@ let experiments =
     ("attributes", attributes); ("reservation", reservation_bench);
     ("structure", structure); ("pressure", pressure);
     ("parallel", parallel); ("shard", shard_bench); ("fleet", fleet_bench);
-    ("micro", micro) ]
+    ("obs", obs_bench); ("micro", micro) ]
 
 let () =
   let requested =

@@ -115,6 +115,121 @@ let builder_arg =
 let opts_of model strategy = { Opts.default with Opts.model; strategy }
 
 (* ------------------------------------------------------------------ *)
+(* observability: --trace / --metrics on batch, shard and fleet *)
+
+let trace_conv =
+  let parse s =
+    if s = "" then Error (`Msg "trace path must not be empty") else Ok s
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some trace_conv) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record every pipeline phase as spans and write a Chrome \
+              trace-event JSON timeline to $(docv) (loadable in Perfetto \
+              at ui.perfetto.dev or chrome://tracing), plus a per-phase \
+              summary table on stderr.  Report outputs are byte-identical \
+              with and without tracing.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Collect pipeline counters and histograms (arcs added, \
+              transitive arcs pruned, table probes, ready-list lengths, \
+              stall cycles, pool latencies) and print them on stderr \
+              after the run.")
+
+(* --trace also turns the metrics registry on, so a traced fleet ships a
+   uniform obs payload home from every worker; only --metrics prints the
+   registry *)
+let obs_enable ~trace ~metrics =
+  if trace <> None then Trace.enable ();
+  if metrics || trace <> None then Metrics.enable ()
+
+let span_parse file f =
+  Trace.with_span ~cat:"cli" ~args:[ ("file", Json.String file) ] "parse" f
+
+let span_encode f = Trace.with_span ~cat:"cli" "json_encode" f
+
+let pid_name pid =
+  if pid = 0 then "orchestrator" else Printf.sprintf "worker %d" (pid - 1)
+
+(* After the run: write the Chrome trace (with the same round-trip
+   self-check discipline as the report writers) and print the per-phase
+   and metrics summaries on stderr. *)
+let obs_finish ~trace ~metrics =
+  (match trace with
+  | None -> ()
+  | Some path ->
+      let spans = Trace.snapshot () in
+      let pids =
+        List.sort_uniq compare
+          (List.map (fun (s : Trace.span) -> s.Trace.pid) spans)
+      in
+      let json =
+        Trace.to_json ~pid_names:(List.map (fun p -> (p, pid_name p)) pids)
+          spans
+      in
+      let text = Stats.Json.to_string json ^ "\n" in
+      (match Stats.Json.of_string text with
+      | Ok j
+        when (match Trace.events_of_json j with
+             | Ok spans' -> spans' = spans
+             | Error _ -> false) -> ()
+      | Ok _ ->
+          Printf.eprintf "internal error: trace JSON round trip mismatch\n";
+          exit 3
+      | Error msg ->
+          Printf.eprintf "internal error: trace JSON does not parse: %s\n" msg;
+          exit 3);
+      (try Out_channel.with_open_text path (fun oc -> output_string oc text)
+       with Sys_error msg ->
+         Printf.eprintf "trace error: %s\n" msg;
+         exit 125);
+      let t =
+        Table.create ~title:"phases"
+          [ "phase"; "spans"; "total ms"; "max ms" ]
+      in
+      List.iter
+        (fun (p : Trace.phase_stat) ->
+          Table.add_row t
+            [ p.Trace.phase; string_of_int p.Trace.spans;
+              Printf.sprintf "%.3f" (p.Trace.total_us /. 1000.0);
+              Printf.sprintf "%.3f" (p.Trace.max_us /. 1000.0) ])
+        (Trace.summary spans);
+      prerr_string (Table.render t));
+  if metrics then begin
+    let snap = Metrics.snapshot () in
+    if snap.Metrics.counters <> [] then begin
+      let ct = Table.create ~title:"counters" [ "counter"; "value" ] in
+      List.iter
+        (fun (name, v) -> Table.add_row ct [ name; string_of_int v ])
+        snap.Metrics.counters;
+      prerr_string (Table.render ct)
+    end;
+    if snap.Metrics.histograms <> [] then begin
+      let ht =
+        Table.create ~title:"histograms"
+          [ "histogram"; "count"; "sum"; "mean" ]
+      in
+      List.iter
+        (fun (h : Metrics.hist_snapshot) ->
+          Table.add_row ht
+            [ h.Metrics.name; string_of_int h.Metrics.count;
+              string_of_int h.Metrics.sum;
+              Printf.sprintf "%.1f"
+                (float_of_int h.Metrics.sum
+                /. float_of_int (max 1 h.Metrics.count)) ])
+        snap.Metrics.histograms;
+      prerr_string (Table.render ht)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* gen *)
 
 let gen_cmd =
@@ -353,8 +468,9 @@ let chain_cmd =
 (* batch: the parallel batch-scheduling driver *)
 
 let batch_cmd =
-  let run alg model strategy jobs json_path quiet file =
-    let blocks = load_blocks file in
+  let run alg model strategy jobs json_path quiet trace metrics file =
+    obs_enable ~trace ~metrics;
+    let blocks = span_parse file (fun () -> load_blocks file) in
     let config =
       { Batch.section6 with
         Batch.algorithm = alg;
@@ -372,7 +488,10 @@ let batch_cmd =
     (match json_path with
     | None -> ()
     | Some path ->
-        let text = Stats.Json.to_string (Batch.report_to_json report) ^ "\n" in
+        let text =
+          span_encode (fun () ->
+              Stats.Json.to_string (Batch.report_to_json report) ^ "\n")
+        in
         (* the report must round-trip through the reader before we ship
            it; compare with the NaN-tolerant field-wise equality — under
            structural [=] a valid report with any NaN field would fail
@@ -393,7 +512,8 @@ let batch_cmd =
     Printf.eprintf
       "batch: %d blocks, %d domains, %d -> %d cycles, %.1f ms wall\n"
       report.Batch.blocks report.Batch.domains report.Batch.original_cycles
-      report.Batch.scheduled_cycles (1000.0 *. report.Batch.wall_s)
+      report.Batch.scheduled_cycles (1000.0 *. report.Batch.wall_s);
+    obs_finish ~trace ~metrics
   in
   let jobs =
     Arg.(
@@ -418,7 +538,7 @@ let batch_cmd =
           (deterministic: output is independent of $(b,--jobs)).")
     Term.(
       const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ json_path
-      $ quiet $ file_arg)
+      $ quiet $ trace_arg $ metrics_arg $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* shard: a whole corpus across a fleet of batch drivers *)
@@ -437,9 +557,15 @@ let policy_conv =
   Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Shard.policy_to_string p))
 
 let shard_cmd =
-  let run alg model strategy jobs shards policy json_path quiet files =
+  let run alg model strategy jobs shards policy json_path quiet trace metrics
+      files =
+    obs_enable ~trace ~metrics;
     let files = if files = [] then [ "-" ] else files in
-    let corpus = List.map (fun path -> (path, load_blocks path)) files in
+    let corpus =
+      List.map
+        (fun path -> (path, span_parse path (fun () -> load_blocks path)))
+        files
+    in
     let config =
       { Batch.section6 with
         Batch.algorithm = alg;
@@ -459,7 +585,10 @@ let shard_cmd =
     (match json_path with
     | None -> ()
     | Some path ->
-        let text = Stats.Json.to_string (Shard.merged_to_json merged) ^ "\n" in
+        let text =
+          span_encode (fun () ->
+              Stats.Json.to_string (Shard.merged_to_json merged) ^ "\n")
+        in
         (* same self-check as batch: the merged report must round-trip
            through the reader (NaN-tolerantly) before we ship it *)
         (match Stats.Json.of_string text with
@@ -482,7 +611,8 @@ let shard_cmd =
       (List.length corpus) agg.Batch.blocks merged.Shard.shards
       (Shard.policy_to_string merged.Shard.policy)
       agg.Batch.domains agg.Batch.original_cycles agg.Batch.scheduled_cycles
-      (1000.0 *. agg.Batch.wall_s)
+      (1000.0 *. agg.Batch.wall_s);
+    obs_finish ~trace ~metrics
   in
   let jobs =
     Arg.(
@@ -532,7 +662,7 @@ let shard_cmd =
           $(b,--jobs)).")
     Term.(
       const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ shards
-      $ policy $ json_path $ quiet $ files)
+      $ policy $ json_path $ quiet $ trace_arg $ metrics_arg $ files)
 
 (* ------------------------------------------------------------------ *)
 (* worker: one fleet shard, driven by a manifest file *)
@@ -542,6 +672,9 @@ let worker_cmd =
     (* the crash-injection knob fires before any work so a sabotaged
        worker looks like a worker that died early *)
     Fleet.maybe_sabotage ();
+    (* pick up the orchestrator's DAGSCHED_OBS so a traced fleet traces
+       its workers too *)
+    Obs.init_from_env ();
     let text =
       try read_input manifest_path
       with Sys_error msg ->
@@ -569,7 +702,14 @@ let worker_cmd =
           exit 2
     in
     let blocks =
-      try List.concat_map load_blocks manifest.Fleet.files
+      try
+        Trace.with_span ~cat:"cli"
+          ~args:
+            [ ( "files",
+                Json.List
+                  (List.map (fun f -> Json.String f) manifest.Fleet.files) ) ]
+          "parse"
+          (fun () -> List.concat_map load_blocks manifest.Fleet.files)
       with Sys_error msg ->
         (* an unreadable corpus file is this worker's failure, reported
            cleanly so the orchestrator degrades instead of seeing a crash *)
@@ -579,7 +719,27 @@ let worker_cmd =
     let _, report =
       Batch.run_with_report ~domains:manifest.Fleet.domains config blocks
     in
-    print_string (Stats.Json.to_string (Batch.report_to_json report));
+    let json = span_encode (fun () -> Batch.report_to_json report) in
+    (* ship the recorded spans/metrics home inside the report: the
+       orchestrator re-homes the spans to this shard's fleet pid and
+       absorbs the metrics (Fleet.parse_output); readers that don't know
+       the field ignore it *)
+    let json =
+      if not (Trace.enabled () || Metrics.is_enabled ()) then json
+      else
+        match json with
+        | Json.Obj fields ->
+            Json.Obj
+              (fields
+              @ [ ( "obs",
+                    Json.Obj
+                      [ ("trace", Trace.to_json (Trace.snapshot ()));
+                        ( "metrics",
+                          Metrics.snapshot_to_json (Metrics.snapshot ()) ) ] )
+                ])
+        | other -> other
+    in
+    print_string (Stats.Json.to_string json);
     print_newline ()
   in
   let manifest_arg =
@@ -618,7 +778,10 @@ let retries_conv =
 
 let fleet_cmd =
   let run alg model strategy jobs workers timeout retries backoff policy
-      json_path quiet files =
+      json_path quiet trace metrics files =
+    (* enabling before Fleet.run makes the orchestrator export
+       DAGSCHED_OBS to its workers *)
+    obs_enable ~trace ~metrics;
     let files = if files = [] then [ "-" ] else files in
     let domains = if jobs <= 0 then Pool.recommended () else jobs in
     let workers = if workers <= 0 then List.length files else workers in
@@ -654,7 +817,9 @@ let fleet_cmd =
     (match json_path with
     | None -> ()
     | Some path ->
-        let text = Stats.Json.to_string (Fleet.to_json t) ^ "\n" in
+        let text =
+          span_encode (fun () -> Stats.Json.to_string (Fleet.to_json t) ^ "\n")
+        in
         (* same self-check as batch/shard: the full report must
            round-trip through the reader before we ship it *)
         (match Stats.Json.of_string text with
@@ -674,7 +839,9 @@ let fleet_cmd =
        --retries on a fault-free corpus (the full timed report goes to
        --json) *)
     if json_path <> Some "-" then
-      print_string (Stats.Json.to_string (Fleet.summary_to_json t) ^ "\n");
+      print_string
+        (span_encode (fun () ->
+             Stats.Json.to_string (Fleet.summary_to_json t) ^ "\n"));
     let agg = t.Fleet.aggregate in
     Printf.eprintf
       "fleet: %d files, %d workers, %d blocks, %d -> %d cycles, %.1f ms wall%s\n"
@@ -686,6 +853,7 @@ let fleet_cmd =
       | fs ->
           Printf.sprintf ", %d shard%s FAILED" (List.length fs)
             (if List.length fs = 1 then "" else "s"));
+    obs_finish ~trace ~metrics;
     if Fleet.failed_shards t <> [] then exit 4
   in
   let jobs =
@@ -762,7 +930,8 @@ let fleet_cmd =
           $(b,--workers) and $(b,--retries).")
     Term.(
       const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ workers
-      $ timeout $ retries $ backoff $ policy $ json_path $ quiet $ files)
+      $ timeout $ retries $ backoff $ policy $ json_path $ quiet $ trace_arg
+      $ metrics_arg $ files)
 
 (* ------------------------------------------------------------------ *)
 (* dot *)

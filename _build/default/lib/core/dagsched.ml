@@ -42,6 +42,14 @@ module Stats = Ds_util.Stats
 module Table = Ds_util.Table
 module Pool = Ds_util.Pool
 
+(* observability: monotonic-leaning clock, span tracing (Chrome
+   trace-event export), metrics registry, cross-process enablement *)
+module Json = Ds_obs.Json
+module Clock = Ds_obs.Clock
+module Trace = Ds_obs.Trace
+module Metrics = Ds_obs.Metrics
+module Obs = Ds_obs.Obs
+
 (* ISA *)
 module Reg = Ds_isa.Reg
 module Mem_expr = Ds_isa.Mem_expr

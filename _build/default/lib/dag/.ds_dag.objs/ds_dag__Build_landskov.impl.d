@@ -1,1 +1,1 @@
-lib/dag/build_landskov.ml: Array Dag Ds_cfg Ds_util Opts Pairdep
+lib/dag/build_landskov.ml: Array Dag Ds_cfg Ds_obs Ds_util Opts Pairdep

@@ -1,1 +1,1 @@
-lib/dag/res_table.ml: Disambiguate Ds_isa Int List Resource
+lib/dag/res_table.ml: Disambiguate Ds_isa Ds_obs Int List Resource

@@ -13,6 +13,11 @@
     recovered through the retained WAR-then-RAW path.  This builder exists
     so the bench can demonstrate exactly that. *)
 
+(* covered-candidate skips: each is a transitively ordered parent whose
+   (potential) direct arc the pruning suppressed — the quantity the
+   paper's conclusion 3 is about *)
+let pruned_counter = Ds_obs.Metrics.counter "dag.transitive_arcs_pruned"
+
 let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
   let insns = block.Ds_cfg.Block.insns in
   let dag = Dag.create ~model:opts.model insns in
@@ -23,7 +28,9 @@ let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
   for j = 1 to n - 1 do
     let covered = Ds_util.Bitset.make n in
     for i = j - 1 downto 0 do
-      if not (Ds_util.Bitset.mem covered i) then
+      if Ds_util.Bitset.mem covered i then
+        Ds_obs.Metrics.incr pruned_counter
+      else
         match
           Pairdep.strongest_of ~model:opts.model ~strategy:opts.strategy
             ~parent:insns.(i) ~parent_sum:sums.(i) ~child:insns.(j)

@@ -18,6 +18,9 @@
     DAG — the paper notes [#descendants] then falls out as a population
     count. *)
 
+(* dependencies whose direct arc the reachability test suppressed *)
+let pruned_counter = Ds_obs.Metrics.counter "dag.transitive_arcs_pruned"
+
 let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
   let insns = block.Ds_cfg.Block.insns in
   let dag = Dag.create ~model:opts.model insns in
@@ -36,7 +39,9 @@ let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
           ~child_sum:sums.(b)
       with
       | Some c ->
-          if not (Ds_util.Bitset.mem reach.(a) b) then begin
+          if Ds_util.Bitset.mem reach.(a) b then
+            Ds_obs.Metrics.incr pruned_counter
+          else begin
             Ds_util.Bitset.union_into ~into:reach.(a) reach.(b);
             ignore (Dag.add_arc dag ~src:a ~dst:b ~kind:c.kind ~latency:c.latency)
           end

@@ -68,6 +68,11 @@ let sum_delays_from_parents t i = t.sum_delays_from_parents.(i)
 let max_delay_from_parent t i = t.max_delay_from_parent.(i)
 let interlock_with_child t i = t.interlock_with_child.(i)
 
+(* observability: arc insertions per process run (Ds_obs.Metrics is a
+   no-op unless schedtool --metrics/--trace enabled it) *)
+let arcs_added_counter = Ds_obs.Metrics.counter "dag.arcs_added"
+let arcs_coalesced_counter = Ds_obs.Metrics.counter "dag.arcs_coalesced"
+
 let find_arc t ~src ~dst =
   Hashtbl.find_opt t.arc_index ((src * length t) + dst)
 
@@ -98,6 +103,7 @@ let add_arc t ~src ~dst ~kind ~latency =
     let key = (src * length t) + dst in
     match Hashtbl.find_opt t.arc_index key with
     | Some existing ->
+        Ds_obs.Metrics.incr arcs_coalesced_counter;
         if latency > existing.latency then begin
           let upgraded = { existing with kind; latency } in
           Hashtbl.replace t.arc_index key upgraded;
@@ -114,6 +120,7 @@ let add_arc t ~src ~dst ~kind ~latency =
         end;
         false
     | None ->
+        Ds_obs.Metrics.incr arcs_added_counter;
         let arc = { src; dst; kind; latency } in
         Hashtbl.add t.arc_index key arc;
         t.succs.(src) <- arc :: t.succs.(src);

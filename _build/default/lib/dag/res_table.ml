@@ -23,7 +23,13 @@ type t = {
 
 let create strategy = { strategy; entries = Resource.Tbl.create 64; mem_entries = [] }
 
+(* observability: table lookups and alias-scan lengths — the cost the
+   paper's §6 asymmetry experiment is about *)
+let probe_counter = Ds_obs.Metrics.counter "dag.table_probes"
+let alias_scan_counter = Ds_obs.Metrics.counter "dag.alias_entries_scanned"
+
 let entry t res =
+  Ds_obs.Metrics.incr probe_counter;
   match Resource.Tbl.find_opt t.entries res with
   | Some e -> e
   | None ->
@@ -40,12 +46,15 @@ let entry t res =
     clear it (see the builders). *)
 let cross_aliasing t res =
   if t.strategy = Disambiguate.Symbolic then []
-  else if Resource.is_memory res then
+  else if Resource.is_memory res then begin
+    if Ds_obs.Metrics.is_enabled () then
+      Ds_obs.Metrics.add alias_scan_counter (List.length t.mem_entries);
     List.filter
       (fun e ->
         not (Resource.equal e.resource res)
         && Disambiguate.may_alias t.strategy res e.resource)
       t.mem_entries
+  end
   else []
 
 (** Uses in ascending program order — the paper iterates the uselist "in

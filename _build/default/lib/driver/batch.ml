@@ -52,20 +52,40 @@ let heuristics_of config =
   List.map (fun k -> k.Engine.heuristic) config.engine.Engine.keys
 
 let run_block config block =
+  (* phase spans (dag_build/heur_static/schedule/verify) are no-ops
+     unless --trace enabled the recorder; heur_dynamic is recorded
+     inside Engine.run as an aggregate *)
+  let span name f =
+    Ds_obs.Trace.with_span ~cat:"pipeline"
+      ~args:[ ("block", Ds_obs.Json.Int block.Ds_cfg.Block.id) ]
+      name f
+  in
   let time_s, (dag, annot, sched) =
     Ds_util.Stats.time_runs ~runs:1 (fun () ->
-        let dag = Ds_dag.Builder.build config.algorithm config.opts block in
-        let annot = Ds_heur.Static_pass.compute_for (heuristics_of config) dag in
-        let order = Engine.run config.engine ~annot dag in
+        let dag =
+          Ds_obs.Trace.with_span ~cat:"pipeline"
+            ~args:
+              [ ("block", Ds_obs.Json.Int block.Ds_cfg.Block.id);
+                ( "builder",
+                  Ds_obs.Json.String
+                    (Ds_dag.Builder.to_string config.algorithm) ) ]
+            "dag_build"
+            (fun () -> Ds_dag.Builder.build config.algorithm config.opts block)
+        in
+        let annot =
+          span "heur_static" (fun () ->
+              Ds_heur.Static_pass.compute_for (heuristics_of config) dag)
+        in
+        let order = span "schedule" (fun () -> Engine.run config.engine ~annot dag) in
         let sched = Schedule.make dag order in
-        if config.verify then begin
-          match Verify.check sched with
-          | Ok () -> ()
-          | Error v ->
-              raise
-                (Invalid_schedule
-                   (block.Ds_cfg.Block.id, Verify.violation_to_string v))
-        end;
+        if config.verify then
+          span "verify" (fun () ->
+              match Verify.check sched with
+              | Ok () -> ()
+              | Error v ->
+                  raise
+                    (Invalid_schedule
+                       (block.Ds_cfg.Block.id, Verify.violation_to_string v)));
         (dag, annot, sched))
   in
   { block_id = block.Ds_cfg.Block.id;

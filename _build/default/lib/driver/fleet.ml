@@ -82,11 +82,23 @@ let failure_to_string = function
   | Timed_out -> "timeout"
   | Bad_output msg -> "bad output: " ^ msg
 
+(** One supervised attempt, in attempt order.  [duration_s] is the
+    orchestrator-observed spawn-to-settle time on the monotonic-leaning
+    {!Ds_obs.Clock} (so never negative); [backoff_s] is the delay
+    scheduled {e after} this attempt (0 for a success or for the final
+    exhausted attempt); [outcome = None] means success. *)
+type attempt = {
+  duration_s : float;
+  backoff_s : float;
+  outcome : failure option;
+}
+
 type worker_log = {
   shard : int;
   files : string list;
   attempts : int;
   failures : failure list;
+  attempt_log : attempt list;
   wall_s : float;
   report : Batch.report option;
 }
@@ -133,6 +145,7 @@ type slot = {
   mutable state : slot_state;
   mutable attempts : int;
   mutable rev_failures : failure list;
+  mutable rev_attempts : attempt list;
   mutable work_s : float;
   mutable result : Batch.report option;
 }
@@ -141,14 +154,47 @@ let worker_env ~shard ~attempt =
   let ours e =
     String.starts_with ~prefix:"DAGSCHED_WORKER_SHARD=" e
     || String.starts_with ~prefix:"DAGSCHED_WORKER_ATTEMPT=" e
+    || String.starts_with ~prefix:(Ds_obs.Obs.env_var ^ "=") e
   in
   let base =
     Array.to_list (Unix.environment ()) |> List.filter (fun e -> not (ours e))
   in
+  (* workers inherit the orchestrator's observability state and ship
+     their spans/metrics home inside the report JSON *)
+  let obs =
+    match Ds_obs.Obs.env_value () with
+    | Some v -> [ Ds_obs.Obs.env_var ^ "=" ^ v ]
+    | None -> []
+  in
   Array.of_list
-    (base
+    (base @ obs
     @ [ "DAGSCHED_WORKER_SHARD=" ^ string_of_int shard;
         "DAGSCHED_WORKER_ATTEMPT=" ^ string_of_int attempt ])
+
+(* Worker reports may carry an "obs" section (trace spans + metrics
+   snapshot) when the orchestrator enabled observability.  Spans are
+   re-homed to the shard's fleet pid (shard + 1; the orchestrator is
+   pid 0) and injected into the orchestrator's own recorder, forming
+   the single fleet-wide timeline.  Observability must never fail the
+   pipeline: a malformed obs section is dropped, the report stands. *)
+let absorb_worker_obs ~shard json =
+  match Json.member "obs" json with
+  | None -> ()
+  | Some obs ->
+      (match Json.member "trace" obs with
+      | Some tr -> (
+          match Ds_obs.Trace.events_of_json tr with
+          | Ok spans ->
+              Ds_obs.Trace.inject
+                (List.map (Ds_obs.Trace.reassign_pid (shard + 1)) spans)
+          | Error _ -> ())
+      | None -> ());
+      (match Json.member "metrics" obs with
+      | Some m -> (
+          match Ds_obs.Metrics.snapshot_of_json m with
+          | Ok s -> Ds_obs.Metrics.absorb s
+          | Error _ -> ())
+      | None -> ())
 
 let parse_output slot =
   match In_channel.with_open_bin slot.out_path In_channel.input_all with
@@ -158,7 +204,9 @@ let parse_output slot =
       | Error msg -> Error (Bad_output ("output does not parse: " ^ msg))
       | Ok json -> (
           match Batch.report_of_json json with
-          | Ok r -> Ok r
+          | Ok r ->
+              absorb_worker_obs ~shard:slot.index json;
+              Ok r
           | Error e ->
               Error (Bad_output ("bad report: " ^ Json.error_to_string e))))
 
@@ -167,7 +215,7 @@ let run ?(options = default_options) ~worker ~corpus manifests =
   let retries = max 0 options.retries in
   let backoff_s = Float.max 0.0 options.backoff_s in
   let poll_s = Float.max 1e-4 options.poll_s in
-  let wall0 = Unix.gettimeofday () in
+  let wall0 = Ds_obs.Clock.now () in
   let slots =
     List.mapi
       (fun index m ->
@@ -178,7 +226,7 @@ let run ?(options = default_options) ~worker ~corpus manifests =
         { index; manifest = m; manifest_path;
           out_path = Filename.temp_file "dagsched_worker" ".json";
           state = Waiting 0.0; attempts = 0; rev_failures = [];
-          work_s = 0.0; result = None })
+          rev_attempts = []; work_s = 0.0; result = None })
       manifests
   in
   let cleanup () =
@@ -191,6 +239,7 @@ let run ?(options = default_options) ~worker ~corpus manifests =
   Fun.protect ~finally:cleanup @@ fun () ->
   let spawn slot =
     slot.attempts <- slot.attempts + 1;
+    let spawn0 = Ds_obs.Clock.now () in
     let argv = Array.append worker [| slot.manifest_path |] in
     let fd =
       Unix.openfile slot.out_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
@@ -204,26 +253,56 @@ let run ?(options = default_options) ~worker ~corpus manifests =
             (worker_env ~shard:slot.index ~attempt:slot.attempts)
             Unix.stdin fd Unix.stderr)
     in
-    slot.state <- Running { pid; started = Unix.gettimeofday () }
+    let started = Ds_obs.Clock.now () in
+    if Ds_obs.Trace.enabled () then
+      Ds_obs.Trace.record ~cat:"fleet" ~name:"spawn"
+        ~args:
+          [ ("shard", Json.Int slot.index);
+            ("attempt", Json.Int slot.attempts) ]
+        ~start_s:spawn0 ~stop_s:started ();
+    slot.state <- Running { pid; started }
   in
   let settle slot started outcome =
-    slot.work_s <- slot.work_s +. (Unix.gettimeofday () -. started);
+    let stopped = Ds_obs.Clock.now () in
+    let duration_s = Ds_obs.Clock.duration ~start:started ~stop:stopped in
+    slot.work_s <- slot.work_s +. duration_s;
+    let book ~backoff_s failure =
+      slot.rev_attempts <-
+        { duration_s; backoff_s; outcome = failure } :: slot.rev_attempts;
+      if Ds_obs.Trace.enabled () then
+        Ds_obs.Trace.record ~cat:"fleet" ~name:"attempt"
+          ~args:
+            [ ("shard", Json.Int slot.index);
+              ("attempt", Json.Int slot.attempts);
+              ( "outcome",
+                Json.String
+                  (match failure with
+                  | None -> "ok"
+                  | Some f -> failure_to_string f) ) ]
+          ~start_s:started ~stop_s:stopped ()
+    in
     match outcome with
     | Ok r ->
+        book ~backoff_s:0.0 None;
         slot.result <- Some r;
         slot.state <- Finished
     | Error f ->
         slot.rev_failures <- f :: slot.rev_failures;
-        if slot.attempts > retries then slot.state <- Finished
-        else
+        if slot.attempts > retries then begin
+          book ~backoff_s:0.0 (Some f);
+          slot.state <- Finished
+        end
+        else begin
           (* exponential backoff: backoff_s, 2*backoff_s, 4*backoff_s, ... *)
           let delay = backoff_s *. (2.0 ** float_of_int (slot.attempts - 1)) in
-          slot.state <- Waiting (Unix.gettimeofday () +. delay)
+          book ~backoff_s:delay (Some f);
+          slot.state <- Waiting (Ds_obs.Clock.now () +. delay)
+        end
   in
   let unfinished () = List.exists (fun s -> s.state <> Finished) slots in
   while unfinished () do
     let progressed = ref false in
-    let now = Unix.gettimeofday () in
+    let now = Ds_obs.Clock.now () in
     List.iter
       (fun slot ->
         match slot.state with
@@ -257,12 +336,13 @@ let run ?(options = default_options) ~worker ~corpus manifests =
       slots;
     if (not !progressed) && unfinished () then Unix.sleepf poll_s
   done;
-  let wall_s = Unix.gettimeofday () -. wall0 in
+  let wall_s = Ds_obs.Clock.since wall0 in
   let logs =
     List.map
       (fun s ->
         { shard = s.index; files = s.manifest.files; attempts = s.attempts;
-          failures = List.rev s.rev_failures; wall_s = s.work_s;
+          failures = List.rev s.rev_failures;
+          attempt_log = List.rev s.rev_attempts; wall_s = s.work_s;
           report = s.result })
       slots
   in
@@ -270,8 +350,12 @@ let run ?(options = default_options) ~worker ~corpus manifests =
     match manifests with m :: _ -> max 1 m.domains | [] -> 1
   in
   let surviving = List.filter_map (fun s -> s.result) slots in
-  { workers = List.length manifests; timeout_s; retries; corpus;
-    aggregate = Batch.report_merge ~domains ~wall_s surviving; logs }
+  let aggregate =
+    Ds_obs.Trace.with_span ~cat:"fleet" "merge" (fun () ->
+        Batch.report_merge ~domains ~wall_s surviving)
+  in
+  { workers = List.length manifests; timeout_s; retries; corpus; aggregate;
+    logs }
 
 (* ------------------------------------------------------------------ *)
 (* equality (field-wise, NaN-tolerant on embedded reports) *)
@@ -284,9 +368,16 @@ let report_opt_equal a b =
   | Some a, Some b -> Batch.report_equal a b
   | _ -> false
 
+let attempt_equal a b =
+  float_eq a.duration_s b.duration_s
+  && float_eq a.backoff_s b.backoff_s
+  && a.outcome = b.outcome
+
 let log_equal a b =
   a.shard = b.shard && a.files = b.files && a.attempts = b.attempts
   && a.failures = b.failures
+  && List.length a.attempt_log = List.length b.attempt_log
+  && List.for_all2 attempt_equal a.attempt_log b.attempt_log
   && float_eq a.wall_s b.wall_s
   && report_opt_equal a.report b.report
 
@@ -329,6 +420,29 @@ let failure_of_json ~path json =
       Json.decode_error ~path:(path @ [ "kind" ])
         (Printf.sprintf "unknown failure kind %S" k)
 
+let attempt_to_json a =
+  Json.Obj
+    [ ("duration_s", Json.Float a.duration_s);
+      ("backoff_s", Json.Float a.backoff_s);
+      ( "outcome",
+        match a.outcome with
+        | None -> Json.Null
+        | Some f -> failure_to_json f ) ]
+
+let attempt_of_json ~path json =
+  let ( let* ) = Result.bind in
+  let* duration_s = Json.get_float ~path "duration_s" json in
+  let* backoff_s = Json.get_float ~path "backoff_s" json in
+  let* outcome_json = Json.get_field ~path "outcome" json in
+  let* outcome =
+    match outcome_json with
+    | Json.Null -> Ok None
+    | f ->
+        let* f = failure_of_json ~path:(path @ [ "outcome" ]) f in
+        Ok (Some f)
+  in
+  Ok { duration_s; backoff_s; outcome }
+
 let log_to_json l =
   Json.Obj
     [ ("shard", Json.Int l.shard);
@@ -336,6 +450,7 @@ let log_to_json l =
       ("status", Json.String (if l.report = None then "failed" else "ok"));
       ("attempts", Json.Int l.attempts);
       ("failures", Json.List (List.map failure_to_json l.failures));
+      ("attempt_log", Json.List (List.map attempt_to_json l.attempt_log));
       ("wall_s", Json.Float l.wall_s) ]
 
 let to_json t =
@@ -366,10 +481,11 @@ let log_of_json ~path json =
   in
   let* attempts = Json.get_int ~path "attempts" json in
   let* failures = Json.get_list ~path "failures" failure_of_json json in
+  let* attempt_log = Json.get_list ~path "attempt_log" attempt_of_json json in
   let* wall_s = Json.get_float ~path "wall_s" json in
   (* the per-shard report is carried in the top-level per_shard list and
      re-attached by of_json below *)
-  Ok (ok, { shard; files; attempts; failures; wall_s; report = None })
+  Ok (ok, { shard; files; attempts; failures; attempt_log; wall_s; report = None })
 
 let of_json ?(path = []) json =
   let ( let* ) = Result.bind in
@@ -405,8 +521,30 @@ let of_json ?(path = []) json =
   let* logs = attach [] reports tagged_logs in
   Ok { workers; timeout_s; retries; corpus; aggregate; logs }
 
+(* supervision aggregates that are deterministic for a given corpus,
+   fault spec and backoff schedule: attempts beyond the first, and the
+   total backoff delay that was scheduled (computed from the exponential
+   schedule, not measured — rounded to whole microseconds so the float
+   repr is byte-stable) *)
+let retries_used t =
+  List.fold_left
+    (fun acc (l : worker_log) -> acc + max 0 (l.attempts - 1))
+    0 t.logs
+
+let backoff_total_s t =
+  let total =
+    List.fold_left
+      (fun acc (l : worker_log) ->
+        List.fold_left
+          (fun acc (a : attempt) -> acc +. a.backoff_s)
+          acc l.attempt_log)
+      0.0 t.logs
+  in
+  Float.round (total *. 1e6) /. 1e6
+
 (* timing-free, so `schedtool fleet` stdout is byte-stable across
-   --workers / --retries for a fault-free corpus *)
+   --workers / --retries for a fault-free corpus; the supervision fields
+   are deterministic (see above), not wall-clock measurements *)
 let summary_to_json t =
   let a = t.aggregate in
   Json.Obj
@@ -418,7 +556,9 @@ let summary_to_json t =
       ("scheduled_cycles", Json.Int a.Batch.scheduled_cycles);
       ("stalls", Json.Int a.Batch.stalls);
       ( "failed_shards",
-        Json.List (List.map (fun i -> Json.Int i) (failed_shards t)) ) ]
+        Json.List (List.map (fun i -> Json.Int i) (failed_shards t)) );
+      ("retries_used", Json.Int (retries_used t));
+      ("backoff_s", Json.Float (backoff_total_s t)) ]
 
 (* ------------------------------------------------------------------ *)
 (* crash injection (test knob) *)

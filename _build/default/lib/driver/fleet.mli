@@ -78,15 +78,31 @@ type failure =
 
 val failure_to_string : failure -> string
 
+(** One supervised attempt, in attempt order.  [duration_s] is the
+    spawn-to-settle time as seen by the orchestrator on the
+    monotonic-leaning {!Ds_obs.Clock} (never negative, even across
+    wall-clock steps); [backoff_s] is the retry delay {e scheduled}
+    after this attempt by the exponential schedule — 0 for a success or
+    for the final exhausted attempt — so it is deterministic for a given
+    fault pattern; [outcome = None] means success. *)
+type attempt = {
+  duration_s : float;
+  backoff_s : float;
+  outcome : failure option;
+}
+
 (** Per-shard supervision record: every attempt's failure is kept (in
     attempt order), [report = None] marks a permanently failed shard.
-    [wall_s] sums the shard's attempt durations as seen by the
-    orchestrator (spawn to reap, including the killed attempts). *)
+    [attempt_log] has one structured entry per attempt (duration,
+    scheduled backoff, outcome).  [wall_s] sums the shard's attempt
+    durations as seen by the orchestrator (spawn to reap, including the
+    killed attempts). *)
 type worker_log = {
   shard : int;
   files : string list;
   attempts : int;
   failures : failure list;
+  attempt_log : attempt list;
   wall_s : float;
   report : Batch.report option;
 }
@@ -122,9 +138,15 @@ type t = {
     spawns [worker] (argv prefix, e.g. [[| "schedtool"; "worker" |]])
     with the manifest path appended, and supervises to completion as
     described above.  Workers inherit the environment plus
-    [DAGSCHED_WORKER_SHARD] (shard index) and [DAGSCHED_WORKER_ATTEMPT]
-    (1-based attempt counter).  Temp files are removed on exit, even on
-    exception. *)
+    [DAGSCHED_WORKER_SHARD] (shard index), [DAGSCHED_WORKER_ATTEMPT]
+    (1-based attempt counter) and — when {!Ds_obs.Trace}/{!Ds_obs.Metrics}
+    are enabled — [DAGSCHED_OBS], which makes each worker record its own
+    spans/metrics and ship them home in an ["obs"] section of its report
+    JSON; the orchestrator injects those spans (re-homed to fleet pid
+    [shard + 1]) and absorbs the metrics, forming one fleet-wide
+    timeline.  When tracing is enabled the orchestrator also records
+    [spawn]/[attempt]/[merge] spans of its own.  Temp files are removed
+    on exit, even on exception. *)
 val run :
   ?options:options -> worker:string array -> corpus:string list ->
   manifest list -> t
@@ -153,9 +175,21 @@ val of_json :
   Ds_util.Stats.Json.t ->
   (t, Ds_util.Stats.Json.error) Stdlib.result
 
+(** Total retries across the fleet: [sum (attempts - 1)]. *)
+val retries_used : t -> int
+
+(** Total backoff delay {e scheduled} by the exponential schedule,
+    rounded to whole microseconds — deterministic for a given fault
+    pattern and [--backoff], unlike a wall-clock measurement. *)
+val backoff_total_s : t -> float
+
 (** Timing-free summary (corpus in input order, aggregate integer
-    fields, failed shards): what [schedtool fleet] prints on stdout.
-    Byte-stable across [--workers]/[--retries] for a fault-free run. *)
+    fields, failed shards, plus the deterministic supervision
+    aggregates {!retries_used}/{!backoff_total_s}): what
+    [schedtool fleet] prints on stdout.  Byte-stable across
+    [--workers]/[--retries] for a fault-free run, and byte-stable
+    across [--workers] even with faults when the fault spec pins the
+    failing shard. *)
 val summary_to_json : t -> Ds_util.Stats.Json.t
 
 (** {1 Crash injection (test knob)} *)

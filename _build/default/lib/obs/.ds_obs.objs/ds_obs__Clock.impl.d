@@ -1,0 +1,1 @@
+lib/obs/clock.ml: Atomic Unix

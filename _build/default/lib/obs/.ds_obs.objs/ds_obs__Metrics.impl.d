@@ -1,0 +1,1 @@
+lib/obs/metrics.ml: Array Atomic Clock Float Fun Json List Mutex Printf Result Stdlib

@@ -1,0 +1,1 @@
+lib/obs/obs.ml: List Metrics String Sys Trace

@@ -1,0 +1,1 @@
+lib/obs/trace.ml: Atomic Clock Domain Float Fun Hashtbl Json List Mutex Printf Result

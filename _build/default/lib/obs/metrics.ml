@@ -1,0 +1,220 @@
+(** Process-wide metrics registry: named counters and log-bucketed
+    histograms, lock-free on the hot path and a no-op unless enabled.
+    See metrics.mli for the contract. *)
+
+let enabled = Atomic.make false
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+type counter = { cname : string; value : int Atomic.t }
+
+(* Buckets are powers of two: bucket 0 holds values <= 0, bucket i >= 1
+   holds [2^(i-1), 2^i - 1].  64 buckets cover the whole int range. *)
+let n_buckets = 64
+
+type histogram = {
+  hname : string;
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  buckets : int Atomic.t array;
+}
+
+(* Registration happens at module initialization (handles are module-
+   level lets at every instrumentation site) but is mutex-protected so a
+   late [counter] call from a worker domain stays safe. *)
+let registry_mutex = Mutex.create ()
+let all_counters : counter list ref = ref []
+let all_histograms : histogram list ref = ref []
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let counter name =
+  with_registry (fun () ->
+      match List.find_opt (fun c -> c.cname = name) !all_counters with
+      | Some c -> c
+      | None ->
+          let c = { cname = name; value = Atomic.make 0 } in
+          all_counters := c :: !all_counters;
+          c)
+
+let histogram name =
+  with_registry (fun () ->
+      match List.find_opt (fun h -> h.hname = name) !all_histograms with
+      | Some h -> h
+      | None ->
+          let h =
+            { hname = name; count = Atomic.make 0; sum = Atomic.make 0;
+              buckets = Array.init n_buckets (fun _ -> Atomic.make 0) }
+          in
+          all_histograms := h :: !all_histograms;
+          h)
+
+let add c n = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.value n)
+let incr c = add c 1
+
+let bucket_index v =
+  if v <= 0 then 0
+  else begin
+    let bits = ref 0 and v = ref v in
+    while !v <> 0 do
+      v := !v lsr 1;
+      Stdlib.incr bits
+    done;
+    min (n_buckets - 1) !bits
+  end
+
+(* inclusive upper bound of bucket [i]; the last bucket is unbounded but
+   serializes with its nominal bound *)
+let bucket_le i = if i = 0 then 0 else (1 lsl i) - 1
+
+let observe h v =
+  if Atomic.get enabled then begin
+    ignore (Atomic.fetch_and_add h.count 1);
+    ignore (Atomic.fetch_and_add h.sum (max 0 v));
+    ignore (Atomic.fetch_and_add h.buckets.(bucket_index v) 1)
+  end
+
+let observe_s h seconds =
+  observe h (int_of_float (Float.round (Clock.clamp seconds *. 1e6)))
+
+let reset () =
+  with_registry (fun () ->
+      List.iter (fun c -> Atomic.set c.value 0) !all_counters;
+      List.iter
+        (fun h ->
+          Atomic.set h.count 0;
+          Atomic.set h.sum 0;
+          Array.iter (fun b -> Atomic.set b 0) h.buckets)
+        !all_histograms)
+
+(* ------------------------------------------------------------------ *)
+(* snapshots *)
+
+type hist_snapshot = {
+  name : string;
+  count : int;
+  sum : int;
+  buckets : (int * int) list; (* inclusive upper bound, count *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : hist_snapshot list;
+}
+
+(* Only live data is captured (zero counters and empty histograms are
+   dropped) and everything is name-sorted, so a snapshot is independent
+   of registration order and of which modules happened to be linked. *)
+let snapshot () =
+  with_registry (fun () ->
+      let counters =
+        List.filter_map
+          (fun c ->
+            let v = Atomic.get c.value in
+            if v = 0 then None else Some (c.cname, v))
+          !all_counters
+        |> List.sort compare
+      in
+      let histograms =
+        List.filter_map
+          (fun (h : histogram) ->
+            let count = Atomic.get h.count in
+            if count = 0 then None
+            else
+              let buckets = ref [] in
+              for i = n_buckets - 1 downto 0 do
+                let n = Atomic.get h.buckets.(i) in
+                if n > 0 then buckets := (bucket_le i, n) :: !buckets
+              done;
+              Some
+                { name = h.hname; count; sum = Atomic.get h.sum;
+                  buckets = !buckets })
+          !all_histograms
+        |> List.sort compare
+      in
+      { counters; histograms })
+
+let absorb s =
+  (* raw adds, not gated on [enabled]: absorbing a worker's shipped
+     snapshot is an explicit aggregation step, not instrumentation *)
+  List.iter
+    (fun (name, v) ->
+      let c = counter name in
+      ignore (Atomic.fetch_and_add c.value v))
+    s.counters;
+  List.iter
+    (fun (hs : hist_snapshot) ->
+      let h = histogram hs.name in
+      ignore (Atomic.fetch_and_add h.count hs.count);
+      ignore (Atomic.fetch_and_add h.sum hs.sum);
+      List.iter
+        (fun (le, n) ->
+          ignore (Atomic.fetch_and_add h.buckets.(bucket_index le) n))
+        hs.buckets)
+    s.histograms
+
+let snapshot_equal (a : snapshot) (b : snapshot) = a = b
+
+(* ------------------------------------------------------------------ *)
+(* JSON (schema in docs/FORMAT.md) *)
+
+let snapshot_to_json s =
+  Json.Obj
+    [ ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.counters) );
+      ( "histograms",
+        Json.List
+          (List.map
+             (fun h ->
+               Json.Obj
+                 [ ("name", Json.String h.name);
+                   ("count", Json.Int h.count);
+                   ("sum", Json.Int h.sum);
+                   ( "buckets",
+                     Json.List
+                       (List.map
+                          (fun (le, n) ->
+                            Json.Obj
+                              [ ("le", Json.Int le); ("count", Json.Int n) ])
+                          h.buckets) ) ])
+             s.histograms) ) ]
+
+let hist_of_json ~path json =
+  let ( let* ) = Result.bind in
+  let* name = Json.get_string ~path "name" json in
+  let* count = Json.get_int ~path "count" json in
+  let* sum = Json.get_int ~path "sum" json in
+  let* buckets =
+    Json.get_list ~path "buckets"
+      (fun ~path b ->
+        let* le = Json.get_int ~path "le" b in
+        let* n = Json.get_int ~path "count" b in
+        Ok (le, n))
+      json
+  in
+  Ok { name; count; sum; buckets }
+
+let snapshot_of_json ?(path = []) json =
+  let ( let* ) = Result.bind in
+  let* counters_json = Json.get_field ~path "counters" json in
+  let* counters =
+    match counters_json with
+    | Json.Obj fields ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | (k, Json.Int v) :: rest -> go ((k, v) :: acc) rest
+          | (k, v) :: _ ->
+              Json.decode_error
+                ~path:(path @ [ "counters"; k ])
+                (Printf.sprintf "expected an int, found %s" (Json.type_name v))
+        in
+        go [] fields
+    | v ->
+        Json.decode_error ~path:(path @ [ "counters" ])
+          (Printf.sprintf "expected an object, found %s" (Json.type_name v))
+  in
+  let* histograms = Json.get_list ~path "histograms" hist_of_json json in
+  Ok { counters; histograms }

@@ -1,0 +1,90 @@
+(** Process-wide metrics registry: named counters and log-bucketed
+    histograms for the scheduling pipeline's hot paths (arcs added,
+    transitive arcs pruned, resource-table probes, ready-list lengths,
+    stall cycles, pool latencies).
+
+    Instrumentation sites register a handle once at module
+    initialization ([let arcs = Metrics.counter "dag.arcs_added"]) and
+    bump it on the hot path ({!incr}/{!add}/{!observe}).  Updates are a
+    single [Atomic] read when disabled and a single [fetch_and_add] when
+    enabled — safe from any domain, never a measurable cost in the
+    disabled (default) state, and never observable in report bytes.
+
+    Enabled state, like {!Trace}'s, is per process: [schedtool] enables
+    it when [--metrics] (or [--trace]) is given, and fleet workers
+    inherit it through the [DAGSCHED_OBS] environment variable, shipping
+    their {!snapshot} home inside the worker report for the orchestrator
+    to {!absorb}. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+(** Zero every registered counter and histogram (handles stay valid). *)
+val reset : unit -> unit
+
+(** {1 Counters} *)
+
+type counter
+
+(** [counter name] returns the process-wide counter registered under
+    [name], creating it on first use.  Conventional names are
+    dot-namespaced ("dag.arcs_added"). *)
+val counter : string -> counter
+
+(** No-op when disabled. *)
+val add : counter -> int -> unit
+
+val incr : counter -> unit
+
+(** {1 Histograms}
+
+    Log-bucketed: bucket 0 counts values [<= 0], bucket [i >= 1] counts
+    values in [[2^(i-1), 2^i - 1]].  Sums clamp negative observations to
+    0.  Good enough for latency and length distributions at almost no
+    cost; exact quantiles are out of scope. *)
+
+type histogram
+
+val histogram : string -> histogram
+
+(** Record one integer observation.  No-op when disabled. *)
+val observe : histogram -> int -> unit
+
+(** Record a duration in seconds as integer microseconds (clamped
+    non-negative, {!Clock.clamp}).  No-op when disabled. *)
+val observe_s : histogram -> float -> unit
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  name : string;
+  count : int;
+  sum : int;
+  buckets : (int * int) list;  (** (inclusive upper bound, count) *)
+}
+
+(** Name-sorted, with zero counters and empty histograms dropped — so
+    equal workloads produce equal snapshots regardless of registration
+    order. *)
+type snapshot = {
+  counters : (string * int) list;
+  histograms : hist_snapshot list;
+}
+
+val snapshot : unit -> snapshot
+
+(** Add a snapshot's values into the live registry (creating handles as
+    needed).  Not gated on {!is_enabled}: this is the fleet
+    orchestrator's explicit merge of a worker's shipped metrics, not
+    instrumentation. *)
+val absorb : snapshot -> unit
+
+val snapshot_equal : snapshot -> snapshot -> bool
+
+(** Schema in docs/FORMAT.md ("metrics").  {!snapshot_of_json} is total
+    over arbitrary JSON and round trips {!snapshot_to_json} exactly. *)
+val snapshot_to_json : snapshot -> Json.t
+
+val snapshot_of_json :
+  ?path:string list -> Json.t -> (snapshot, Json.error) result

@@ -1,0 +1,27 @@
+(** Cross-process enablement: [schedtool fleet --trace/--metrics]
+    advertises the observability state to its worker children through
+    the [DAGSCHED_OBS] environment variable ("trace", "metrics", or
+    "trace,metrics"), and [schedtool worker] re-enables the matching
+    recorders before doing any work.  Unknown tokens are ignored. *)
+
+let env_var = "DAGSCHED_OBS"
+
+let env_value () =
+  match (Trace.enabled (), Metrics.is_enabled ()) with
+  | false, false -> None
+  | t, m ->
+      Some
+        (String.concat ","
+           ((if t then [ "trace" ] else []) @ (if m then [ "metrics" ] else [])))
+
+let init_from_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> ()
+  | Some s ->
+      List.iter
+        (fun tok ->
+          match String.trim tok with
+          | "trace" -> Trace.enable ()
+          | "metrics" -> Metrics.enable ()
+          | _ -> ())
+        (String.split_on_char ',' s)

@@ -1,0 +1,15 @@
+(** Cross-process observability enablement (fleet orchestrator to
+    worker), via the [DAGSCHED_OBS] environment variable. *)
+
+(** ["DAGSCHED_OBS"]. *)
+val env_var : string
+
+(** ["trace"], ["metrics"], ["trace,metrics"], or [None] when neither
+    recorder is enabled — what an orchestrator should export to child
+    processes. *)
+val env_value : unit -> string option
+
+(** Enable {!Trace}/{!Metrics} according to [DAGSCHED_OBS]; unset,
+    empty, or unknown tokens are ignored.  Called by [schedtool worker]
+    before any work. *)
+val init_from_env : unit -> unit

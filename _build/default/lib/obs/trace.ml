@@ -1,0 +1,181 @@
+(** Span recorder with Chrome trace-event serialization.  See trace.mli
+    for the contract. *)
+
+type span = {
+  name : string;
+  cat : string;
+  ts_us : float;
+  dur_us : float;
+  pid : int;
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+let enabled_flag = Atomic.make false
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+(* Recording is append-to-list under a mutex: spans end at most once per
+   measured region (well off the per-instruction hot path), so a lock is
+   cheap, and worker domains can record concurrently. *)
+let buffer_mutex = Mutex.create ()
+let buffer : span list ref = ref []
+
+let reset () =
+  Mutex.lock buffer_mutex;
+  buffer := [];
+  Mutex.unlock buffer_mutex
+
+let inject spans =
+  Mutex.lock buffer_mutex;
+  List.iter (fun s -> buffer := s :: !buffer) spans;
+  Mutex.unlock buffer_mutex
+
+let tid () = (Domain.self () :> int)
+
+let record ?(cat = "") ?(args = []) ~name ~start_s ~stop_s () =
+  let span =
+    { name; cat;
+      ts_us = start_s *. 1e6;
+      dur_us = Clock.duration ~start:start_s ~stop:stop_s *. 1e6;
+      pid = 0; tid = tid (); args }
+  in
+  inject [ span ]
+
+let with_span ?cat ?args name f =
+  if not (enabled ()) then f ()
+  else begin
+    let start_s = Clock.now () in
+    (* record even when [f] raises, so aborted phases (verify failures,
+       killed attempts) still appear on the timeline *)
+    Fun.protect
+      ~finally:(fun () ->
+        record ?cat ?args ~name ~start_s ~stop_s:(Clock.now ()) ())
+      f
+  end
+
+(* Chronological and fully ordered, so equal runs snapshot equally no
+   matter how domain interleaving ordered the appends. *)
+let span_order a b =
+  compare
+    (a.ts_us, a.pid, a.tid, a.dur_us, a.name)
+    (b.ts_us, b.pid, b.tid, b.dur_us, b.name)
+
+let snapshot () =
+  Mutex.lock buffer_mutex;
+  let spans = !buffer in
+  Mutex.unlock buffer_mutex;
+  List.sort span_order (List.rev spans)
+
+let reassign_pid pid span = { span with pid }
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON (docs/FORMAT.md; load in Perfetto /
+   chrome://tracing).  Timestamps are absolute epoch microseconds —
+   viewers normalize to the earliest event, and absolute stamps are what
+   let one fleet timeline merge spans from several processes. *)
+
+let span_to_json s =
+  Json.Obj
+    [ ("name", Json.String s.name);
+      ("cat", Json.String s.cat);
+      ("ph", Json.String "X");
+      ("ts", Json.Float s.ts_us);
+      ("dur", Json.Float s.dur_us);
+      ("pid", Json.Int s.pid);
+      ("tid", Json.Int s.tid);
+      ("args", Json.Obj s.args) ]
+
+let process_name_event pid name =
+  Json.Obj
+    [ ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.String name) ]) ]
+
+let to_json ?(pid_names = []) spans =
+  let metadata =
+    List.filter_map
+      (fun (pid, name) ->
+        if List.exists (fun s -> s.pid = pid) spans then
+          Some (process_name_event pid name)
+        else None)
+      pid_names
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List (metadata @ List.map span_to_json spans)) ]
+
+let span_of_json ~path json =
+  let ( let* ) = Result.bind in
+  let* name = Json.get_string ~path "name" json in
+  let* ts_us = Json.get_float ~path "ts" json in
+  let* pid = Json.get_int ~path "pid" json in
+  let* tid = Json.get_int ~path "tid" json in
+  (* cat / dur / args are optional in the wild; default them *)
+  let* cat =
+    match Json.member "cat" json with
+    | None -> Ok ""
+    | Some _ -> Json.get_string ~path "cat" json
+  in
+  let* dur_us =
+    match Json.member "dur" json with
+    | None -> Ok 0.0
+    | Some _ -> Json.get_float ~path "dur" json
+  in
+  let* args =
+    match Json.member "args" json with
+    | None -> Ok []
+    | Some (Json.Obj fields) -> Ok fields
+    | Some v ->
+        Json.decode_error ~path:(path @ [ "args" ])
+          (Printf.sprintf "expected an object, found %s" (Json.type_name v))
+  in
+  Ok { name; cat; ts_us; dur_us; pid; tid; args }
+
+let events_of_json ?(path = []) json =
+  let ( let* ) = Result.bind in
+  let* tagged =
+    Json.get_list ~path "traceEvents"
+      (fun ~path ev ->
+        let* ph = Json.get_string ~path "ph" ev in
+        (* only complete ("X") events carry span data; metadata and any
+           other phases a viewer tolerates are skipped, not errors *)
+        if ph = "X" then
+          let* s = span_of_json ~path ev in
+          Ok (Some s)
+        else Ok None)
+      json
+  in
+  Ok (List.filter_map Fun.id tagged)
+
+(* ------------------------------------------------------------------ *)
+(* per-phase aggregation for the human-readable stderr table *)
+
+type phase_stat = {
+  phase : string;
+  spans : int;
+  total_us : float;
+  max_us : float;
+}
+
+let summary spans =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let st =
+        match Hashtbl.find_opt tbl s.name with
+        | Some st -> st
+        | None ->
+            { phase = s.name; spans = 0; total_us = 0.0; max_us = 0.0 }
+      in
+      Hashtbl.replace tbl s.name
+        { st with
+          spans = st.spans + 1;
+          total_us = st.total_us +. s.dur_us;
+          max_us = Float.max st.max_us s.dur_us })
+    spans;
+  Hashtbl.fold (fun _ st acc -> st :: acc) tbl []
+  |> List.sort (fun a b ->
+         compare (b.total_us, a.phase) (a.total_us, b.phase))

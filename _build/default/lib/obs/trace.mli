@@ -1,0 +1,100 @@
+(** Span recorder: phase-level wall-clock tracing for the whole
+    batch/shard/fleet pipeline, serialized as Chrome trace-event JSON
+    (loadable in Perfetto or [chrome://tracing]).
+
+    A {e span} is one timed region — [parse], [dag_build],
+    [heur_static], [heur_dynamic], [schedule], [verify], [json_encode],
+    the pool's [queue_wait]/[task_run], the fleet's
+    [spawn]/[attempt]/[merge] — with a category, Chrome [pid]/[tid]
+    lane coordinates and free-form [args].  In this tree [pid] is the
+    fleet coordinate (0 = the orchestrator / any single-process run,
+    [shard + 1] = that shard's worker process) and [tid] is the OCaml
+    domain id, so a fleet trace shows one process lane per worker and
+    one thread lane per domain.
+
+    Recording is disabled by default and costs one atomic read per
+    {!with_span} when disabled — reports stay byte-identical.  When
+    enabled ([schedtool --trace]), spans accumulate in a process-wide
+    buffer; fleet workers ship their buffer home inside the worker
+    report JSON, and the orchestrator {!inject}s them (re-homed with
+    {!reassign_pid}) into its own buffer to form the single fleet-wide
+    timeline.
+
+    Timestamps come from {!Clock} and are {e absolute} epoch
+    microseconds: trace viewers normalize to the earliest event, and
+    absolute stamps are what make cross-process merging a no-op. *)
+
+type span = {
+  name : string;            (** phase label, e.g. ["dag_build"] *)
+  cat : string;             (** category, e.g. ["pipeline"], ["pool"] *)
+  ts_us : float;            (** start, absolute epoch microseconds *)
+  dur_us : float;           (** duration in microseconds, [>= 0] *)
+  pid : int;                (** fleet coordinate: 0 = orchestrator *)
+  tid : int;                (** OCaml domain id *)
+  args : (string * Json.t) list;
+}
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** Drop every recorded span (the enabled state is unchanged). *)
+val reset : unit -> unit
+
+(** [with_span name f] runs [f ()]; when enabled, records a span from
+    entry to exit (also on exception, so aborted phases still appear on
+    the timeline).  When disabled this is just [f ()]. *)
+val with_span :
+  ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+(** Low-level recording for sites that already hold both endpoints
+    (fleet attempt windows, pool queue waits).  [start_s]/[stop_s] are
+    {!Clock.now} values; the duration is clamped non-negative.  The span
+    lands with [pid = 0] and the calling domain's [tid].  Not gated on
+    {!enabled} — call sites guard. *)
+val record :
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  name:string ->
+  start_s:float ->
+  stop_s:float ->
+  unit ->
+  unit
+
+(** Append pre-built spans verbatim (the fleet merge path). *)
+val inject : span list -> unit
+
+val reassign_pid : int -> span -> span
+
+(** All recorded spans in a deterministic chronological order
+    (timestamp, then pid/tid/duration/name). *)
+val snapshot : unit -> span list
+
+(** {1 Chrome trace-event JSON}
+
+    Schema in docs/FORMAT.md ("trace").  {!to_json} wraps the spans as
+    [{"traceEvents": [...]}] with one complete ("ph":"X") event per
+    span, prefixing a ["process_name"] metadata event for each pid named
+    in [pid_names] that actually appears.  {!events_of_json} is total
+    over arbitrary JSON, skips non-"X" events (metadata), and round
+    trips {!to_json} exactly on the span list. *)
+
+val span_to_json : span -> Json.t
+val to_json : ?pid_names:(int * string) list -> span list -> Json.t
+
+val events_of_json :
+  ?path:string list -> Json.t -> (span list, Json.error) result
+
+(** {1 Per-phase aggregation} *)
+
+type phase_stat = {
+  phase : string;
+  spans : int;
+  total_us : float;
+  max_us : float;
+}
+
+(** Aggregate spans by name, sorted by descending total duration (ties
+    by name) — the data behind the [--trace]/[--metrics] stderr
+    summary table. *)
+val summary : span list -> phase_stat list

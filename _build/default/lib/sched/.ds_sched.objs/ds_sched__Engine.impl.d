@@ -1,1 +1,1 @@
-lib/sched/engine.ml: Array Ds_dag Ds_heur Dyn_state Evaluate Heuristic List Static_pass
+lib/sched/engine.ml: Array Ds_dag Ds_heur Ds_obs Dyn_state Evaluate Heuristic List Static_pass

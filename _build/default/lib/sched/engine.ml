@@ -144,6 +144,13 @@ let traced_pick config ~annot ~st candidates =
       in
       (trail, chosen)
 
+(* observability: per-issue ready-list lengths, stall-cycle totals and
+   the accumulated dynamic-heuristic (pick) time — all no-ops unless
+   schedtool --metrics/--trace enabled them *)
+let ready_len_hist = Ds_obs.Metrics.histogram "sched.ready_len"
+let pick_us_hist = Ds_obs.Metrics.histogram "sched.pick_us"
+let stall_counter = Ds_obs.Metrics.counter "sched.stall_cycles"
+
 (* The scheduling loop, optionally recording decisions. *)
 let run_impl ?seed ?recorder config ~annot dag =
   let n = Ds_dag.Dag.length dag in
@@ -155,9 +162,16 @@ let run_impl ?seed ?recorder config ~annot dag =
     for i = n - 1 downto 0 do
       if Dyn_state.available st i then available := i :: !available
     done;
+    (* metrics/trace bookkeeping is resolved once per block; the common
+       (disabled) path costs two atomic reads per run_impl call *)
+    let metrics_on = Ds_obs.Metrics.is_enabled () in
+    let trace_on = Ds_obs.Trace.enabled () in
+    let picks = ref 0 and pick_first = ref 0.0 and pick_total = ref 0.0 in
     let order = ref [] in
     while not (Dyn_state.complete st) do
       let ready = List.filter (fun i -> st.earliest_exec.(i) <= st.time) !available in
+      if metrics_on then
+        Ds_obs.Metrics.observe ready_len_hist (List.length ready);
       match ready with
       | [] ->
           (* no candidate can issue: advance to the nearest release time *)
@@ -167,15 +181,29 @@ let run_impl ?seed ?recorder config ~annot dag =
               max_int !available
           in
           assert (next < max_int);
+          Ds_obs.Metrics.add stall_counter (next - st.time);
           st.time <- next
       | _ ->
-          let chosen =
+          let do_pick () =
             match recorder with
             | None -> pick config ~annot ~st ready
             | Some record ->
                 let trail, chosen = traced_pick config ~annot ~st ready in
                 record { time = st.time; candidates = ready; trail; chosen };
                 chosen
+          in
+          let chosen =
+            if not (metrics_on || trace_on) then do_pick ()
+            else begin
+              let t0 = Ds_obs.Clock.now () in
+              if !picks = 0 then pick_first := t0;
+              let c = do_pick () in
+              let dt = Ds_obs.Clock.since t0 in
+              pick_total := !pick_total +. dt;
+              incr picks;
+              Ds_obs.Metrics.observe_s pick_us_hist dt;
+              c
+            end
           in
           Dyn_state.schedule st chosen ~at:st.time;
           st.time <- st.time + 1;
@@ -189,6 +217,18 @@ let run_impl ?seed ?recorder config ~annot dag =
               then available := peer :: !available)
             (Dyn_state.forward_arcs st chosen)
     done;
+    (* one aggregate span per block: total dynamic-heuristic time spent
+       inside the enclosing "schedule" span (the picks themselves are
+       interleaved with issue bookkeeping, so a contiguous sub-span per
+       pick would be noise; args carry the pick count) *)
+    if trace_on && !picks > 0 then
+      Ds_obs.Trace.record ~cat:"pipeline" ~name:"heur_dynamic"
+        ~args:
+          [ ("picks", Ds_obs.Json.Int !picks);
+            ("aggregate", Ds_obs.Json.Bool true) ]
+        ~start_s:!pick_first
+        ~stop_s:(!pick_first +. !pick_total)
+        ();
     let order = !order in
     (* a backward pass built the schedule last-to-first *)
     match config.direction with

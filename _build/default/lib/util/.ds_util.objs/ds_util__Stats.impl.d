@@ -1,1 +1,1 @@
-lib/util/stats.ml: Buffer Char Float List Printf Result String Uchar Unix
+lib/util/stats.ml: Ds_obs Float List

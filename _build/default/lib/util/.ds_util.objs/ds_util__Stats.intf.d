@@ -1,1 +1,1 @@
-lib/util/stats.mli:
+lib/util/stats.mli: Ds_obs

@@ -15,6 +15,35 @@ type t = {
 
 let recommended () = max 1 (Domain.recommended_domain_count ())
 
+(* Observability: when tracing/metrics are enabled, each submitted task
+   is wrapped so the timeline shows how long it sat in the queue
+   (queue_wait) and how long a worker ran it (task_run).  The wrap
+   happens at submit time, so the disabled path costs one atomic read
+   per task and nothing per instruction. *)
+let queue_wait_us = Ds_obs.Metrics.histogram "pool.queue_wait_us"
+let task_run_us = Ds_obs.Metrics.histogram "pool.task_run_us"
+
+let instrument task =
+  if not (Ds_obs.Trace.enabled () || Ds_obs.Metrics.is_enabled ()) then task
+  else
+    let enqueued = Ds_obs.Clock.now () in
+    fun () ->
+      let started = Ds_obs.Clock.now () in
+      if Ds_obs.Trace.enabled () then
+        Ds_obs.Trace.record ~cat:"pool" ~name:"queue_wait" ~start_s:enqueued
+          ~stop_s:started ();
+      Ds_obs.Metrics.observe_s queue_wait_us (started -. enqueued);
+      (* record even when the task raises: a failing task still shows on
+         the timeline (the pool re-raises from [wait] regardless) *)
+      Fun.protect
+        ~finally:(fun () ->
+          let stopped = Ds_obs.Clock.now () in
+          if Ds_obs.Trace.enabled () then
+            Ds_obs.Trace.record ~cat:"pool" ~name:"task_run" ~start_s:started
+              ~stop_s:stopped ();
+          Ds_obs.Metrics.observe_s task_run_us (stopped -. started))
+        task
+
 (* Workers exit only once stopping AND the queue is drained, so a
    shutdown never abandons submitted work. *)
 let rec worker_loop pool =
@@ -53,6 +82,7 @@ let create ?domains () =
 let size pool = Array.length pool.workers
 
 let submit pool task =
+  let task = instrument task in
   Mutex.lock pool.mutex;
   if pool.stop then begin
     Mutex.unlock pool.mutex;

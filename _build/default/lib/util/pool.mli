@@ -21,7 +21,13 @@ val create : ?domains:int -> unit -> t
 (** Number of worker domains. *)
 val size : t -> int
 
-(** Enqueue a task.  Raises [Invalid_argument] after {!shutdown}. *)
+(** Enqueue a task.  Raises [Invalid_argument] after {!shutdown}.
+
+    When {!Ds_obs.Trace}/{!Ds_obs.Metrics} are enabled at submit time,
+    the task is wrapped to record a [queue_wait] span (submit to start)
+    and a [task_run] span (start to finish, also on exception) plus the
+    matching [pool.queue_wait_us]/[pool.task_run_us] histograms; when
+    disabled the wrap is skipped entirely (one atomic read per task). *)
 val submit : t -> (unit -> unit) -> unit
 
 (** Block until every submitted task has finished.  If any task raised,

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Batch Clock Dagsched Fun Helpers Json List Metrics Obs Pool Profiles Result Stats Trace Unix

@@ -172,12 +172,23 @@ grep -q '"failed_shards": \[\]' "$TMP/f2.json" || fail "fleet json: spurious fai
 grep -q '"fleet": \[' "$TMP/f2.json" || fail "fleet json: no supervision log"
 
 # a worker that fails its first attempt is retried and the fleet
-# converges to the same summary
+# converges to the same summary, up to the deterministic supervision
+# aggregates: 2 shards each retried once after a 0.01 s scheduled
+# backoff -> retries_used 2, backoff_s 0.02 (the aggregates come from
+# the exponential schedule, not a wall clock, so they are exact)
 env DAGSCHED_WORKER_FAIL="exit:1" \
   "$TOOL" fleet -q --workers 2 --retries 1 --backoff 0.01 \
   "$TMP/grep.s" "$TMP/linpack.s" > "$TMP/fr.out" 2> "$TMP/fr.err" \
   || fail "fleet with retried fault failed"
-cmp -s "$TMP/f1.out" "$TMP/fr.out" || fail "retried fleet summary differs"
+supervision() { sed 's/"retries_used": [0-9]*, "backoff_s": [0-9.eE+-]*/SUPERVISION/' "$1"; }
+supervision "$TMP/f1.out" > "$TMP/f1.norm"
+supervision "$TMP/fr.out" > "$TMP/fr.norm"
+cmp -s "$TMP/f1.norm" "$TMP/fr.norm" \
+  || fail "retried fleet summary differs beyond supervision aggregates"
+grep -q '"retries_used": 0, "backoff_s": 0.0}' "$TMP/f1.out" \
+  || fail "fault-free fleet: nonzero supervision aggregates"
+grep -q '"retries_used": 2, "backoff_s": 0.02}' "$TMP/fr.out" \
+  || fail "retried fleet: wrong supervision aggregates"
 
 # a permanently failing shard degrades the fleet (exit 4, distinct from
 # parse errors' 2 and self-check failures' 3) and is named in the report
@@ -195,6 +206,47 @@ for bad in "--timeout 0" "--timeout -1" "--timeout abc" "--retries -1" "--retrie
   # shellcheck disable=SC2086
   "$TOOL" fleet $bad "$TMP/grep.s" 2>/dev/null && rc=0 || rc=$?
   [ "$rc" -eq 124 ] || fail "fleet $bad: exit $rc, want 124"
+done
+
+# observability: --trace writes a Chrome trace-event file and --metrics
+# a stderr registry dump; neither may change a single report byte
+
+# batch: stdout identical to the untraced run, trace has pipeline spans
+"$TOOL" batch --jobs 2 --trace "$TMP/bt.json" --metrics "$TMP/grep.s" \
+  > "$TMP/bt.out" 2> "$TMP/bt.err" || fail "batch --trace failed"
+cmp -s "$TMP/b1.out" "$TMP/bt.out" || fail "batch stdout changed under --trace"
+grep -q '"traceEvents": \[' "$TMP/bt.json" || fail "batch trace: no traceEvents"
+grep -q '"name": "dag_build"' "$TMP/bt.json" || fail "batch trace: no dag_build span"
+grep -q "phases" "$TMP/bt.err" || fail "batch --trace: no phase table"
+grep -q "dag.arcs_added" "$TMP/bt.err" || fail "batch --metrics: no counter dump"
+
+# shard: timing-free stdout identical to the untraced run
+"$TOOL" shard --jobs 2 --shards 3 --trace "$TMP/st.json" \
+  "$TMP/grep.s" "$TMP/linpack.s" > "$TMP/st.out" 2>/dev/null \
+  || fail "shard --trace failed"
+cmp -s "$TMP/sj2.out" "$TMP/st.out" || fail "shard stdout changed under --trace"
+grep -q '"traceEvents": \[' "$TMP/st.json" || fail "shard trace: no traceEvents"
+
+# fleet: the one timeline covers the orchestrator (pid 0) and both
+# worker processes (pid = shard + 1), with every pipeline phase
+"$TOOL" fleet -q --workers 2 --trace "$TMP/ft.json" --metrics \
+  "$TMP/grep.s" "$TMP/linpack.s" > "$TMP/ft.out" 2> "$TMP/ft.err" \
+  || fail "fleet --trace failed"
+cmp -s "$TMP/f1.out" "$TMP/ft.out" || fail "fleet summary changed under --trace"
+grep -q '"pid": 1' "$TMP/ft.json" || fail "fleet trace: no worker 0 spans"
+grep -q '"pid": 2' "$TMP/ft.json" || fail "fleet trace: no worker 1 spans"
+for phase in parse dag_build heur_static heur_dynamic schedule verify \
+             json_encode queue_wait task_run spawn attempt merge; do
+  grep -q "\"name\": \"$phase\"" "$TMP/ft.json" \
+    || fail "fleet trace: no $phase span"
+done
+grep -q '"name": "process_name"' "$TMP/ft.json" \
+  || fail "fleet trace: no process_name metadata"
+
+# an empty --trace path is a CLI error (124), before any work runs
+for sub in batch shard fleet; do
+  "$TOOL" "$sub" --trace "" "$TMP/grep.s" 2>/dev/null && rc=0 || rc=$?
+  [ "$rc" -eq 124 ] || fail "$sub --trace '': exit $rc, want 124"
 done
 
 echo "CLI TESTS OK"

@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "dagsched"
     [ ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("isa", Test_isa.suite);
       ("machine", Test_machine.suite);
       ("cfg", Test_cfg.suite);

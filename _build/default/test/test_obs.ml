@@ -1,0 +1,443 @@
+(** Observability tests: the monotonic-leaning clock, the span recorder
+    and its Chrome trace-event round trip, the metrics registry and its
+    snapshot round trip, adversarial decoding of malformed trace/metrics
+    JSON, pool instrumentation, and the differential guarantee that
+    enabling observability changes no scheduling result.
+
+    Every test leaves both recorders disabled and empty: the rest of the
+    suite (golden output tests in particular) relies on observability
+    being invisible by default. *)
+
+open Dagsched
+open Helpers
+
+let obs_off () =
+  Trace.disable ();
+  Metrics.disable ();
+  Trace.reset ();
+  Metrics.reset ()
+
+(* Run [f] with both recorders enabled and empty, restoring the default
+   disabled-and-empty state afterwards even on failure. *)
+let with_obs f =
+  obs_off ();
+  Trace.enable ();
+  Metrics.enable ();
+  Fun.protect ~finally:obs_off f
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* clock *)
+
+let test_clock_monotonic () =
+  let prev = ref (Clock.now ()) in
+  for _ = 1 to 1000 do
+    let t = Clock.now () in
+    check_bool "non-decreasing" true (t >= !prev);
+    prev := t
+  done
+
+let test_clock_clamp () =
+  check_float "negative clamps" 0.0 (Clock.clamp (-3.0));
+  check_float "zero stays" 0.0 (Clock.clamp 0.0);
+  check_float "positive stays" 1.5 (Clock.clamp 1.5);
+  check_float "backwards duration clamps" 0.0
+    (Clock.duration ~start:10.0 ~stop:4.0);
+  check_float "forward duration" 2.5 (Clock.duration ~start:1.5 ~stop:4.0);
+  check_bool "since is non-negative" true (Clock.since (Clock.now ()) >= 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* trace: recording semantics *)
+
+let test_trace_disabled_is_invisible () =
+  obs_off ();
+  let r = Trace.with_span ~cat:"test" "phase" (fun () -> 41 + 1) in
+  check_int "with_span returns f ()" 42 r;
+  check_int "nothing recorded" 0 (List.length (Trace.snapshot ()))
+
+let test_trace_with_span_records () =
+  with_obs @@ fun () ->
+  let r = Trace.with_span ~cat:"test" "phase_a" (fun () -> "ok") in
+  check_string "result through" "ok" r;
+  match Trace.snapshot () with
+  | [ s ] ->
+      check_string "name" "phase_a" s.Trace.name;
+      check_string "cat" "test" s.Trace.cat;
+      check_int "pid 0 in-process" 0 s.Trace.pid;
+      check_bool "duration non-negative" true (s.Trace.dur_us >= 0.0)
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+let test_trace_with_span_on_exception () =
+  with_obs @@ fun () ->
+  (try
+     Trace.with_span ~cat:"test" "doomed" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  match Trace.snapshot () with
+  | [ s ] -> check_string "aborted phase still recorded" "doomed" s.Trace.name
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+let test_trace_snapshot_sorted () =
+  with_obs @@ fun () ->
+  Trace.record ~cat:"t" ~name:"late" ~start_s:3.0 ~stop_s:4.0 ();
+  Trace.record ~cat:"t" ~name:"early" ~start_s:1.0 ~stop_s:2.0 ();
+  Trace.record ~cat:"t" ~name:"middle" ~start_s:2.0 ~stop_s:2.5 ();
+  let names = List.map (fun s -> s.Trace.name) (Trace.snapshot ()) in
+  Alcotest.(check (list string))
+    "chronological" [ "early"; "middle"; "late" ] names
+
+let test_trace_inject_reassign () =
+  with_obs @@ fun () ->
+  Trace.record ~cat:"t" ~name:"local" ~start_s:1.0 ~stop_s:2.0 ();
+  let shipped =
+    match Trace.snapshot () with [ s ] -> s | _ -> Alcotest.fail "one span"
+  in
+  Trace.inject [ Trace.reassign_pid 7 { shipped with Trace.name = "remote" } ];
+  let pids =
+    List.map (fun s -> (s.Trace.name, s.Trace.pid)) (Trace.snapshot ())
+  in
+  Alcotest.(check (list (pair string int)))
+    "injected span re-homed"
+    [ ("local", 0); ("remote", 7) ]
+    pids
+
+(* ------------------------------------------------------------------ *)
+(* trace: Chrome trace-event JSON round trip *)
+
+let roundtrip spans =
+  let text = Stats.Json.to_string (Trace.to_json spans) in
+  match Stats.Json.of_string text with
+  | Error msg -> Alcotest.failf "trace does not parse back: %s" msg
+  | Ok json -> (
+      match Trace.events_of_json json with
+      | Error e -> Alcotest.failf "decode: %s" (Stats.Json.error_to_string e)
+      | Ok spans' -> spans')
+
+let test_trace_json_roundtrip () =
+  with_obs @@ fun () ->
+  Trace.record ~cat:"pipeline"
+    ~args:[ ("block", Json.Int 3); ("builder", Json.String "table-forward") ]
+    ~name:"dag_build" ~start_s:1.25 ~stop_s:1.5 ();
+  Trace.record ~cat:"fleet" ~name:"spawn" ~start_s:2.0 ~stop_s:2.0 ();
+  let spans = Trace.snapshot () in
+  check_bool "round trips exactly" true (roundtrip spans = spans);
+  check_bool "empty list round trips" true (roundtrip [] = [])
+
+let test_trace_metadata_skipped () =
+  with_obs @@ fun () ->
+  Trace.record ~cat:"t" ~name:"work" ~start_s:1.0 ~stop_s:2.0 ();
+  let spans = Trace.snapshot () in
+  let json =
+    Trace.to_json ~pid_names:[ (0, "orchestrator"); (9, "ghost") ] spans
+  in
+  let text = Stats.Json.to_string json in
+  check_bool "metadata for present pid" true
+    (contains text "\"process_name\"");
+  check_bool "metadata names the pid" true (contains text "orchestrator");
+  check_bool "no metadata for absent pid" false (contains text "ghost");
+  (* the reader skips the "M" metadata event and returns only spans *)
+  match Stats.Json.of_string text with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok j -> (
+      match Trace.events_of_json j with
+      | Ok spans' -> check_bool "metadata skipped" true (spans' = spans)
+      | Error e -> Alcotest.failf "decode: %s" (Stats.Json.error_to_string e))
+
+let test_trace_decode_adversarial () =
+  let decode text =
+    match Stats.Json.of_string text with
+    | Error msg -> Error msg
+    | Ok json -> (
+        match Trace.events_of_json json with
+        | Ok _ -> Ok ()
+        | Error e -> Error (Stats.Json.error_to_string e))
+  in
+  (match decode "3" with
+  | Error msg ->
+      check_bool "root type named" true (contains msg "expected an object")
+  | Ok () -> Alcotest.fail "non-object accepted");
+  (match decode "{\"traceEvents\": 3}" with
+  | Error msg -> check_bool "wrong type named" true (contains msg "traceEvents")
+  | Ok () -> Alcotest.fail "non-list accepted");
+  (match decode "{\"traceEvents\": [{\"ph\": \"X\", \"name\": \"x\"}]}" with
+  | Error msg ->
+      check_bool "missing ts located" true (contains msg "traceEvents[0]")
+  | Ok () -> Alcotest.fail "missing ts accepted");
+  (match
+     decode
+       "{\"traceEvents\": [{\"ph\": \"X\", \"name\": \"x\", \"ts\": 1, \
+        \"pid\": 0, \"tid\": 0, \"args\": 5}]}"
+   with
+  | Error msg -> check_bool "bad args located" true (contains msg "args")
+  | Ok () -> Alcotest.fail "non-object args accepted");
+  (* a truncated file fails in the JSON parser, not with an exception *)
+  (match decode "{\"traceEvents\": [" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "truncated trace accepted");
+  (* unknown phases are skipped, not errors *)
+  match decode "{\"traceEvents\": [{\"ph\": \"B\", \"name\": \"x\"}]}" with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "begin-phase event rejected: %s" msg
+
+let test_trace_summary () =
+  let span name ts dur =
+    { Trace.name; cat = "t"; ts_us = ts; dur_us = dur; pid = 0; tid = 0;
+      args = [] }
+  in
+  let stats =
+    Trace.summary [ span "a" 0.0 5.0; span "b" 1.0 100.0; span "a" 2.0 7.0 ]
+  in
+  match stats with
+  | [ b; a ] ->
+      (* sorted by descending total *)
+      check_string "largest first" "b" b.Trace.phase;
+      check_int "b spans" 1 b.Trace.spans;
+      check_string "then a" "a" a.Trace.phase;
+      check_int "a spans" 2 a.Trace.spans;
+      check_float "a total" 12.0 a.Trace.total_us;
+      check_float "a max" 7.0 a.Trace.max_us
+  | l -> Alcotest.failf "expected 2 phases, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* metrics *)
+
+let test_metrics_disabled_is_invisible () =
+  obs_off ();
+  let c = Metrics.counter "test.gated" in
+  let h = Metrics.histogram "test.gated_h" in
+  Metrics.add c 5;
+  Metrics.incr c;
+  Metrics.observe h 3;
+  let snap = Metrics.snapshot () in
+  check_bool "no counters" true (snap.Metrics.counters = []);
+  check_bool "no histograms" true (snap.Metrics.histograms = [])
+
+let test_metrics_counters_and_buckets () =
+  with_obs @@ fun () ->
+  let c = Metrics.counter "test.alpha" in
+  Metrics.add c 5;
+  Metrics.incr c;
+  (* same name, same handle *)
+  Metrics.incr (Metrics.counter "test.alpha");
+  let h = Metrics.histogram "test.lat" in
+  List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; 1000 ];
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (list (pair string int)))
+    "counter summed" [ ("test.alpha", 7) ] snap.Metrics.counters;
+  match snap.Metrics.histograms with
+  | [ hs ] ->
+      check_string "name" "test.lat" hs.Metrics.name;
+      check_int "count" 6 hs.Metrics.count;
+      check_int "sum" 1010 hs.Metrics.sum;
+      (* log2 buckets: <=0 | 1 | 2-3 | 4-7 | ... | 512-1023 *)
+      Alcotest.(check (list (pair int int)))
+        "buckets"
+        [ (0, 1); (1, 1); (3, 2); (7, 1); (1023, 1) ]
+        hs.Metrics.buckets
+  | l -> Alcotest.failf "expected 1 histogram, got %d" (List.length l)
+
+let test_metrics_observe_s () =
+  with_obs @@ fun () ->
+  let h = Metrics.histogram "test.secs" in
+  Metrics.observe_s h 0.001;          (* 1000 us *)
+  Metrics.observe_s h (-5.0);         (* clamps to 0 *)
+  match (Metrics.snapshot ()).Metrics.histograms with
+  | [ hs ] ->
+      check_int "count" 2 hs.Metrics.count;
+      check_int "sum in us, clamped" 1000 hs.Metrics.sum
+  | l -> Alcotest.failf "expected 1 histogram, got %d" (List.length l)
+
+let test_metrics_json_roundtrip () =
+  with_obs @@ fun () ->
+  Metrics.add (Metrics.counter "test.a") 3;
+  Metrics.add (Metrics.counter "test.b") 9;
+  List.iter (Metrics.observe (Metrics.histogram "test.h")) [ 1; 1; 64 ];
+  let snap = Metrics.snapshot () in
+  let text = Stats.Json.to_string (Metrics.snapshot_to_json snap) in
+  (match Stats.Json.of_string text with
+  | Error msg -> Alcotest.failf "does not parse back: %s" msg
+  | Ok json -> (
+      match Metrics.snapshot_of_json json with
+      | Ok snap' ->
+          check_bool "round trips exactly" true (Metrics.snapshot_equal snap snap')
+      | Error e -> Alcotest.failf "decode: %s" (Stats.Json.error_to_string e)));
+  (* the empty snapshot round trips too *)
+  Metrics.reset ();
+  let empty = Metrics.snapshot () in
+  match
+    Metrics.snapshot_of_json
+      (Result.get_ok
+         (Stats.Json.of_string
+            (Stats.Json.to_string (Metrics.snapshot_to_json empty))))
+  with
+  | Ok e -> check_bool "empty round trips" true (Metrics.snapshot_equal empty e)
+  | Error e -> Alcotest.failf "empty decode: %s" (Stats.Json.error_to_string e)
+
+let test_metrics_absorb () =
+  with_obs @@ fun () ->
+  Metrics.add (Metrics.counter "test.m") 10;
+  List.iter (Metrics.observe (Metrics.histogram "test.mh")) [ 2; 100 ];
+  let snap = Metrics.snapshot () in
+  Metrics.reset ();
+  (* absorbing the same snapshot twice doubles everything — the fleet
+     merge path, deliberately not gated on the enabled flag *)
+  Metrics.disable ();
+  Metrics.absorb snap;
+  Metrics.absorb snap;
+  let merged = Metrics.snapshot () in
+  Alcotest.(check (list (pair string int)))
+    "counters doubled" [ ("test.m", 20) ] merged.Metrics.counters;
+  match merged.Metrics.histograms with
+  | [ hs ] ->
+      check_int "count doubled" 4 hs.Metrics.count;
+      check_int "sum doubled" 204 hs.Metrics.sum;
+      Alcotest.(check (list (pair int int)))
+        "buckets doubled" [ (3, 2); (127, 2) ] hs.Metrics.buckets
+  | l -> Alcotest.failf "expected 1 histogram, got %d" (List.length l)
+
+let test_metrics_decode_adversarial () =
+  let decode text =
+    match Stats.Json.of_string text with
+    | Error msg -> Error msg
+    | Ok json -> (
+        match Metrics.snapshot_of_json json with
+        | Ok _ -> Ok ()
+        | Error e -> Error (Stats.Json.error_to_string e))
+  in
+  (match decode "{\"counters\": {\"x\": \"lots\"}, \"histograms\": []}" with
+  | Error msg -> check_bool "bad counter located" true (contains msg "x")
+  | Ok () -> Alcotest.fail "string counter accepted");
+  (match decode "{\"counters\": {}}" with
+  | Error msg -> check_bool "missing histograms" true (contains msg "histograms")
+  | Ok () -> Alcotest.fail "missing histograms accepted");
+  (match
+     decode
+       "{\"counters\": {}, \"histograms\": [{\"name\": \"h\", \"count\": 1, \
+        \"sum\": 2, \"buckets\": [{\"le\": 1}]}]}"
+   with
+  | Error msg ->
+      check_bool "bucket error located" true (contains msg "histograms[0]")
+  | Ok () -> Alcotest.fail "bucket without count accepted");
+  match decode "{\"counters\"" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "truncated snapshot accepted"
+
+(* ------------------------------------------------------------------ *)
+(* cross-process enablement *)
+
+let test_obs_env_value () =
+  obs_off ();
+  check_bool "disabled exports nothing" true (Obs.env_value () = None);
+  Trace.enable ();
+  check_bool "trace only" true (Obs.env_value () = Some "trace");
+  Metrics.enable ();
+  check_bool "both" true (Obs.env_value () = Some "trace,metrics");
+  Trace.disable ();
+  check_bool "metrics only" true (Obs.env_value () = Some "metrics");
+  obs_off ()
+
+let test_obs_init_from_env () =
+  obs_off ();
+  Unix.putenv Obs.env_var "trace,metrics,unknown-token";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv Obs.env_var "";
+      obs_off ())
+    (fun () ->
+      Obs.init_from_env ();
+      check_bool "trace enabled" true (Trace.enabled ());
+      check_bool "metrics enabled" true (Metrics.is_enabled ()))
+
+(* ------------------------------------------------------------------ *)
+(* pool instrumentation *)
+
+let test_pool_instrumented () =
+  with_obs @@ fun () ->
+  let results = Pool.map ~domains:2 (fun x -> x * x) [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "results" [ 1; 4; 9; 16; 25 ] results;
+  let spans = Trace.snapshot () in
+  let count name =
+    List.length (List.filter (fun s -> s.Trace.name = name) spans)
+  in
+  check_int "one queue_wait per task" 5 (count "queue_wait");
+  check_int "one task_run per task" 5 (count "task_run");
+  let snap = Metrics.snapshot () in
+  let hist name =
+    List.find_opt
+      (fun (h : Metrics.hist_snapshot) -> h.Metrics.name = name)
+      snap.Metrics.histograms
+  in
+  (match hist "pool.queue_wait_us" with
+  | Some h -> check_int "queue_wait observations" 5 h.Metrics.count
+  | None -> Alcotest.fail "no pool.queue_wait_us histogram");
+  match hist "pool.task_run_us" with
+  | Some h -> check_int "task_run observations" 5 h.Metrics.count
+  | None -> Alcotest.fail "no pool.task_run_us histogram"
+
+(* ------------------------------------------------------------------ *)
+(* differential: observability changes no scheduling result *)
+
+let test_batch_differential () =
+  obs_off ();
+  let blocks = Profiles.generate Profiles.grep in
+  let off_results = Batch.run ~domains:2 Batch.section6 blocks in
+  let on_results =
+    with_obs (fun () -> Batch.run ~domains:2 Batch.section6 blocks)
+  in
+  List.iter2
+    (fun (a : Batch.result) (b : Batch.result) ->
+      check_bool "identical up to timing" true
+        (Batch.strip_timing a = Batch.strip_timing b))
+    off_results on_results
+
+let test_batch_records_pipeline_phases () =
+  with_obs @@ fun () ->
+  let blocks = Profiles.generate Profiles.grep in
+  let _ = Batch.run ~domains:1 Batch.section6 blocks in
+  let spans = Trace.snapshot () in
+  let names = List.sort_uniq compare (List.map (fun s -> s.Trace.name) spans) in
+  List.iter
+    (fun phase ->
+      check_bool (phase ^ " span present") true (List.mem phase names))
+    [ "dag_build"; "heur_static"; "heur_dynamic"; "schedule"; "verify";
+      "queue_wait"; "task_run" ];
+  (* heur_dynamic is one aggregate span per block, tagged as such *)
+  (match List.find_opt (fun s -> s.Trace.name = "heur_dynamic") spans with
+  | Some s ->
+      check_bool "aggregate tag" true
+        (List.assoc_opt "aggregate" s.Trace.args = Some (Json.Bool true))
+  | None -> Alcotest.fail "no heur_dynamic span");
+  let snap = Metrics.snapshot () in
+  let counter name = List.assoc_opt name snap.Metrics.counters in
+  check_bool "arcs counted" true
+    (match counter "dag.arcs_added" with Some n -> n > 0 | None -> false);
+  check_bool "probes counted" true
+    (match counter "dag.table_probes" with Some n -> n > 0 | None -> false);
+  check_bool "ready lengths observed" true
+    (List.exists
+       (fun (h : Metrics.hist_snapshot) -> h.Metrics.name = "sched.ready_len")
+       snap.Metrics.histograms)
+
+let suite =
+  [ quick "clock: monotonic" test_clock_monotonic;
+    quick "clock: clamping" test_clock_clamp;
+    quick "trace: disabled is invisible" test_trace_disabled_is_invisible;
+    quick "trace: with_span records" test_trace_with_span_records;
+    quick "trace: records on exception" test_trace_with_span_on_exception;
+    quick "trace: snapshot sorted" test_trace_snapshot_sorted;
+    quick "trace: inject + reassign_pid" test_trace_inject_reassign;
+    quick "trace: JSON round trip" test_trace_json_roundtrip;
+    quick "trace: metadata events" test_trace_metadata_skipped;
+    quick "trace: adversarial decode" test_trace_decode_adversarial;
+    quick "trace: phase summary" test_trace_summary;
+    quick "metrics: disabled is invisible" test_metrics_disabled_is_invisible;
+    quick "metrics: counters and buckets" test_metrics_counters_and_buckets;
+    quick "metrics: observe_s" test_metrics_observe_s;
+    quick "metrics: JSON round trip" test_metrics_json_roundtrip;
+    quick "metrics: absorb" test_metrics_absorb;
+    quick "metrics: adversarial decode" test_metrics_decode_adversarial;
+    quick "obs: env_value" test_obs_env_value;
+    quick "obs: init_from_env" test_obs_init_from_env;
+    quick "pool: queue_wait/task_run instrumented" test_pool_instrumented;
+    quick "batch: differential off vs on" test_batch_differential;
+    quick "batch: pipeline phases recorded" test_batch_records_pipeline_phases ]

@@ -1,0 +1,29 @@
+(** Monotonic-leaning wall clock.
+
+    [Unix.gettimeofday] can step backwards (NTP slew, VM migration), and
+    naive [t1 -. t0] differences then go negative — which used to yield
+    nonsense per-attempt times in the fleet supervision log.  Every
+    timing site in the tree ({!Trace}, [Stats.time_runs], the fleet
+    supervisor) reads this shim instead:
+
+    - {!now} never decreases across calls, even across domains (the
+      highest value handed out so far is remembered and returned again
+      if the wall clock stepped back);
+    - {!duration} clamps negative differences to [0.0].
+
+    Timestamps remain ordinary wall-clock epoch seconds, so timelines
+    recorded by different processes on the same host stay comparable —
+    which is what lets a fleet merge worker traces into one timeline. *)
+
+(** Current time in epoch seconds; non-decreasing across calls and
+    domains. *)
+val now : unit -> float
+
+(** [clamp d] is [d] if positive, else [0.0]. *)
+val clamp : float -> float
+
+(** [duration ~start ~stop] is [clamp (stop -. start)]. *)
+val duration : start:float -> stop:float -> float
+
+(** [since t] is [duration ~start:t ~stop:(now ())]. *)
+val since : float -> float

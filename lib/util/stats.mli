@@ -24,79 +24,21 @@ val merge : t -> t -> t
 
 (** Hand-rolled JSON, used for the machine-readable perf reports
     ([BENCH_parallel.json], [BENCH_shard.json], [schedtool batch/shard
-    --json]).  The writer emits floats with a representation that reads
-    back exactly and always carries a [.]/[e] so a round trip preserves
-    the [Int]/[Float] distinction.  JSON has no nan/infinity: every
-    non-finite [Float] is encoded as [null] (so the writer can never
-    produce invalid JSON), and readers of specific schemas may map
-    [Null] float fields back to [nan] to make their round trip total
-    (see {!Ds_driver.Batch.report_of_json}). *)
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | String of string
-    | List of t list
-    | Obj of (string * t) list
-
-  val to_string : t -> string
-
-  (** Parse one JSON value (the whole input).  Total: malformed input of
-      any shape (truncations, bad escapes, surrogate [\u] halves, stray
-      bytes) comes back as [Error], never as an escaping exception. *)
-  val of_string : string -> (t, string) result
-
-  (** Field lookup on [Obj]; [None] on missing field or non-object. *)
-  val member : string -> t -> t option
-
-  (** ["an int"], ["an object"], ... — for decode error messages. *)
-  val type_name : t -> string
-
-  (** Typed decode error: the path of object fields / list indices from
-      the document root to the offending value, plus what went wrong.
-      Produced by the schema readers ({!Ds_driver.Batch.report_of_json},
-      {!Ds_driver.Shard.merged_of_json}, {!Ds_driver.Fleet}) so a
-      malformed report names the exact field. *)
-  type error = { path : string list; message : string }
-
-  (** ["$.aggregate.blocks: expected an int, found a string"]. *)
-  val error_to_string : error -> string
-
-  val decode_error : path:string list -> string -> ('a, error) result
-
-  (** [index_seg "per_shard" 3] is ["per_shard[3]"]. *)
-  val index_seg : string -> int -> string
-
-  (** Field accessors rooted at [path]: [get_* ~path k json] reads field
-      [k] of object [json], distinguishing missing fields, wrong value
-      types and a non-object [json] in the error.  {!get_float} promotes
-      [Int] and maps [Null] to [nan] (the writer encodes every
-      non-finite float as [null], so this keeps round trips total). *)
-  val get_field : path:string list -> string -> t -> (t, error) result
-
-  val get_int : path:string list -> string -> t -> (int, error) result
-  val get_float : path:string list -> string -> t -> (float, error) result
-  val get_string : path:string list -> string -> t -> (string, error) result
-
-  (** [get_list ~path k decode json] decodes field [k] as a list,
-      applying [decode] to each element with its indexed path. *)
-  val get_list :
-    path:string list ->
-    string ->
-    (path:string list -> t -> ('a, error) result) ->
-    t ->
-    ('a list, error) result
-
-  (** Decode one value (not a field) as a string. *)
-  val decode_string : path:string list -> t -> (string, error) result
-end
+    --json]).  The implementation lives in {!Ds_obs.Json} (the
+    observability layer serializes traces and metrics through it and
+    sits below [ds_util]); this transparent alias preserves every
+    historical [Ds_util.Stats.Json] reference and type equality.  See
+    [lib/obs/json.mli] for the full contract (exact float round trips,
+    non-finite floats as [null], total [of_string], typed decode
+    errors with path-threaded field accessors). *)
+module Json = Ds_obs.Json
 
 (** Accumulator summary as JSON ([count]/[mean]/[min]/[max]/[total]). *)
 val to_json : t -> Json.t
 
 (** [time_runs ~runs f] runs [f ()] [runs] times and returns (mean
     wall-clock seconds, last result) — the analogue of the paper's
-    "average of user+sys over five runs". *)
+    "average of user+sys over five runs".  Clocked by the
+    monotonic-leaning {!Ds_obs.Clock}, so wall-clock steps can never
+    yield a negative mean. *)
 val time_runs : runs:int -> (unit -> 'a) -> float * 'a
