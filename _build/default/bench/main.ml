@@ -816,7 +816,7 @@ let fleet_bench () =
    vs on over the Table-3 corpus, with a machine-readable BENCH_obs.json *)
 
 let obs_bench () =
-  heading "Observability overhead: tracing/metrics off vs on";
+  heading "Observability overhead: off vs trace+metrics vs all pillars";
   let corpus = Profiles.corpus Profiles.benchmarks in
   let blocks = List.concat_map snd corpus in
   Printf.printf
@@ -824,64 +824,112 @@ let obs_bench () =
     \ single domain, mean of %d runs; target: enabled overhead under 5%%;\n\
     \ results differentially checked against the untraced run)\n"
     (List.length corpus) (List.length blocks) runs;
+  let log_path = Filename.temp_file "dagsched_bench_log" ".jsonl" in
+  let all_off () =
+    Trace.disable ();
+    Metrics.disable ();
+    Obs_resource.disable ();
+    Log.set_level None;
+    Log.close_sink ();
+    Log.disable_heartbeat ();
+    Trace.reset ();
+    Metrics.reset ();
+    Obs_resource.reset ();
+    Log.reset ()
+  in
   (* Each timed run resets the recorders first: a real traced run holds
      one run's spans, so letting them accumulate across the benchmark's
      repetitions would charge the later runs GC pressure no real run
-     pays.  The two configurations are interleaved off/on within each
+     pays.  The three configurations are interleaved within each
      iteration — on a shared host the baseline itself drifts by more
      than the overhead being measured, and pairing cancels the drift. *)
-  let timed_run ~enabled =
-    if enabled then begin Trace.enable (); Metrics.enable () end
-    else begin Trace.disable (); Metrics.disable () end;
-    Trace.reset ();
-    Metrics.reset ();
+  let timed_run ~mode =
+    all_off ();
+    (match mode with
+    | `Off -> ()
+    | `Two ->
+        Trace.enable ();
+        Metrics.enable ()
+    | `All ->
+        (* everything a [--trace --metrics --resource --log --progress]
+           run pays: spans, counter bumps, GC deltas per phase, and
+           rate-limited heartbeats streamed through a real file sink *)
+        Trace.enable ();
+        Metrics.enable ();
+        Obs_resource.enable ();
+        Log.set_level (Some Log.Info);
+        (match Log.set_sink ~append:false log_path with
+        | Ok () -> ()
+        | Error msg -> failwith ("bench log sink: " ^ msg));
+        Log.set_heartbeat ~interval_s:0.05 ());
     let t0 = Clock.now () in
     let r = Batch.run ~domains:1 Batch.section6 blocks in
     (Clock.since t0, r)
   in
-  (* untimed warmup so neither configuration pays first-run cache/GC
-     costs *)
-  ignore (timed_run ~enabled:false);
-  let off_total = ref 0.0 and on_total = ref 0.0 in
-  let off_results = ref [] and on_results = ref [] in
+  (* untimed warmup so no configuration pays first-run cache/GC costs *)
+  ignore (timed_run ~mode:`Off);
+  let off_total = ref 0.0 and on_total = ref 0.0 and all_total = ref 0.0 in
+  let off_results = ref [] and on_results = ref [] and all_results = ref [] in
   for _ = 1 to runs do
-    let d, r = timed_run ~enabled:false in
+    let d, r = timed_run ~mode:`Off in
     off_total := !off_total +. d;
     off_results := r;
-    let d, r = timed_run ~enabled:true in
+    let d, r = timed_run ~mode:`Two in
     on_total := !on_total +. d;
-    on_results := r
+    on_results := r;
+    let d, r = timed_run ~mode:`All in
+    all_total := !all_total +. d;
+    all_results := r
   done;
   let off_s = !off_total /. float_of_int runs
   and on_s = !on_total /. float_of_int runs
+  and all_s = !all_total /. float_of_int runs
   and off_results = !off_results
-  and on_results = !on_results in
-  (* the last timed run was enabled, so the recorders hold one traced
-     run's spans and metrics *)
+  and on_results = !on_results
+  and all_results = !all_results in
+  (* the last timed run was all-pillars, so the recorders hold one such
+     run's spans, metrics and GC deltas (and the sink one run's
+     heartbeats) *)
   let spans = Trace.snapshot () in
   let snap = Metrics.snapshot () in
-  Trace.disable ();
-  Metrics.disable ();
-  Trace.reset ();
-  Metrics.reset ();
+  let resource = Obs_resource.snapshot () in
+  let heartbeats =
+    let evs, _ =
+      Log.events_of_jsonl_prefix
+        (In_channel.with_open_bin log_path In_channel.input_all)
+    in
+    List.length evs
+  in
+  all_off ();
+  (try Sys.remove log_path with Sys_error _ -> ());
   (* inline differential check: observability must not change any
-     scheduling result *)
+     scheduling result, with every pillar on *)
   List.iter2
     (fun (a : Batch.result) (b : Batch.result) ->
       assert (Batch.strip_timing a = Batch.strip_timing b))
     off_results on_results;
-  let overhead_pct = 100.0 *. ((on_s /. Float.max 1e-9 off_s) -. 1.0) in
+  List.iter2
+    (fun (a : Batch.result) (b : Batch.result) ->
+      assert (Batch.strip_timing a = Batch.strip_timing b))
+    off_results all_results;
+  let pct x = 100.0 *. ((x /. Float.max 1e-9 off_s) -. 1.0) in
+  let overhead_pct = pct on_s and all_overhead_pct = pct all_s in
   let t = Table.create ~title:"" [ "config"; "ms/run"; "overhead %" ] in
   Table.add_row t [ "disabled"; Table.fmt_float (1000.0 *. off_s); "-" ];
   Table.add_row t
     [ "trace+metrics"; Table.fmt_float (1000.0 *. on_s);
       Table.fmt_float overhead_pct ];
+  Table.add_row t
+    [ "all pillars"; Table.fmt_float (1000.0 *. all_s);
+      Table.fmt_float all_overhead_pct ];
   Table.print t;
   Printf.printf
-    "%d spans, %d counters, %d histograms recorded per traced run\n"
+    "%d spans, %d counters, %d histograms, %d resource phases, %d log\n\
+     events recorded per all-pillars run\n"
     (List.length spans)
     (List.length snap.Metrics.counters)
-    (List.length snap.Metrics.histograms);
+    (List.length snap.Metrics.histograms)
+    (List.length resource) heartbeats;
   if overhead_pct > 5.0 then
     Printf.printf
       "(overhead above the 5%% target on this host — the run pays ~1M\n\
@@ -896,6 +944,10 @@ let obs_bench () =
         ("disabled_s", Stats.Json.Float off_s);
         ("enabled_s", Stats.Json.Float on_s);
         ("overhead_pct", Stats.Json.Float overhead_pct);
+        ("all_pillars_s", Stats.Json.Float all_s);
+        ("all_overhead_pct", Stats.Json.Float all_overhead_pct);
+        ("heartbeats", Stats.Json.Int heartbeats);
+        ("resource", Obs_resource.to_json resource);
         ("spans", Stats.Json.Int (List.length spans));
         ( "phases",
           Stats.Json.List

@@ -115,7 +115,8 @@ let builder_arg =
 let opts_of model strategy = { Opts.default with Opts.model; strategy }
 
 (* ------------------------------------------------------------------ *)
-(* observability: --trace / --metrics on batch, shard and fleet *)
+(* observability: --trace / --metrics / --resource / --log /
+   --log-level / --progress on batch, shard and fleet *)
 
 let trace_conv =
   let parse s =
@@ -141,14 +142,82 @@ let metrics_arg =
         ~doc:"Collect pipeline counters and histograms (arcs added, \
               transitive arcs pruned, table probes, ready-list lengths, \
               stall cycles, pool latencies) and print them on stderr \
-              after the run.")
+              after the run, with p50/p95/p99 columns per histogram.")
+
+let resource_arg =
+  Arg.(
+    value & flag
+    & info [ "resource" ]
+        ~doc:"Profile GC/heap resource usage per pipeline phase \
+              (allocation words, collections, heap high-water), export \
+              it as a $(b,resource) field in the report JSON, and — \
+              with $(b,--trace) — emit heap/GC counter tracks into the \
+              trace timeline.")
+
+let log_path_conv =
+  let parse s =
+    if s = "" then Error (`Msg "log path must not be empty") else Ok s
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let log_arg =
+  Arg.(
+    value
+    & opt (some log_path_conv) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:"Append structured JSONL events (one object per line) to \
+              $(docv): supervision decisions, worker heartbeats, \
+              diagnostics.  The file is written through on every event \
+              (O_APPEND, no buffering), so it survives crashes and kills; \
+              a fleet's workers share the same stream.")
+
+let log_level_conv =
+  let parse s =
+    match Log.level_of_string s with
+    | Some l -> Ok l
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown log level %S (available: debug, info, warn, error)" s))
+  in
+  Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Log.level_to_string l))
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some log_level_conv) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Minimum event level to record: debug, info, warn or error \
+              (default info when $(b,--log) is given).")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Render live progress on stderr: blocks done/total, current \
+              phase, resident-set size — and, for a fleet, per-worker \
+              state with stall detection (a worker that stops \
+              heartbeating is flagged before its timeout kill).")
 
 (* --trace also turns the metrics registry on, so a traced fleet ships a
    uniform obs payload home from every worker; only --metrics prints the
    registry *)
-let obs_enable ~trace ~metrics =
+let obs_enable ~trace ~metrics ?(resource = false) ?log ?log_level () =
   if trace <> None then Trace.enable ();
-  if metrics || trace <> None then Metrics.enable ()
+  if metrics || trace <> None then Metrics.enable ();
+  if resource then Obs_resource.enable ();
+  (match (log_level, log) with
+  | None, None -> ()
+  | lvl, _ -> Log.set_level (Some (Option.value lvl ~default:Log.Info)));
+  match log with
+  | None -> ()
+  | Some path -> (
+      match Log.set_sink ~append:false path with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "log error: %s\n" msg;
+          exit 125)
 
 let span_parse file f =
   Trace.with_span ~cat:"cli" ~args:[ ("file", Json.String file) ] "parse" f
@@ -158,28 +227,50 @@ let span_encode f = Trace.with_span ~cat:"cli" "json_encode" f
 let pid_name pid =
   if pid = 0 then "orchestrator" else Printf.sprintf "worker %d" (pid - 1)
 
+(* Attach the resource-profiling snapshot to a report object when
+   profiling is on, with the same round-trip self-check discipline as
+   every other writer; the identity otherwise, so report bytes are
+   untouched when --resource is absent. *)
+let with_resource json =
+  if not (Obs_resource.is_enabled ()) then json
+  else
+    match json with
+    | Json.Obj fields ->
+        let rows = Obs_resource.snapshot () in
+        let rj = Obs_resource.to_json rows in
+        (match Obs_resource.of_json rj with
+        | Ok rows' when Obs_resource.equal rows rows' -> ()
+        | _ ->
+            Printf.eprintf "internal error: resource JSON round trip mismatch\n";
+            exit 3);
+        Json.Obj (fields @ [ ("resource", rj) ])
+    | other -> other
+
 (* After the run: write the Chrome trace (with the same round-trip
-   self-check discipline as the report writers) and print the per-phase
-   and metrics summaries on stderr. *)
-let obs_finish ~trace ~metrics =
+   self-check discipline as the report writers) and print the per-phase,
+   metrics and resource summaries on stderr. *)
+let obs_finish ~trace ~metrics ?(resource = false) () =
   (match trace with
   | None -> ()
   | Some path ->
       let spans = Trace.snapshot () in
+      let counters = Trace.snapshot_counters () in
       let pids =
         List.sort_uniq compare
-          (List.map (fun (s : Trace.span) -> s.Trace.pid) spans)
+          (List.map (fun (s : Trace.span) -> s.Trace.pid) spans
+          @ List.map (fun (c : Trace.counter) -> c.Trace.cpid) counters)
       in
       let json =
         Trace.to_json ~pid_names:(List.map (fun p -> (p, pid_name p)) pids)
-          spans
+          ~counters spans
       in
       let text = Stats.Json.to_string json ^ "\n" in
       (match Stats.Json.of_string text with
       | Ok j
-        when (match Trace.events_of_json j with
-             | Ok spans' -> spans' = spans
-             | Error _ -> false) -> ()
+        when (match (Trace.events_of_json j, Trace.counters_of_json j) with
+             | Ok spans', Ok counters' ->
+                 spans' = spans && counters' = counters
+             | _ -> false) -> ()
       | Ok _ ->
           Printf.eprintf "internal error: trace JSON round trip mismatch\n";
           exit 3
@@ -214,18 +305,42 @@ let obs_finish ~trace ~metrics =
     if snap.Metrics.histograms <> [] then begin
       let ht =
         Table.create ~title:"histograms"
-          [ "histogram"; "count"; "sum"; "mean" ]
+          [ "histogram"; "count"; "sum"; "mean"; "p50"; "p95"; "p99" ]
       in
       List.iter
-        (fun (h : Metrics.hist_snapshot) ->
+        (fun (h : Metrics.hist_summary) ->
           Table.add_row ht
             [ h.Metrics.name; string_of_int h.Metrics.count;
               string_of_int h.Metrics.sum;
-              Printf.sprintf "%.1f"
-                (float_of_int h.Metrics.sum
-                /. float_of_int (max 1 h.Metrics.count)) ])
-        snap.Metrics.histograms;
+              Printf.sprintf "%.1f" h.Metrics.mean;
+              string_of_int h.Metrics.p50; string_of_int h.Metrics.p95;
+              string_of_int h.Metrics.p99 ])
+        (Metrics.summary snap);
       prerr_string (Table.render ht)
+    end
+  end;
+  if resource then begin
+    let rows = Obs_resource.snapshot () in
+    if rows <> [] then begin
+      let rt =
+        Table.create ~title:"resource"
+          [ "phase"; "calls"; "minor Mw"; "promoted Mw"; "major Mw";
+            "minor gc"; "major gc"; "top heap Mw" ]
+      in
+      List.iter
+        (fun (r : Obs_resource.phase_stat) ->
+          Table.add_row rt
+            [ r.Obs_resource.phase;
+              string_of_int r.Obs_resource.calls;
+              Printf.sprintf "%.2f" (r.Obs_resource.minor_words /. 1e6);
+              Printf.sprintf "%.2f" (r.Obs_resource.promoted_words /. 1e6);
+              Printf.sprintf "%.2f" (r.Obs_resource.major_words /. 1e6);
+              string_of_int r.Obs_resource.minor_collections;
+              string_of_int r.Obs_resource.major_collections;
+              Printf.sprintf "%.2f"
+                (float_of_int r.Obs_resource.top_heap_words /. 1e6) ])
+        rows;
+      prerr_string (Table.render rt)
     end
   end
 
@@ -468,8 +583,10 @@ let chain_cmd =
 (* batch: the parallel batch-scheduling driver *)
 
 let batch_cmd =
-  let run alg model strategy jobs json_path quiet trace metrics file =
-    obs_enable ~trace ~metrics;
+  let run alg model strategy jobs json_path quiet trace metrics resource log
+      log_level progress file =
+    obs_enable ~trace ~metrics ~resource ?log ?log_level ();
+    if progress then Log.set_heartbeat ~echo:true ~interval_s:0.5 ();
     let blocks = span_parse file (fun () -> load_blocks file) in
     let config =
       { Batch.section6 with
@@ -490,7 +607,8 @@ let batch_cmd =
     | Some path ->
         let text =
           span_encode (fun () ->
-              Stats.Json.to_string (Batch.report_to_json report) ^ "\n")
+              Stats.Json.to_string (with_resource (Batch.report_to_json report))
+              ^ "\n")
         in
         (* the report must round-trip through the reader before we ship
            it; compare with the NaN-tolerant field-wise equality — under
@@ -509,11 +627,14 @@ let batch_cmd =
             exit 3);
         if path = "-" then print_string text
         else Out_channel.with_open_text path (fun oc -> output_string oc text));
+    if progress then
+      Log.heartbeat ~force:true ~phase:"done" ~done_:report.Batch.blocks
+        ~total:report.Batch.blocks ();
     Printf.eprintf
       "batch: %d blocks, %d domains, %d -> %d cycles, %.1f ms wall\n"
       report.Batch.blocks report.Batch.domains report.Batch.original_cycles
       report.Batch.scheduled_cycles (1000.0 *. report.Batch.wall_s);
-    obs_finish ~trace ~metrics
+    obs_finish ~trace ~metrics ~resource ()
   in
   let jobs =
     Arg.(
@@ -538,7 +659,8 @@ let batch_cmd =
           (deterministic: output is independent of $(b,--jobs)).")
     Term.(
       const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ json_path
-      $ quiet $ trace_arg $ metrics_arg $ file_arg)
+      $ quiet $ trace_arg $ metrics_arg $ resource_arg $ log_arg
+      $ log_level_arg $ progress_arg $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* shard: a whole corpus across a fleet of batch drivers *)
@@ -558,8 +680,9 @@ let policy_conv =
 
 let shard_cmd =
   let run alg model strategy jobs shards policy json_path quiet trace metrics
-      files =
-    obs_enable ~trace ~metrics;
+      resource log log_level progress files =
+    obs_enable ~trace ~metrics ~resource ?log ?log_level ();
+    if progress then Log.set_heartbeat ~echo:true ~interval_s:0.5 ();
     let files = if files = [] then [ "-" ] else files in
     let corpus =
       List.map
@@ -587,7 +710,9 @@ let shard_cmd =
     | Some path ->
         let text =
           span_encode (fun () ->
-              Stats.Json.to_string (Shard.merged_to_json merged) ^ "\n")
+              Stats.Json.to_string
+                (with_resource (Shard.merged_to_json merged))
+              ^ "\n")
         in
         (* same self-check as batch: the merged report must round-trip
            through the reader (NaN-tolerantly) before we ship it *)
@@ -612,7 +737,10 @@ let shard_cmd =
       (Shard.policy_to_string merged.Shard.policy)
       agg.Batch.domains agg.Batch.original_cycles agg.Batch.scheduled_cycles
       (1000.0 *. agg.Batch.wall_s);
-    obs_finish ~trace ~metrics
+    if progress then
+      Log.heartbeat ~force:true ~phase:"done" ~done_:agg.Batch.blocks
+        ~total:agg.Batch.blocks ();
+    obs_finish ~trace ~metrics ~resource ()
   in
   let jobs =
     Arg.(
@@ -662,19 +790,28 @@ let shard_cmd =
           $(b,--jobs)).")
     Term.(
       const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ shards
-      $ policy $ json_path $ quiet $ trace_arg $ metrics_arg $ files)
+      $ policy $ json_path $ quiet $ trace_arg $ metrics_arg $ resource_arg
+      $ log_arg $ log_level_arg $ progress_arg $ files)
 
 (* ------------------------------------------------------------------ *)
 (* worker: one fleet shard, driven by a manifest file *)
 
 let worker_cmd =
   let run manifest_path =
+    (* pick up the orchestrator's DAGSCHED_OBS / DAGSCHED_LOG /
+       DAGSCHED_HEARTBEAT_S first, so even a sabotaged worker leaves its
+       last words in the shared log stream *)
+    Obs.init_from_env ();
+    (match Sys.getenv_opt "DAGSCHED_WORKER_SHARD" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some shard -> Log.set_context [ ("shard", Json.Int shard) ]
+        | None -> ())
+    | None -> ());
     (* the crash-injection knob fires before any work so a sabotaged
        worker looks like a worker that died early *)
     Fleet.maybe_sabotage ();
-    (* pick up the orchestrator's DAGSCHED_OBS so a traced fleet traces
-       its workers too *)
-    Obs.init_from_env ();
+    Log.heartbeat ~force:true ~phase:"parse" ~done_:0 ~total:0 ();
     let text =
       try read_input manifest_path
       with Sys_error msg ->
@@ -719,24 +856,34 @@ let worker_cmd =
     let _, report =
       Batch.run_with_report ~domains:manifest.Fleet.domains config blocks
     in
+    Log.heartbeat ~force:true ~phase:"done" ~done_:report.Batch.blocks
+      ~total:report.Batch.blocks ();
     let json = span_encode (fun () -> Batch.report_to_json report) in
-    (* ship the recorded spans/metrics home inside the report: the
-       orchestrator re-homes the spans to this shard's fleet pid and
-       absorbs the metrics (Fleet.parse_output); readers that don't know
-       the field ignore it *)
+    (* ship the recorded spans/counters/metrics/resource rows home
+       inside the report: the orchestrator re-homes the trace events to
+       this shard's fleet pid and absorbs the rest (Fleet.parse_output);
+       readers that don't know the field ignore it *)
     let json =
-      if not (Trace.enabled () || Metrics.is_enabled ()) then json
+      if
+        not
+          (Trace.enabled () || Metrics.is_enabled ()
+          || Obs_resource.is_enabled ())
+      then json
       else
         match json with
         | Json.Obj fields ->
-            Json.Obj
-              (fields
-              @ [ ( "obs",
-                    Json.Obj
-                      [ ("trace", Trace.to_json (Trace.snapshot ()));
-                        ( "metrics",
-                          Metrics.snapshot_to_json (Metrics.snapshot ()) ) ] )
-                ])
+            let obs_fields =
+              [ ( "trace",
+                  Trace.to_json ~counters:(Trace.snapshot_counters ())
+                    (Trace.snapshot ()) );
+                ("metrics", Metrics.snapshot_to_json (Metrics.snapshot ())) ]
+              @
+              if Obs_resource.is_enabled () then
+                [ ("resource", Obs_resource.to_json (Obs_resource.snapshot ()))
+                ]
+              else []
+            in
+            Json.Obj (fields @ [ ("obs", Json.Obj obs_fields) ])
         | other -> other
     in
     print_string (Stats.Json.to_string json);
@@ -778,10 +925,10 @@ let retries_conv =
 
 let fleet_cmd =
   let run alg model strategy jobs workers timeout retries backoff policy
-      json_path quiet trace metrics files =
+      json_path quiet trace metrics resource log log_level progress files =
     (* enabling before Fleet.run makes the orchestrator export
-       DAGSCHED_OBS to its workers *)
-    obs_enable ~trace ~metrics;
+       DAGSCHED_OBS (and the log stream variables) to its workers *)
+    obs_enable ~trace ~metrics ~resource ?log ?log_level ();
     let files = if files = [] then [ "-" ] else files in
     let domains = if jobs <= 0 then Pool.recommended () else jobs in
     let workers = if workers <= 0 then List.length files else workers in
@@ -789,9 +936,28 @@ let fleet_cmd =
       Fleet.plan ~policy ~workers ~algorithm:alg ~strategy
         ~model:model.Latency.name ~domains files
     in
+    let on_progress =
+      if not progress then None
+      else
+        Some
+          (fun ps ->
+            List.iter
+              (fun (p : Fleet.progress) ->
+                Printf.eprintf
+                  "progress: worker %d %s, %d/%d blocks, %s, rss %d MB%s\n%!"
+                  p.Fleet.shard p.Fleet.state p.Fleet.done_blocks
+                  p.Fleet.total_blocks
+                  (if p.Fleet.phase = "" then "-" else p.Fleet.phase)
+                  (p.Fleet.rss_kb / 1024)
+                  (if p.Fleet.stalled then
+                     Printf.sprintf " STALLED (no heartbeat for %.1f s)"
+                       p.Fleet.beat_age_s
+                   else ""))
+              ps)
+    in
     let options =
       { Fleet.default_options with
-        Fleet.timeout_s = timeout; retries; backoff_s = backoff }
+        Fleet.timeout_s = timeout; retries; backoff_s = backoff; on_progress }
     in
     let t =
       Fleet.run ~options
@@ -818,7 +984,8 @@ let fleet_cmd =
     | None -> ()
     | Some path ->
         let text =
-          span_encode (fun () -> Stats.Json.to_string (Fleet.to_json t) ^ "\n")
+          span_encode (fun () ->
+              Stats.Json.to_string (with_resource (Fleet.to_json t)) ^ "\n")
         in
         (* same self-check as batch/shard: the full report must
            round-trip through the reader before we ship it *)
@@ -853,7 +1020,7 @@ let fleet_cmd =
       | fs ->
           Printf.sprintf ", %d shard%s FAILED" (List.length fs)
             (if List.length fs = 1 then "" else "s"));
-    obs_finish ~trace ~metrics;
+    obs_finish ~trace ~metrics ~resource ();
     if Fleet.failed_shards t <> [] then exit 4
   in
   let jobs =
@@ -931,7 +1098,8 @@ let fleet_cmd =
     Term.(
       const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ workers
       $ timeout $ retries $ backoff $ policy $ json_path $ quiet $ trace_arg
-      $ metrics_arg $ files)
+      $ metrics_arg $ resource_arg $ log_arg $ log_level_arg $ progress_arg
+      $ files)
 
 (* ------------------------------------------------------------------ *)
 (* dot *)

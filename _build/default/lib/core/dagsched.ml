@@ -43,11 +43,16 @@ module Table = Ds_util.Table
 module Pool = Ds_util.Pool
 
 (* observability: monotonic-leaning clock, span tracing (Chrome
-   trace-event export), metrics registry, cross-process enablement *)
+   trace-event export), metrics registry, structured event log,
+   per-phase GC/heap profiling, cross-process enablement.  The GC
+   profiler is [Obs_resource] here because [Resource] names the ISA's
+   machine-resource module below. *)
 module Json = Ds_obs.Json
 module Clock = Ds_obs.Clock
 module Trace = Ds_obs.Trace
 module Metrics = Ds_obs.Metrics
+module Log = Ds_obs.Log
+module Obs_resource = Ds_obs.Resource
 module Obs = Ds_obs.Obs
 
 (* ISA *)

@@ -1,1 +1,1 @@
-lib/driver/batch.ml: Ds_cfg Ds_dag Ds_heur Ds_obs Ds_sched Ds_util Engine Float Fun List Result Schedule Verify
+lib/driver/batch.ml: Atomic Ds_cfg Ds_dag Ds_heur Ds_obs Ds_sched Ds_util Engine Float Fun List Result Schedule Verify

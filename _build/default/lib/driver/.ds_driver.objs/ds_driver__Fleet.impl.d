@@ -1,1 +1,1 @@
-lib/driver/fleet.ml: Array Batch Ds_dag Ds_machine Ds_obs Ds_util Filename Float Fun In_channel List Out_channel Printf Result Shard String Sys Unix
+lib/driver/fleet.ml: Array Atomic Batch Ds_dag Ds_machine Ds_obs Ds_util Filename Float Fun Hashtbl In_channel List Mutex Option Out_channel Printf Result Shard String Sys Unix

@@ -1,1 +1,1 @@
-lib/driver/shard.ml: Array Batch Ds_cfg Ds_util Fun List Printf Result String
+lib/driver/shard.ml: Array Batch Ds_cfg Ds_obs Ds_util Fun List Printf Result String

@@ -51,14 +51,32 @@ exception Invalid_schedule of int * string
 let heuristics_of config =
   List.map (fun k -> k.Engine.heuristic) config.engine.Engine.keys
 
+(* live progress: when heartbeats are armed (fleet workers, --progress)
+   each finished block ticks a process-wide counter that Log.heartbeat
+   rate-limits into the log stream *)
+let hb_done = Atomic.make 0
+let hb_total = Atomic.make 0
+
+let hb_start n =
+  if Ds_obs.Log.heartbeat_enabled () then (
+    Atomic.set hb_done 0;
+    Atomic.set hb_total n)
+
+let hb_tick () =
+  if Ds_obs.Log.heartbeat_enabled () then
+    let d = 1 + Atomic.fetch_and_add hb_done 1 in
+    Ds_obs.Log.heartbeat ~phase:"block" ~done_:d ~total:(Atomic.get hb_total) ()
+
 let run_block config block =
   (* phase spans (dag_build/heur_static/schedule/verify) are no-ops
      unless --trace enabled the recorder; heur_dynamic is recorded
-     inside Engine.run as an aggregate *)
+     inside Engine.run as an aggregate.  Resource.with_phase charges the
+     same boundaries with GC/heap deltas when --resource is on. *)
   let span name f =
     Ds_obs.Trace.with_span ~cat:"pipeline"
       ~args:[ ("block", Ds_obs.Json.Int block.Ds_cfg.Block.id) ]
-      name f
+      name
+      (fun () -> Ds_obs.Resource.with_phase name f)
   in
   let time_s, (dag, annot, sched) =
     Ds_util.Stats.time_runs ~runs:1 (fun () ->
@@ -70,7 +88,12 @@ let run_block config block =
                   Ds_obs.Json.String
                     (Ds_dag.Builder.to_string config.algorithm) ) ]
             "dag_build"
-            (fun () -> Ds_dag.Builder.build config.algorithm config.opts block)
+            (fun () ->
+              Ds_obs.Resource.with_phase
+                ~detail:(Ds_dag.Builder.to_string config.algorithm)
+                "dag_build"
+                (fun () ->
+                  Ds_dag.Builder.build config.algorithm config.opts block))
         in
         let annot =
           span "heur_static" (fun () ->
@@ -88,6 +111,7 @@ let run_block config block =
                        (block.Ds_cfg.Block.id, Verify.violation_to_string v)));
         (dag, annot, sched))
   in
+  hb_tick ();
   { block_id = block.Ds_cfg.Block.id;
     insns = Ds_cfg.Block.length block;
     dag_arcs = Ds_dag.Dag.n_arcs dag;
@@ -102,11 +126,23 @@ let resolve_domains = function
   | Some d -> max 1 d
   | None -> Ds_util.Pool.recommended ()
 
+let log_start config blocks =
+  Ds_obs.Log.log Ds_obs.Log.Debug ~scope:"batch"
+    ~fields:
+      [ ("blocks", Ds_obs.Json.Int (List.length blocks));
+        ( "builder",
+          Ds_obs.Json.String (Ds_dag.Builder.to_string config.algorithm) ) ]
+    "starting batch"
+
 let run_on ~pool config blocks =
+  log_start config blocks;
+  hb_start (List.length blocks);
   Ds_util.Pool.map_on pool (run_block config) blocks
 
 let run ?domains config blocks =
   let domains = resolve_domains domains in
+  log_start config blocks;
+  hb_start (List.length blocks);
   Ds_util.Pool.map ~domains (run_block config) blocks
 
 type report = {

@@ -119,15 +119,86 @@ let failed_shards t =
     (fun l -> if l.report = None then Some l.shard else None)
     t.logs
 
+type progress = {
+  shard : int;
+  state : string;
+  done_blocks : int;
+  total_blocks : int;
+  phase : string;
+  rss_kb : int;
+  beat_age_s : float;
+  stalled : bool;
+}
+
 type options = {
   timeout_s : float;
   retries : int;
   backoff_s : float;
   poll_s : float;
+  stall_s : float;
+  heartbeat_s : float;
+  on_progress : (progress list -> unit) option;
 }
 
 let default_options =
-  { timeout_s = 60.0; retries = 2; backoff_s = 0.1; poll_s = 0.005 }
+  { timeout_s = 60.0; retries = 2; backoff_s = 0.1; poll_s = 0.005;
+    stall_s = 5.0; heartbeat_s = 0.5; on_progress = None }
+
+(* ------------------------------------------------------------------ *)
+(* temp-file hygiene: every temp the orchestrator creates (manifests,
+   worker output captures, the progress log stream) is registered here,
+   and a one-time [at_exit] sweep removes whatever is still registered —
+   so Ctrl-C (the SIGINT handler exits 130), a failed-shards exit 4, or
+   any exceptional path leaves the temp directory clean.  The normal
+   path releases each file as soon as the run is done with it. *)
+
+let temp_registry : (string, unit) Hashtbl.t = Hashtbl.create 16
+let temp_lock = Mutex.create ()
+
+let cleanup_temps () =
+  Mutex.lock temp_lock;
+  let paths = Hashtbl.fold (fun p () acc -> p :: acc) temp_registry [] in
+  Hashtbl.reset temp_registry;
+  Mutex.unlock temp_lock;
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths
+
+let cleanup_installed = Atomic.make false
+
+let register_temp p =
+  if not (Atomic.exchange cleanup_installed true) then at_exit cleanup_temps;
+  Mutex.lock temp_lock;
+  Hashtbl.replace temp_registry p ();
+  Mutex.unlock temp_lock
+
+let release_temp p =
+  Mutex.lock temp_lock;
+  Hashtbl.remove temp_registry p;
+  Mutex.unlock temp_lock;
+  try Sys.remove p with Sys_error _ -> ()
+
+(* live worker pids, so an interrupt can put the children down before
+   the orchestrator exits *)
+let live_pids : (int, unit) Hashtbl.t = Hashtbl.create 16
+let pid_lock = Mutex.create ()
+
+let track_pid pid =
+  Mutex.lock pid_lock;
+  Hashtbl.replace live_pids pid ();
+  Mutex.unlock pid_lock
+
+let untrack_pid pid =
+  Mutex.lock pid_lock;
+  Hashtbl.remove live_pids pid;
+  Mutex.unlock pid_lock
+
+let kill_live_workers () =
+  Mutex.lock pid_lock;
+  let pids = Hashtbl.fold (fun p () acc -> p :: acc) live_pids [] in
+  Hashtbl.reset live_pids;
+  Mutex.unlock pid_lock;
+  List.iter
+    (fun pid -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    pids
 
 (* ------------------------------------------------------------------ *)
 (* the supervisor *)
@@ -150,11 +221,15 @@ type slot = {
   mutable result : Batch.report option;
 }
 
-let worker_env ~shard ~attempt =
+let worker_env ?stream ?(heartbeat_s = default_options.heartbeat_s) ~shard
+    ~attempt () =
   let ours e =
     String.starts_with ~prefix:"DAGSCHED_WORKER_SHARD=" e
     || String.starts_with ~prefix:"DAGSCHED_WORKER_ATTEMPT=" e
     || String.starts_with ~prefix:(Ds_obs.Obs.env_var ^ "=") e
+    || String.starts_with ~prefix:(Ds_obs.Log.env_path ^ "=") e
+    || String.starts_with ~prefix:(Ds_obs.Log.env_level ^ "=") e
+    || String.starts_with ~prefix:(Ds_obs.Log.env_heartbeat ^ "=") e
   in
   let base =
     Array.to_list (Unix.environment ()) |> List.filter (fun e -> not (ours e))
@@ -166,8 +241,22 @@ let worker_env ~shard ~attempt =
     | Some v -> [ Ds_obs.Obs.env_var ^ "=" ^ v ]
     | None -> []
   in
+  (* when the fleet has a log stream, workers join it (append mode) and
+     arm their heartbeat so the orchestrator can tail live progress *)
+  let log_env =
+    match stream with
+    | None -> []
+    | Some path ->
+        [ Ds_obs.Log.env_path ^ "=" ^ path;
+          (Ds_obs.Log.env_level ^ "="
+          ^
+          match Ds_obs.Log.level () with
+          | Some l -> Ds_obs.Log.level_to_string l
+          | None -> "info");
+          Printf.sprintf "%s=%g" Ds_obs.Log.env_heartbeat heartbeat_s ]
+  in
   Array.of_list
-    (base @ obs
+    (base @ obs @ log_env
     @ [ "DAGSCHED_WORKER_SHARD=" ^ string_of_int shard;
         "DAGSCHED_WORKER_ATTEMPT=" ^ string_of_int attempt ])
 
@@ -182,17 +271,30 @@ let absorb_worker_obs ~shard json =
   | None -> ()
   | Some obs ->
       (match Json.member "trace" obs with
-      | Some tr -> (
-          match Ds_obs.Trace.events_of_json tr with
+      | Some tr ->
+          (match Ds_obs.Trace.events_of_json tr with
           | Ok spans ->
               Ds_obs.Trace.inject
                 (List.map (Ds_obs.Trace.reassign_pid (shard + 1)) spans)
+          | Error _ -> ());
+          (* counter samples (heap/GC gauges) ride in the same trace
+             object and land on the worker's process lane too *)
+          (match Ds_obs.Trace.counters_of_json tr with
+          | Ok cs ->
+              Ds_obs.Trace.inject_counters
+                (List.map (Ds_obs.Trace.reassign_counter_pid (shard + 1)) cs)
           | Error _ -> ())
       | None -> ());
       (match Json.member "metrics" obs with
       | Some m -> (
           match Ds_obs.Metrics.snapshot_of_json m with
           | Ok s -> Ds_obs.Metrics.absorb s
+          | Error _ -> ())
+      | None -> ());
+      (match Json.member "resource" obs with
+      | Some r -> (
+          match Ds_obs.Resource.of_json r with
+          | Ok rows -> Ds_obs.Resource.absorb rows
           | Error _ -> ())
       | None -> ())
 
@@ -215,26 +317,79 @@ let run ?(options = default_options) ~worker ~corpus manifests =
   let retries = max 0 options.retries in
   let backoff_s = Float.max 0.0 options.backoff_s in
   let poll_s = Float.max 1e-4 options.poll_s in
+  let stall_s = Float.max 1e-3 options.stall_s in
+  let heartbeat_s = Float.max 0.0 options.heartbeat_s in
   let wall0 = Ds_obs.Clock.now () in
+  let log_fleet ?(fields = []) level msg =
+    Ds_obs.Log.log level ~scope:"fleet" ~fields msg
+  in
+  (* the heartbeat stream the workers append to: the configured log
+     sink when there is one, else a registered temp file created only
+     when someone is watching (--progress) *)
+  let stream, stream_is_temp =
+    match Ds_obs.Log.sink_path () with
+    | Some p -> (Some p, false)
+    | None ->
+        if Option.is_some options.on_progress then (
+          let p = Filename.temp_file "dagsched_log" ".jsonl" in
+          register_temp p;
+          (Some p, true))
+        else (None, false)
+  in
   let slots =
     List.mapi
       (fun index m ->
         let manifest_path = Filename.temp_file "dagsched_manifest" ".json" in
+        register_temp manifest_path;
         Out_channel.with_open_text manifest_path (fun oc ->
             output_string oc (Json.to_string (manifest_to_json m));
             output_char oc '\n');
-        { index; manifest = m; manifest_path;
-          out_path = Filename.temp_file "dagsched_worker" ".json";
+        let out_path = Filename.temp_file "dagsched_worker" ".json" in
+        register_temp out_path;
+        { index; manifest = m; manifest_path; out_path;
           state = Waiting 0.0; attempts = 0; rev_failures = [];
           rev_attempts = []; work_s = 0.0; result = None })
       manifests
   in
+  let n = List.length slots in
+  (* per-shard live-progress state fed by tailing the stream *)
+  let hb_done = Array.make n 0
+  and hb_total = Array.make n 0
+  and hb_phase = Array.make n ""
+  and hb_rss = Array.make n 0
+  and hb_last = Array.make n Float.neg_infinity in
+  let tail = Option.map Ds_obs.Log.tail_create stream in
+  (* Ctrl-C: put the children down, then exit 130; the at_exit sweep
+     removes every registered temp file on the way out *)
+  let old_sigint =
+    match
+      Sys.signal Sys.sigint
+        (Sys.Signal_handle
+           (fun _ ->
+             kill_live_workers ();
+             exit 130))
+    with
+    | behavior -> Some behavior
+    | exception (Invalid_argument _ | Sys_error _) -> None
+  in
   let cleanup () =
+    (match old_sigint with
+    | Some b -> ( try Sys.set_signal Sys.sigint b with Sys_error _ -> ())
+    | None -> ());
+    (match tail with Some t -> Ds_obs.Log.tail_close t | None -> ());
     List.iter
       (fun s ->
-        (try Sys.remove s.manifest_path with Sys_error _ -> ());
-        try Sys.remove s.out_path with Sys_error _ -> ())
-      slots
+        (match s.state with
+        | Running { pid; _ } -> (
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            untrack_pid pid;
+            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        | Waiting _ | Finished -> ());
+        release_temp s.manifest_path;
+        release_temp s.out_path)
+      slots;
+    if stream_is_temp then
+      match stream with Some p -> release_temp p | None -> ()
   in
   Fun.protect ~finally:cleanup @@ fun () ->
   let spawn slot =
@@ -250,9 +405,11 @@ let run ?(options = default_options) ~worker ~corpus manifests =
         ~finally:(fun () -> Unix.close fd)
         (fun () ->
           Unix.create_process_env argv.(0) argv
-            (worker_env ~shard:slot.index ~attempt:slot.attempts)
+            (worker_env ?stream ~heartbeat_s ~shard:slot.index
+               ~attempt:slot.attempts ())
             Unix.stdin fd Unix.stderr)
     in
+    track_pid pid;
     let started = Ds_obs.Clock.now () in
     if Ds_obs.Trace.enabled () then
       Ds_obs.Trace.record ~cat:"fleet" ~name:"spawn"
@@ -260,6 +417,12 @@ let run ?(options = default_options) ~worker ~corpus manifests =
           [ ("shard", Json.Int slot.index);
             ("attempt", Json.Int slot.attempts) ]
         ~start_s:spawn0 ~stop_s:started ();
+    log_fleet Ds_obs.Log.Info
+      ~fields:
+        [ ("shard", Json.Int slot.index);
+          ("attempt", Json.Int slot.attempts);
+          ("os_pid", Json.Int pid) ]
+      "spawn";
     slot.state <- Running { pid; started }
   in
   let settle slot started outcome =
@@ -284,25 +447,116 @@ let run ?(options = default_options) ~worker ~corpus manifests =
     match outcome with
     | Ok r ->
         book ~backoff_s:0.0 None;
+        log_fleet Ds_obs.Log.Info
+          ~fields:
+            [ ("shard", Json.Int slot.index);
+              ("attempt", Json.Int slot.attempts);
+              ("duration_s", Json.Float duration_s) ]
+          "attempt ok";
         slot.result <- Some r;
         slot.state <- Finished
     | Error f ->
         slot.rev_failures <- f :: slot.rev_failures;
         if slot.attempts > retries then begin
           book ~backoff_s:0.0 (Some f);
+          log_fleet Ds_obs.Log.Error
+            ~fields:
+              [ ("shard", Json.Int slot.index);
+                ("attempts", Json.Int slot.attempts);
+                ("outcome", Json.String (failure_to_string f)) ]
+            "shard failed";
           slot.state <- Finished
         end
         else begin
           (* exponential backoff: backoff_s, 2*backoff_s, 4*backoff_s, ... *)
           let delay = backoff_s *. (2.0 ** float_of_int (slot.attempts - 1)) in
           book ~backoff_s:delay (Some f);
+          log_fleet Ds_obs.Log.Warn
+            ~fields:
+              [ ("shard", Json.Int slot.index);
+                ("attempt", Json.Int slot.attempts);
+                ("outcome", Json.String (failure_to_string f));
+                ("backoff_s", Json.Float delay) ]
+            "retry scheduled";
           slot.state <- Waiting (Ds_obs.Clock.now () +. delay)
+        end
+  in
+  (* drain freshly appended heartbeats into the per-shard state *)
+  let poll_heartbeats () =
+    match tail with
+    | None -> ()
+    | Some t ->
+        List.iter
+          (fun (ev : Ds_obs.Log.event) ->
+            if ev.Ds_obs.Log.scope = "heartbeat" then
+              match Json.member "shard" (Json.Obj ev.Ds_obs.Log.fields) with
+              | Some (Json.Int s) when s >= 0 && s < n ->
+                  hb_last.(s) <- ev.Ds_obs.Log.ts_s;
+                  let int_field k d =
+                    match Json.member k (Json.Obj ev.Ds_obs.Log.fields) with
+                    | Some (Json.Int v) -> v
+                    | _ -> d
+                  in
+                  hb_done.(s) <- int_field "done" hb_done.(s);
+                  hb_total.(s) <- int_field "total" hb_total.(s);
+                  hb_rss.(s) <- int_field "rss_kb" hb_rss.(s);
+                  (match
+                     Json.member "phase" (Json.Obj ev.Ds_obs.Log.fields)
+                   with
+                  | Some (Json.String p) -> hb_phase.(s) <- p
+                  | _ -> ())
+              | _ -> ())
+          (Ds_obs.Log.tail_poll t)
+  in
+  let progress_now now =
+    List.map
+      (fun slot ->
+        let state, running_since =
+          match (slot.state, slot.result) with
+          | Running { started; _ }, _ -> ("running", Some started)
+          | Waiting _, _ -> ("waiting", None)
+          | Finished, Some _ -> ("ok", None)
+          | Finished, None -> ("failed", None)
+        in
+        let i = slot.index in
+        let beat_age_s, stalled =
+          match running_since with
+          | None -> (0.0, false)
+          | Some started ->
+              let last = Float.max started hb_last.(i) in
+              let age = Float.max 0.0 (now -. last) in
+              (age, stream <> None && age > stall_s)
+        in
+        { shard = i; state; done_blocks = hb_done.(i);
+          total_blocks = hb_total.(i); phase = hb_phase.(i);
+          rss_kb = hb_rss.(i); beat_age_s; stalled })
+      slots
+  in
+  (* re-render only on a visible change (beat age alone doesn't count
+     until it crosses the stall threshold) *)
+  let last_key = ref [] in
+  let render_progress now =
+    match options.on_progress with
+    | None -> ()
+    | Some f ->
+        let ps = progress_now now in
+        let key =
+          List.map
+            (fun p ->
+              ( p.shard, p.state, p.done_blocks, p.total_blocks, p.phase,
+                p.rss_kb, p.stalled ))
+            ps
+        in
+        if key <> !last_key then begin
+          last_key := key;
+          f ps
         end
   in
   let unfinished () = List.exists (fun s -> s.state <> Finished) slots in
   while unfinished () do
     let progressed = ref false in
     let now = Ds_obs.Clock.now () in
+    poll_heartbeats ();
     List.iter
       (fun slot ->
         match slot.state with
@@ -316,15 +570,23 @@ let run ?(options = default_options) ~worker ~corpus manifests =
             match Unix.waitpid [ Unix.WNOHANG ] pid with
             | 0, _ ->
                 if now -. started > timeout_s then begin
+                  log_fleet Ds_obs.Log.Warn
+                    ~fields:
+                      [ ("shard", Json.Int slot.index);
+                        ("attempt", Json.Int slot.attempts);
+                        ("os_pid", Json.Int pid) ]
+                    "timeout, killing";
                   (* a kill on an already-exited pid still succeeds while
                      the zombie is unreaped, so this cannot race *)
                   (try Unix.kill pid Sys.sigkill
                    with Unix.Unix_error _ -> ());
                   ignore (Unix.waitpid [] pid);
+                  untrack_pid pid;
                   settle slot started (Error Timed_out);
                   progressed := true
                 end
             | _, status ->
+                untrack_pid pid;
                 let outcome =
                   match status with
                   | Unix.WEXITED 0 -> parse_output slot
@@ -334,8 +596,11 @@ let run ?(options = default_options) ~worker ~corpus manifests =
                 settle slot started outcome;
                 progressed := true))
       slots;
+    render_progress now;
     if (not !progressed) && unfinished () then Unix.sleepf poll_s
   done;
+  poll_heartbeats ();
+  render_progress (Ds_obs.Clock.now ());
   let wall_s = Ds_obs.Clock.since wall0 in
   let logs =
     List.map
@@ -373,7 +638,7 @@ let attempt_equal a b =
   && float_eq a.backoff_s b.backoff_s
   && a.outcome = b.outcome
 
-let log_equal a b =
+let log_equal (a : worker_log) (b : worker_log) =
   a.shard = b.shard && a.files = b.files && a.attempts = b.attempts
   && a.failures = b.failures
   && List.length a.attempt_log = List.length b.attempt_log
@@ -443,7 +708,7 @@ let attempt_of_json ~path json =
   in
   Ok { duration_s; backoff_s; outcome }
 
-let log_to_json l =
+let log_to_json (l : worker_log) =
   Json.Obj
     [ ("shard", Json.Int l.shard);
       ("files", Json.List (List.map (fun f -> Json.String f) l.files));
@@ -597,7 +862,16 @@ let maybe_sabotage () =
             print_string "{\"domains\": 1, \"blocks\": ";
             exit 0
         | "hang" ->
-            (* far past any sane timeout; the orchestrator must kill us *)
+            (* far past any sane timeout; the orchestrator must kill us.
+               Leave a last gasp in the log stream first — the whole
+               point of write-through logging is that these lines
+               survive the SIGKILL that is about to arrive. *)
+            Ds_obs.Log.log Ds_obs.Log.Warn ~scope:"worker"
+              ~fields:
+                [ ("mode", Ds_obs.Json.String "hang");
+                  ("attempt", Ds_obs.Json.Int attempt) ]
+              "sabotage: hanging";
+            Ds_obs.Log.heartbeat ~force:true ~phase:"hang" ~done_:0 ~total:0 ();
             Unix.sleepf 3600.0;
             exit sabotage_exit_code
         | _ -> ())

@@ -75,6 +75,15 @@ let run ?domains ?(policy = Balanced) ~shards config corpus =
   let domains = resolve_domains domains in
   let shards = max 1 shards in
   let parts = partition policy ~shards (List.concat_map snd corpus) in
+  Ds_obs.Log.log Ds_obs.Log.Debug ~scope:"shard"
+    ~fields:
+      [ ("shards", Ds_obs.Json.Int shards);
+        ("policy", Ds_obs.Json.String (policy_to_string policy));
+        ( "sizes",
+          Ds_obs.Json.List
+            (Array.to_list
+               (Array.map (fun p -> Ds_obs.Json.Int (List.length p)) parts)) ) ]
+    "partitioned corpus";
   let pool = Ds_util.Pool.create ~domains () in
   Fun.protect
     ~finally:(fun () -> Ds_util.Pool.shutdown pool)
@@ -93,10 +102,13 @@ let run ?domains ?(policy = Balanced) ~shards config corpus =
               parts)
       in
       let per_shard = Array.to_list (Array.map snd shard_runs) in
+      let aggregate =
+        Ds_obs.Resource.with_phase "merge" (fun () ->
+            Batch.report_merge ~domains ~wall_s per_shard)
+      in
       ( Array.map fst shard_runs,
-        { shards; policy; corpus = List.map fst corpus;
-          aggregate = Batch.report_merge ~domains ~wall_s per_shard;
-          per_shard } ))
+        { shards; policy; corpus = List.map fst corpus; aggregate; per_shard }
+      ))
 
 let merged_equal a b =
   a.shards = b.shards && a.policy = b.policy && a.corpus = b.corpus

@@ -1,0 +1,1 @@
+lib/obs/log.ml: Array Atomic Buffer Bytes Clock Domain Float In_channel Json Lazy List Mutex Option Printf Result Seq Stdlib String Sys Unix

@@ -1,0 +1,1 @@
+lib/obs/log.mli: Json

@@ -1,1 +1,1 @@
-lib/obs/metrics.ml: Array Atomic Clock Float Fun Json List Mutex Printf Result Stdlib
+lib/obs/metrics.ml: Array Atomic Clock Domain Float Fun Json List Mutex Printf Result Stdlib

@@ -1,1 +1,1 @@
-lib/obs/obs.ml: List Metrics String Sys Trace
+lib/obs/obs.ml: List Log Metrics Resource String Sys Trace

@@ -1,0 +1,1 @@
+lib/obs/resource.ml: Atomic Clock Float Fun Gc Hashtbl Json List Mutex Result Trace

@@ -1,1 +1,1 @@
-lib/obs/trace.ml: Atomic Clock Domain Float Fun Hashtbl Json List Mutex Printf Result
+lib/obs/trace.ml: Array Atomic Clock Domain Float Fun Hashtbl Json List Printexc Printf Result

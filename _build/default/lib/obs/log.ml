@@ -1,0 +1,425 @@
+(** Structured, leveled JSONL event logging.  See log.mli for the
+    contract. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+(* 4 = disabled sentinel: no level reaches it, so [enabled] is a single
+   atomic read + compare in the (default) off state *)
+let threshold = Atomic.make 4
+
+let set_level = function
+  | None -> Atomic.set threshold 4
+  | Some l -> Atomic.set threshold (severity l)
+
+let level () =
+  match Atomic.get threshold with
+  | 0 -> Some Debug
+  | 1 -> Some Info
+  | 2 -> Some Warn
+  | 3 -> Some Error
+  | _ -> None
+
+let enabled l = severity l >= Atomic.get threshold
+
+(* ------------------------------------------------------------------ *)
+(* events *)
+
+type event = {
+  ts_s : float;
+  level : level;
+  scope : string;
+  msg : string;
+  fields : (string * Json.t) list;
+  pid : int;
+  tid : int;
+}
+
+(* per-process context, appended to every event (workers: shard id) *)
+let context : (string * Json.t) list Atomic.t = Atomic.make []
+let set_context fs = Atomic.set context fs
+
+(* ------------------------------------------------------------------ *)
+(* per-domain ring buffers: each domain hashes to one of [n_rings]
+   slots, so concurrent domains almost never contend on a lock, and a
+   ring bounds memory no matter how chatty a run gets *)
+
+let n_rings = 64
+let ring_capacity = 512
+
+type ring = {
+  lock : Mutex.t;
+  slots : event option array;
+  mutable next : int;
+  mutable count : int;
+}
+
+let rings =
+  Array.init n_rings (fun _ ->
+      { lock = Mutex.create ();
+        slots = Array.make ring_capacity None;
+        next = 0; count = 0 })
+
+let ring_push ev =
+  let r = rings.((Domain.self () :> int) land (n_rings - 1)) in
+  Mutex.lock r.lock;
+  r.slots.(r.next) <- Some ev;
+  r.next <- (r.next + 1) mod ring_capacity;
+  r.count <- min (r.count + 1) ring_capacity;
+  Mutex.unlock r.lock
+
+let event_order a b =
+  compare
+    (a.ts_s, a.pid, a.tid, severity a.level, a.scope, a.msg)
+    (b.ts_s, b.pid, b.tid, severity b.level, b.scope, b.msg)
+
+let snapshot () =
+  let out = ref [] in
+  Array.iter
+    (fun r ->
+      Mutex.lock r.lock;
+      (* oldest first: start at [next] (the overwrite point) *)
+      for i = 0 to ring_capacity - 1 do
+        match r.slots.((r.next + i) mod ring_capacity) with
+        | Some ev -> out := ev :: !out
+        | None -> ()
+      done;
+      Mutex.unlock r.lock)
+    rings;
+  List.stable_sort event_order (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* sink: O_APPEND + one write(2) per line = signal-safe write-through.
+   POSIX guarantees O_APPEND writes land whole at the end of the file,
+   so orchestrator and workers can share one stream. *)
+
+let sink : (string * Unix.file_descr) option Atomic.t = Atomic.make None
+
+let sink_path () = Option.map fst (Atomic.get sink)
+
+let close_sink () =
+  match Atomic.exchange sink None with
+  | None -> ()
+  | Some (_, fd) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+
+let set_sink ~append path =
+  let flags =
+    [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+    @ if append then [] else [ Unix.O_TRUNC ]
+  in
+  match Unix.openfile path flags 0o644 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Stdlib.Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+  | fd ->
+      close_sink ();
+      Atomic.set sink (Some (path, fd));
+      Ok ()
+
+let rec write_all fd bytes off len =
+  if len > 0 then
+    match Unix.write fd bytes off len with
+    | n -> if n < len then write_all fd bytes (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes off len
+
+(* best-effort: logging must never take the pipeline down *)
+let sink_write line =
+  match Atomic.get sink with
+  | None -> ()
+  | Some (_, fd) -> (
+      let b = Bytes.of_string line in
+      try write_all fd b 0 (Bytes.length b) with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let event_to_json e =
+  Json.Obj
+    [ ("ts", Json.Float e.ts_s);
+      ("level", Json.String (level_to_string e.level));
+      ("scope", Json.String e.scope);
+      ("msg", Json.String e.msg);
+      ("pid", Json.Int e.pid);
+      ("tid", Json.Int e.tid);
+      ("fields", Json.Obj e.fields) ]
+
+let event_of_json ?(path = []) json =
+  let ( let* ) = Result.bind in
+  let* ts_s = Json.get_float ~path "ts" json in
+  let* level_name = Json.get_string ~path "level" json in
+  let* level =
+    match level_of_string level_name with
+    | Some l -> Ok l
+    | None ->
+        Json.decode_error ~path:(path @ [ "level" ])
+          (Printf.sprintf "unknown level %S" level_name)
+  in
+  let* scope = Json.get_string ~path "scope" json in
+  let* msg = Json.get_string ~path "msg" json in
+  (* pid/tid/fields are defaulted so a hand-written or foreign event
+     still reads *)
+  let* pid =
+    match Json.member "pid" json with
+    | None -> Ok 0
+    | Some _ -> Json.get_int ~path "pid" json
+  in
+  let* tid =
+    match Json.member "tid" json with
+    | None -> Ok 0
+    | Some _ -> Json.get_int ~path "tid" json
+  in
+  let* fields =
+    match Json.member "fields" json with
+    | None -> Ok []
+    | Some (Json.Obj fs) -> Ok fs
+    | Some v ->
+        Json.decode_error ~path:(path @ [ "fields" ])
+          (Printf.sprintf "expected an object, found %s" (Json.type_name v))
+  in
+  Ok { ts_s; level; scope; msg; fields; pid; tid }
+
+let jsonl_lines text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.trim l <> "")
+
+let events_of_jsonl text =
+  let ( let* ) = Result.bind in
+  let rec go acc i = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let path = [ Printf.sprintf "line %d" i ] in
+        let* json =
+          match Json.of_string line with
+          | Ok j -> Ok j
+          | Stdlib.Error msg -> Json.decode_error ~path msg
+        in
+        let* ev = event_of_json ~path json in
+        go (ev :: acc) (i + 1) rest
+  in
+  go [] 1 (jsonl_lines text)
+
+let events_of_jsonl_prefix text =
+  let rec go acc = function
+    | [] -> (List.rev acc, None)
+    | line :: rest -> (
+        match Json.of_string line with
+        | Stdlib.Error _ -> (List.rev acc, Some line)
+        | Ok json -> (
+            match event_of_json json with
+            | Stdlib.Error _ -> (List.rev acc, Some line)
+            | Ok ev -> go (ev :: acc) rest))
+  in
+  go [] (jsonl_lines text)
+
+(* ------------------------------------------------------------------ *)
+(* emission *)
+
+let os_pid = lazy (Unix.getpid ())
+
+let emit ev =
+  ring_push ev;
+  sink_write (Json.to_string (event_to_json ev) ^ "\n")
+
+let make_event ?(fields = []) level ~scope msg =
+  { ts_s = Clock.now (); level; scope; msg;
+    fields = fields @ Atomic.get context;
+    pid = Lazy.force os_pid;
+    tid = (Domain.self () :> int) }
+
+let log ?fields level ~scope msg =
+  if enabled level then emit (make_event ?fields level ~scope msg)
+
+(* ------------------------------------------------------------------ *)
+(* heartbeats *)
+
+let hb_interval = Atomic.make Float.nan (* nan = disarmed *)
+let hb_echo = Atomic.make false
+(* boxed-float atomic, CAS'd so concurrent domains race to one beat per
+   interval instead of all beating at once *)
+let hb_last : float Atomic.t = Atomic.make Float.neg_infinity
+
+let set_heartbeat ?(echo = false) ~interval_s () =
+  Atomic.set hb_echo echo;
+  Atomic.set hb_last Float.neg_infinity;
+  Atomic.set hb_interval (Float.max 0.0 interval_s)
+
+let disable_heartbeat () =
+  Atomic.set hb_interval Float.nan;
+  Atomic.set hb_echo false;
+  Atomic.set hb_last Float.neg_infinity
+
+let heartbeat_enabled () = not (Float.is_nan (Atomic.get hb_interval))
+
+let rss_kb () =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
+  | exception Sys_error _ -> 0
+  | text ->
+      let rec find = function
+        | [] -> 0
+        | line :: rest ->
+            if String.starts_with ~prefix:"VmRSS:" line then (
+              let digits =
+                String.to_seq line
+                |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                |> String.of_seq
+              in
+              match int_of_string_opt digits with
+              | Some kb -> kb
+              | None -> 0)
+            else find rest
+      in
+      find (String.split_on_char '\n' text)
+
+let heartbeat ?(force = false) ~phase ~done_ ~total () =
+  let interval = Atomic.get hb_interval in
+  if not (Float.is_nan interval) then begin
+    let now = Clock.now () in
+    let last = Atomic.get hb_last in
+    let due = now -. last >= interval in
+    (* losing the CAS means another domain just beat; skip unless forced *)
+    if force || (due && Atomic.compare_and_set hb_last last now) then begin
+      let rss = rss_kb () in
+      let ev =
+        make_event
+          ~fields:
+            [ ("phase", Json.String phase);
+              ("done", Json.Int done_);
+              ("total", Json.Int total);
+              ("rss_kb", Json.Int rss) ]
+          Info ~scope:"heartbeat" "heartbeat"
+      in
+      emit ev;
+      if Atomic.get hb_echo then
+        Printf.eprintf "progress: %d/%d blocks, %s, rss %d MB\n%!" done_ total
+          phase (rss / 1024)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* reset (tests / bench) *)
+
+let reset () =
+  Array.iter
+    (fun r ->
+      Mutex.lock r.lock;
+      Array.fill r.slots 0 ring_capacity None;
+      r.next <- 0;
+      r.count <- 0;
+      Mutex.unlock r.lock)
+    rings;
+  Atomic.set hb_last Float.neg_infinity
+
+(* ------------------------------------------------------------------ *)
+(* tailing *)
+
+type tail = {
+  t_path : string;
+  mutable t_fd : Unix.file_descr option;
+  t_buf : Buffer.t;
+}
+
+let tail_create path = { t_path = path; t_fd = None; t_buf = Buffer.create 256 }
+
+let tail_close t =
+  (match t.t_fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.t_fd <- None
+
+let tail_fd t =
+  match t.t_fd with
+  | Some fd -> Some fd
+  | None -> (
+      match Unix.openfile t.t_path [ Unix.O_RDONLY ] 0 with
+      | fd ->
+          t.t_fd <- Some fd;
+          Some fd
+      | exception Unix.Unix_error _ -> None)
+
+let tail_poll t =
+  match tail_fd t with
+  | None -> []
+  | Some fd ->
+      let chunk = Bytes.create 8192 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes t.t_buf chunk 0 n;
+            drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      drain ();
+      (* split off complete lines; keep the partial tail buffered *)
+      let data = Buffer.contents t.t_buf in
+      let rec split acc start =
+        match String.index_from_opt data start '\n' with
+        | None ->
+            Buffer.clear t.t_buf;
+            Buffer.add_substring t.t_buf data start (String.length data - start);
+            List.rev acc
+        | Some nl ->
+            split (String.sub data start (nl - start) :: acc) (nl + 1)
+      in
+      let lines = split [] 0 in
+      List.filter_map
+        (fun line ->
+          if String.trim line = "" then None
+          else
+            match Json.of_string line with
+            | Stdlib.Error _ -> None
+            | Ok json -> (
+                match event_of_json json with
+                | Ok ev -> Some ev
+                | Stdlib.Error _ -> None))
+        lines
+
+(* ------------------------------------------------------------------ *)
+(* cross-process enablement *)
+
+let env_path = "DAGSCHED_LOG"
+let env_level = "DAGSCHED_LOG_LEVEL"
+let env_heartbeat = "DAGSCHED_HEARTBEAT_S"
+
+let env_exports () =
+  (match sink_path () with Some p -> [ env_path ^ "=" ^ p ] | None -> [])
+  @ (match level () with
+    | Some l -> [ env_level ^ "=" ^ level_to_string l ]
+    | None -> [])
+  @
+  let i = Atomic.get hb_interval in
+  if Float.is_nan i then [] else [ Printf.sprintf "%s=%g" env_heartbeat i ]
+
+let init_from_env () =
+  (match Sys.getenv_opt env_level with
+  | Some s -> ( match level_of_string s with Some l -> set_level (Some l) | None -> ())
+  | None -> ());
+  (match Sys.getenv_opt env_path with
+  | None | Some "" -> ()
+  | Some path ->
+      (* the stream is shared with the orchestrator: append, never
+         truncate; a worker that cannot open it still runs *)
+      (match set_sink ~append:true path with Ok () -> () | Stdlib.Error _ -> ());
+      if level () = None then set_level (Some Info));
+  match Sys.getenv_opt env_heartbeat with
+  | None | Some "" -> ()
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some i when Float.is_finite i && i >= 0.0 ->
+          set_heartbeat ~interval_s:i ()
+      | _ -> ())

@@ -1,0 +1,180 @@
+(** Structured, leveled JSONL event logging — the third observability
+    pillar next to {!Trace} (spans) and {!Metrics} (counters).
+
+    An {e event} is one structured record: timestamp, level, scope
+    (["fleet"], ["worker"], ["shard"], ["heartbeat"]), a short stable
+    message, and free-form JSON fields.  Events are kept in per-domain
+    ring buffers (bounded, lock per ring — never on a shared registry)
+    and, when a {e sink} is attached, appended to a JSONL file as one
+    line per event.
+
+    {b Crash forensics.}  The sink is an [O_APPEND] file descriptor and
+    every event is written with a single [write(2)] — there is no
+    userspace buffering to flush, so the log survives SIGKILL, a fleet
+    timeout kill, or a power-of-the-process event mid-run: whatever was
+    logged before the kill is on disk, whole lines stay whole (POSIX
+    atomic appends), and several processes (fleet orchestrator plus all
+    its workers) can share one stream.  A reader that hits a torn final
+    line uses {!events_of_jsonl_prefix}.
+
+    {b Gating.}  Logging is disabled by default; {!log} costs one atomic
+    read until {!set_level} arms it, so report bytes are identical with
+    logging off — same discipline as {!Trace}/{!Metrics}.
+
+    {b Heartbeats} are progress events (scope ["heartbeat"]): blocks
+    done/total, current phase, resident-set size.  They are gated by
+    their own interval ({!set_heartbeat}), not the level threshold, and
+    rate-limited at the emission site — a worker ticks once per block
+    and the limiter drops all but ~1/interval of them.  The fleet
+    orchestrator tails the shared stream ({!tail_create}/{!tail_poll})
+    to drive [--progress] and stall detection. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+
+(** Case-insensitive; [None] on unknown names. *)
+val level_of_string : string -> level option
+
+(** {1 Enablement} *)
+
+(** [set_level (Some l)] enables events at severity [>= l];
+    [set_level None] disables logging entirely (the default). *)
+val set_level : level option -> unit
+
+val level : unit -> level option
+
+(** Would an event at this level be recorded right now? *)
+val enabled : level -> bool
+
+(** {1 Events} *)
+
+type event = {
+  ts_s : float;                    (** {!Clock.now}, epoch seconds *)
+  level : level;
+  scope : string;                  (** subsystem, e.g. ["fleet"] *)
+  msg : string;                    (** short, stable; details in fields *)
+  fields : (string * Json.t) list; (** free-form, context appended *)
+  pid : int;                       (** OS process id *)
+  tid : int;                       (** OCaml domain id *)
+}
+
+(** [log ?fields lvl ~scope msg] records an event when [enabled lvl]:
+    into the calling domain's ring, and through the sink if one is
+    attached.  Never raises — a failed sink write is dropped (logging
+    must not take down the pipeline). *)
+val log : ?fields:(string * Json.t) list -> level -> scope:string -> string -> unit
+
+(** Fields appended to every subsequent event from this process (a fleet
+    worker sets [("shard", Int n)]).  Replaces the previous context. *)
+val set_context : (string * Json.t) list -> unit
+
+(** Ring contents in deterministic order (timestamp, then pid/tid and
+    content), oldest first; each ring keeps the most recent events
+    (bounded), so this is the in-memory tail, not the full history. *)
+val snapshot : unit -> event list
+
+(** Drop ring contents and heartbeat rate-limiter state.  Level, sink
+    and context are untouched. *)
+val reset : unit -> unit
+
+(** {1 Sink} *)
+
+(** [set_sink ~append path] opens [path] ([O_APPEND]; truncated first
+    unless [append]) and routes every subsequent event to it as one
+    JSONL line.  Replaces (and closes) any previous sink.  [Error] with
+    the system message when the path cannot be opened. *)
+val set_sink : append:bool -> string -> (unit, string) result
+
+val sink_path : unit -> string option
+
+(** Close and detach the sink (no-op without one). *)
+val close_sink : unit -> unit
+
+(** {1 Heartbeats} *)
+
+(** Arm heartbeat emission: at most one heartbeat per [interval_s]
+    (clamped to [>= 0]) is recorded.  [echo] additionally prints a
+    human ["progress: ..."] line on stderr per recorded heartbeat (the
+    in-process [--progress] renderer; fleet workers leave it off). *)
+val set_heartbeat : ?echo:bool -> interval_s:float -> unit -> unit
+
+val disable_heartbeat : unit -> unit
+
+val heartbeat_enabled : unit -> bool
+
+(** [heartbeat ~phase ~done_ ~total ()] records a progress event (scope
+    ["heartbeat"], fields [phase]/[done]/[total]/[rss_kb] plus context)
+    subject to the rate limit; [~force:true] bypasses the limit (final
+    "done" beats, a sabotaged worker's last gasp).  No-op unless
+    {!set_heartbeat} armed it.  Heartbeats bypass the level threshold —
+    they are progress data, not diagnostics. *)
+val heartbeat : ?force:bool -> phase:string -> done_:int -> total:int -> unit -> unit
+
+(** Resident-set size of this process in kB (Linux [/proc/self/status]
+    VmRSS; 0 where unavailable). *)
+val rss_kb : unit -> int
+
+(** {1 JSON}
+
+    Schema in docs/FORMAT.md ("log events").  All readers are total
+    over arbitrary input and return typed path errors, like every other
+    reader in the tree. *)
+
+val event_to_json : event -> Json.t
+
+val event_of_json : ?path:string list -> Json.t -> (event, Json.error) result
+
+(** One event per non-empty line.  Strict: the first malformed line is
+    a typed error (path ["line N"], 1-based). *)
+val events_of_jsonl : string -> (event list, Json.error) result
+
+(** Forensic reader: parse leading well-formed lines, stop at the first
+    malformed or torn one and return it as the leftover ([None] when the
+    whole input parsed).  Never errors — this is what reads a log whose
+    writer was SIGKILLed mid-line. *)
+val events_of_jsonl_prefix : string -> event list * string option
+
+(** {1 Tailing}
+
+    Incremental reader over a growing JSONL file — the fleet
+    orchestrator polls the shared stream for worker heartbeats while
+    the workers are still writing it. *)
+
+type tail
+
+val tail_create : string -> tail
+
+(** Newly appended complete events since the last poll.  A partial
+    final line is buffered until its newline arrives; malformed
+    complete lines are skipped.  A file that does not exist yet yields
+    [[]] until it appears. *)
+val tail_poll : tail -> event list
+
+val tail_close : tail -> unit
+
+(** {1 Cross-process enablement}
+
+    The fleet orchestrator exports these to its workers; {!Obs.init_from_env}
+    applies them ([schedtool worker] calls it before any work). *)
+
+(** ["DAGSCHED_LOG"] — sink path (workers open it append-mode). *)
+val env_path : string
+
+(** ["DAGSCHED_LOG_LEVEL"] — level name. *)
+val env_level : string
+
+(** ["DAGSCHED_HEARTBEAT_S"] — heartbeat interval in seconds. *)
+val env_heartbeat : string
+
+(** [KEY=value] bindings describing this process's current sink path,
+    level and heartbeat interval — what an orchestrator exports so its
+    workers log into the same stream. *)
+val env_exports : unit -> string list
+
+(** Apply [DAGSCHED_LOG] / [DAGSCHED_LOG_LEVEL] / [DAGSCHED_HEARTBEAT_S]:
+    sink (append mode — the stream is shared), level (defaults to
+    [Info] when only a path is given), heartbeat interval.  Unset or
+    malformed variables are ignored; a sink that cannot be opened is
+    ignored too (a worker must still run). *)
+val init_from_env : unit -> unit

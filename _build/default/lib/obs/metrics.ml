@@ -7,22 +7,41 @@ let enable () = Atomic.set enabled true
 let disable () = Atomic.set enabled false
 let is_enabled () = Atomic.get enabled
 
-type counter = { cname : string; value : int Atomic.t }
+(* The hot path is sharded per domain: every handle owns a Domain.DLS
+   key whose per-domain cell is a plain mutable record, so an enabled
+   [incr]/[observe] is ordinary loads and stores on domain-local memory
+   — no fetch_and_add, no shared cache line.  A traced corpus run bumps
+   metrics ~1M times; the shared-atomic version was a measurable part
+   of the 15-25% enabled-mode overhead on a 1-core CI host.  The cost:
+   a snapshot taken while other domains are mid-update is approximate
+   (plain reads may lag); every snapshot in the tree happens after the
+   pool has quiesced (joined), where it is exact. *)
 
 (* Buckets are powers of two: bucket 0 holds values <= 0, bucket i >= 1
    holds [2^(i-1), 2^i - 1].  64 buckets cover the whole int range. *)
 let n_buckets = 64
 
+type ccell = { mutable cv : int }
+
+type counter = {
+  cname : string;
+  ckey : ccell Domain.DLS.key;
+  ccells : ccell list ref; (* every domain's cell; guarded by the registry *)
+}
+
+type hcell = { mutable hcount : int; mutable hsum : int; hbuckets : int array }
+
 type histogram = {
   hname : string;
-  count : int Atomic.t;
-  sum : int Atomic.t;
-  buckets : int Atomic.t array;
+  hkey : hcell Domain.DLS.key;
+  hcells : hcell list ref;
 }
 
 (* Registration happens at module initialization (handles are module-
    level lets at every instrumentation site) but is mutex-protected so a
-   late [counter] call from a worker domain stays safe. *)
+   late [counter] call from a worker domain stays safe.  The same lock
+   guards the per-handle cell lists, which grow when a new domain first
+   touches a handle. *)
 let registry_mutex = Mutex.create ()
 let all_counters : counter list ref = ref []
 let all_histograms : histogram list ref = ref []
@@ -36,7 +55,14 @@ let counter name =
       match List.find_opt (fun c -> c.cname = name) !all_counters with
       | Some c -> c
       | None ->
-          let c = { cname = name; value = Atomic.make 0 } in
+          let ccells = ref [] in
+          let ckey =
+            Domain.DLS.new_key (fun () ->
+                let cell = { cv = 0 } in
+                with_registry (fun () -> ccells := cell :: !ccells);
+                cell)
+          in
+          let c = { cname = name; ckey; ccells } in
           all_counters := c :: !all_counters;
           c)
 
@@ -45,14 +71,25 @@ let histogram name =
       match List.find_opt (fun h -> h.hname = name) !all_histograms with
       | Some h -> h
       | None ->
-          let h =
-            { hname = name; count = Atomic.make 0; sum = Atomic.make 0;
-              buckets = Array.init n_buckets (fun _ -> Atomic.make 0) }
+          let hcells = ref [] in
+          let hkey =
+            Domain.DLS.new_key (fun () ->
+                let cell =
+                  { hcount = 0; hsum = 0; hbuckets = Array.make n_buckets 0 }
+                in
+                with_registry (fun () -> hcells := cell :: !hcells);
+                cell)
           in
+          let h = { hname = name; hkey; hcells } in
           all_histograms := h :: !all_histograms;
           h)
 
-let add c n = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.value n)
+let add c n =
+  if Atomic.get enabled then begin
+    let cell = Domain.DLS.get c.ckey in
+    cell.cv <- cell.cv + n
+  end
+
 let incr c = add c 1
 
 let bucket_index v =
@@ -72,22 +109,30 @@ let bucket_le i = if i = 0 then 0 else (1 lsl i) - 1
 
 let observe h v =
   if Atomic.get enabled then begin
-    ignore (Atomic.fetch_and_add h.count 1);
-    ignore (Atomic.fetch_and_add h.sum (max 0 v));
-    ignore (Atomic.fetch_and_add h.buckets.(bucket_index v) 1)
+    let cell = Domain.DLS.get h.hkey in
+    cell.hcount <- cell.hcount + 1;
+    cell.hsum <- cell.hsum + max 0 v;
+    let i = bucket_index v in
+    cell.hbuckets.(i) <- cell.hbuckets.(i) + 1
   end
 
 let observe_s h seconds =
   observe h (int_of_float (Float.round (Clock.clamp seconds *. 1e6)))
 
+(* like snapshot, meaningful once recording domains have quiesced *)
 let reset () =
   with_registry (fun () ->
-      List.iter (fun c -> Atomic.set c.value 0) !all_counters;
+      List.iter
+        (fun c -> List.iter (fun cell -> cell.cv <- 0) !(c.ccells))
+        !all_counters;
       List.iter
         (fun h ->
-          Atomic.set h.count 0;
-          Atomic.set h.sum 0;
-          Array.iter (fun b -> Atomic.set b 0) h.buckets)
+          List.iter
+            (fun cell ->
+              cell.hcount <- 0;
+              cell.hsum <- 0;
+              Array.fill cell.hbuckets 0 n_buckets 0)
+            !(h.hcells))
         !all_histograms)
 
 (* ------------------------------------------------------------------ *)
@@ -113,7 +158,7 @@ let snapshot () =
       let counters =
         List.filter_map
           (fun c ->
-            let v = Atomic.get c.value in
+            let v = List.fold_left (fun a cell -> a + cell.cv) 0 !(c.ccells) in
             if v = 0 then None else Some (c.cname, v))
           !all_counters
         |> List.sort compare
@@ -121,38 +166,44 @@ let snapshot () =
       let histograms =
         List.filter_map
           (fun (h : histogram) ->
-            let count = Atomic.get h.count in
+            let cells = !(h.hcells) in
+            let count = List.fold_left (fun a c -> a + c.hcount) 0 cells in
             if count = 0 then None
             else
+              let sum = List.fold_left (fun a c -> a + c.hsum) 0 cells in
               let buckets = ref [] in
               for i = n_buckets - 1 downto 0 do
-                let n = Atomic.get h.buckets.(i) in
+                let n =
+                  List.fold_left (fun a c -> a + c.hbuckets.(i)) 0 cells
+                in
                 if n > 0 then buckets := (bucket_le i, n) :: !buckets
               done;
-              Some
-                { name = h.hname; count; sum = Atomic.get h.sum;
-                  buckets = !buckets })
+              Some { name = h.hname; count; sum; buckets = !buckets })
           !all_histograms
         |> List.sort compare
       in
       { counters; histograms })
 
 let absorb s =
-  (* raw adds, not gated on [enabled]: absorbing a worker's shipped
-     snapshot is an explicit aggregation step, not instrumentation *)
+  (* raw adds into the calling domain's cells, not gated on [enabled]:
+     absorbing a worker's shipped snapshot is an explicit aggregation
+     step, not instrumentation *)
   List.iter
     (fun (name, v) ->
       let c = counter name in
-      ignore (Atomic.fetch_and_add c.value v))
+      let cell = Domain.DLS.get c.ckey in
+      cell.cv <- cell.cv + v)
     s.counters;
   List.iter
     (fun (hs : hist_snapshot) ->
       let h = histogram hs.name in
-      ignore (Atomic.fetch_and_add h.count hs.count);
-      ignore (Atomic.fetch_and_add h.sum hs.sum);
+      let cell = Domain.DLS.get h.hkey in
+      cell.hcount <- cell.hcount + hs.count;
+      cell.hsum <- cell.hsum + hs.sum;
       List.iter
         (fun (le, n) ->
-          ignore (Atomic.fetch_and_add h.buckets.(bucket_index le) n))
+          let i = bucket_index le in
+          cell.hbuckets.(i) <- cell.hbuckets.(i) + n)
         hs.buckets)
     s.histograms
 
@@ -196,6 +247,44 @@ let hist_of_json ~path json =
       json
   in
   Ok { name; count; sum; buckets }
+
+(* ------------------------------------------------------------------ *)
+(* quantile estimation from the log buckets: the value returned is the
+   inclusive upper bound of the bucket where the cumulative count first
+   reaches the rank, i.e. an upper estimate within one power of two *)
+
+let quantile (h : hist_snapshot) q =
+  if h.count <= 0 then 0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank =
+      max 1 (int_of_float (Float.ceil (q *. float_of_int h.count)))
+    in
+    let rec walk cum = function
+      | [] -> ( match List.rev h.buckets with (le, _) :: _ -> le | [] -> 0)
+      | (le, n) :: rest ->
+          let cum = cum + n in
+          if cum >= rank then le else walk cum rest
+    in
+    walk 0 h.buckets
+  end
+
+type hist_summary = {
+  name : string;
+  count : int;
+  sum : int;
+  mean : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+}
+
+let summarize (h : hist_snapshot) =
+  { name = h.name; count = h.count; sum = h.sum;
+    mean = float_of_int h.sum /. float_of_int (max 1 h.count);
+    p50 = quantile h 0.50; p95 = quantile h 0.95; p99 = quantile h 0.99 }
+
+let summary (s : snapshot) = List.map summarize s.histograms
 
 let snapshot_of_json ?(path = []) json =
   let ( let* ) = Result.bind in

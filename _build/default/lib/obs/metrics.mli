@@ -6,9 +6,16 @@
     Instrumentation sites register a handle once at module
     initialization ([let arcs = Metrics.counter "dag.arcs_added"]) and
     bump it on the hot path ({!incr}/{!add}/{!observe}).  Updates are a
-    single [Atomic] read when disabled and a single [fetch_and_add] when
-    enabled — safe from any domain, never a measurable cost in the
-    disabled (default) state, and never observable in report bytes.
+    single [Atomic] read when disabled; when enabled they are plain
+    loads/stores on a {e domain-local} cell (one cell per domain per
+    handle, via [Domain.DLS]) — no shared atomics, no contended cache
+    lines — and {!snapshot} sums the cells.  Safe from any domain;
+    never a measurable cost in the disabled (default) state, and never
+    observable in report bytes.  A snapshot taken while other domains
+    are actively recording is approximate (their latest plain writes
+    may not be visible yet); it is exact whenever the recording domains
+    have quiesced — e.g. after the pool has joined, which is where
+    every snapshot in this tree happens.
 
     Enabled state, like {!Trace}'s, is per process: [schedtool] enables
     it when [--metrics] (or [--trace]) is given, and fleet workers
@@ -81,6 +88,31 @@ val snapshot : unit -> snapshot
 val absorb : snapshot -> unit
 
 val snapshot_equal : snapshot -> snapshot -> bool
+
+(** {1 Quantile summaries}
+
+    Estimated from the log buckets: a quantile is the inclusive upper
+    bound of the bucket where the cumulative count reaches the rank —
+    an upper estimate that is exact to within one power of two, which
+    is all the bucketing ever promised. *)
+
+(** [quantile h q] for [q] in [[0, 1]] (clamped); [0] on an empty
+    histogram. *)
+val quantile : hist_snapshot -> float -> int
+
+type hist_summary = {
+  name : string;
+  count : int;
+  sum : int;
+  mean : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+}
+
+(** One summary per histogram, in the snapshot's (name-sorted) order —
+    the data behind the [--metrics] stderr table. *)
+val summary : snapshot -> hist_summary list
 
 (** Schema in docs/FORMAT.md ("metrics").  {!snapshot_of_json} is total
     over arbitrary JSON and round trips {!snapshot_to_json} exactly. *)

@@ -1,21 +1,28 @@
-(** Cross-process enablement: [schedtool fleet --trace/--metrics]
-    advertises the observability state to its worker children through
-    the [DAGSCHED_OBS] environment variable ("trace", "metrics", or
-    "trace,metrics"), and [schedtool worker] re-enables the matching
-    recorders before doing any work.  Unknown tokens are ignored. *)
+(** Cross-process enablement: [schedtool fleet --trace/--metrics/
+    --resource] advertises the observability state to its worker
+    children through the [DAGSCHED_OBS] environment variable (a
+    comma-separated subset of "trace", "metrics", "resource"), and
+    [schedtool worker] re-enables the matching recorders before doing
+    any work.  Unknown tokens are ignored.  {!init_from_env} also
+    applies {!Log}'s own variables ([DAGSCHED_LOG] /
+    [DAGSCHED_LOG_LEVEL] / [DAGSCHED_HEARTBEAT_S]) so a worker joins
+    the orchestrator's log stream and heartbeat schedule in the same
+    call. *)
 
 let env_var = "DAGSCHED_OBS"
 
 let env_value () =
-  match (Trace.enabled (), Metrics.is_enabled ()) with
-  | false, false -> None
-  | t, m ->
+  match (Trace.enabled (), Metrics.is_enabled (), Resource.is_enabled ()) with
+  | false, false, false -> None
+  | t, m, r ->
       Some
         (String.concat ","
-           ((if t then [ "trace" ] else []) @ (if m then [ "metrics" ] else [])))
+           ((if t then [ "trace" ] else [])
+           @ (if m then [ "metrics" ] else [])
+           @ if r then [ "resource" ] else []))
 
 let init_from_env () =
-  match Sys.getenv_opt env_var with
+  (match Sys.getenv_opt env_var with
   | None | Some "" -> ()
   | Some s ->
       List.iter
@@ -23,5 +30,7 @@ let init_from_env () =
           match String.trim tok with
           | "trace" -> Trace.enable ()
           | "metrics" -> Metrics.enable ()
+          | "resource" -> Resource.enable ()
           | _ -> ())
-        (String.split_on_char ',' s)
+        (String.split_on_char ',' s));
+  Log.init_from_env ()

@@ -1,1 +1,1 @@
-test/test_obs.ml: Alcotest Batch Clock Dagsched Fun Helpers Json List Metrics Obs Pool Profiles Result Stats Trace Unix
+test/test_obs.ml: Alcotest Array Batch Clock Dagsched Filename Float Fun Helpers In_channel Json List Log Metrics Obs Obs_resource Pool Profiles Result Stats String Sys Trace Unix

@@ -249,4 +249,50 @@ for sub in batch shard fleet; do
   [ "$rc" -eq 124 ] || fail "$sub --trace '': exit $rc, want 124"
 done
 
+# obs-smoke: the full three-pillar stack (--trace --metrics --resource
+# --log --log-level --progress) at once — still not one report byte
+# may change, and every artifact must carry its signature content
+"$TOOL" batch --jobs 2 --trace "$TMP/bo.trace.json" --metrics --resource \
+  --log "$TMP/bo.log.jsonl" --log-level debug --progress \
+  --json "$TMP/bo.json" "$TMP/grep.s" > "$TMP/bo.out" 2> "$TMP/bo.err" \
+  || fail "batch with full obs stack failed"
+cmp -s "$TMP/b1.out" "$TMP/bo.out" || fail "batch stdout changed under full obs"
+grep -q '"ph": "C"' "$TMP/bo.trace.json" || fail "batch trace: no counter events"
+grep -q '"name": "heap"' "$TMP/bo.trace.json" || fail "batch trace: no heap track"
+grep -q '"name": "gc"' "$TMP/bo.trace.json" || fail "batch trace: no gc track"
+grep -q '"resource": ' "$TMP/bo.json" || fail "batch json: no resource section"
+grep -q '"phase": "dag_build"' "$TMP/bo.json" \
+  || fail "batch json: no dag_build resource row"
+grep -q '"scope": "heartbeat"' "$TMP/bo.log.jsonl" \
+  || fail "batch log: no heartbeat events"
+grep -q '"level": "debug"' "$TMP/bo.log.jsonl" \
+  || fail "batch log: --log-level debug not honoured"
+grep -q 'progress: ' "$TMP/bo.err" || fail "batch --progress: no progress lines"
+grep -q 'p95' "$TMP/bo.err" || fail "batch --metrics: no quantile columns"
+grep -q 'minor Mw' "$TMP/bo.err" || fail "batch --resource: no resource table"
+
+# fleet: supervision events and worker heartbeats land in the shared
+# stream; the timing-free summary is still byte-identical
+"$TOOL" fleet -q --workers 2 --log "$TMP/fo.log.jsonl" --log-level info \
+  --progress "$TMP/grep.s" "$TMP/linpack.s" > "$TMP/fo.out" 2> "$TMP/fo.err" \
+  || fail "fleet with log stream failed"
+cmp -s "$TMP/f1.out" "$TMP/fo.out" \
+  || fail "fleet summary changed under --log/--progress"
+grep -q '"scope": "fleet"' "$TMP/fo.log.jsonl" \
+  || fail "fleet log: no supervision events"
+grep -q '"msg": "spawn"' "$TMP/fo.log.jsonl" || fail "fleet log: no spawn events"
+grep -q '"scope": "heartbeat"' "$TMP/fo.log.jsonl" \
+  || fail "fleet log: no worker heartbeats"
+grep -q 'progress: worker ' "$TMP/fo.err" \
+  || fail "fleet --progress: no per-worker progress lines"
+
+# flag validation: bad --log-level and an empty --log are CLI errors
+# (124); an unopenable --log path is an I/O error (125), like --json
+"$TOOL" batch --log-level silly "$TMP/grep.s" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" -eq 124 ] || fail "batch --log-level silly: exit $rc, want 124"
+"$TOOL" batch --log "" "$TMP/grep.s" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" -eq 124 ] || fail "batch --log '': exit $rc, want 124"
+"$TOOL" batch --log /nonexistent-dir/x.jsonl "$TMP/grep.s" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" -eq 125 ] || fail "batch --log unwritable: exit $rc, want 125"
+
 echo "CLI TESTS OK"

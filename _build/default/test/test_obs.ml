@@ -418,6 +418,382 @@ let test_batch_records_pipeline_phases () =
        (fun (h : Metrics.hist_snapshot) -> h.Metrics.name = "sched.ready_len")
        snap.Metrics.histograms)
 
+(* ------------------------------------------------------------------ *)
+(* log: the third pillar *)
+
+let log_off () =
+  Log.set_level None;
+  Log.close_sink ();
+  Log.disable_heartbeat ();
+  Log.set_context [];
+  Log.reset ()
+
+(* Run [f] with logging armed at [level], restoring the silent default
+   even on failure. *)
+let with_log ?(level = Log.Debug) f =
+  log_off ();
+  Log.set_level (Some level);
+  Fun.protect ~finally:log_off f
+
+let test_log_disabled_is_invisible () =
+  log_off ();
+  Log.log Log.Error ~scope:"test" "should vanish";
+  check_int "nothing recorded" 0 (List.length (Log.snapshot ()))
+
+let test_log_level_gating () =
+  with_log ~level:Log.Warn @@ fun () ->
+  Log.log Log.Debug ~scope:"test" "too quiet";
+  Log.log Log.Info ~scope:"test" "still too quiet";
+  Log.log Log.Warn ~scope:"test" "recorded";
+  Log.log Log.Error ~scope:"test" "also recorded";
+  let msgs = List.map (fun e -> e.Log.msg) (Log.snapshot ()) in
+  Alcotest.(check (list string))
+    "threshold filters" [ "recorded"; "also recorded" ] msgs;
+  check_bool "enabled agrees" true (Log.enabled Log.Error);
+  check_bool "enabled agrees below" false (Log.enabled Log.Info)
+
+let test_log_context_appended () =
+  with_log @@ fun () ->
+  Log.set_context [ ("shard", Json.Int 3) ];
+  Log.log ~fields:[ ("k", Json.Int 1) ] Log.Info ~scope:"test" "ctx";
+  match Log.snapshot () with
+  | [ e ] ->
+      check_bool "own field first" true
+        (List.assoc_opt "k" e.Log.fields = Some (Json.Int 1));
+      check_bool "context appended" true
+        (List.assoc_opt "shard" e.Log.fields = Some (Json.Int 3))
+  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l)
+
+let test_log_event_json_roundtrip () =
+  with_log @@ fun () ->
+  Log.log
+    ~fields:[ ("phase", Json.String "block"); ("done", Json.Int 5) ]
+    Log.Warn ~scope:"fleet" "retry scheduled";
+  let ev = match Log.snapshot () with [ e ] -> e | _ -> Alcotest.fail "one" in
+  let text = Stats.Json.to_string (Log.event_to_json ev) in
+  (match Stats.Json.of_string text with
+  | Error msg -> Alcotest.failf "does not parse back: %s" msg
+  | Ok json -> (
+      match Log.event_of_json json with
+      | Ok ev' -> check_bool "round trips exactly" true (ev = ev')
+      | Error e -> Alcotest.failf "decode: %s" (Stats.Json.error_to_string e)));
+  (* pid/tid/fields are defaulted so hand-written events read *)
+  match
+    Stats.Json.of_string
+      "{\"ts\": 1.5, \"level\": \"info\", \"scope\": \"s\", \"msg\": \"m\"}"
+  with
+  | Error msg -> Alcotest.failf "minimal event: %s" msg
+  | Ok j -> (
+      match Log.event_of_json j with
+      | Ok e ->
+          check_int "pid defaults" 0 e.Log.pid;
+          check_int "tid defaults" 0 e.Log.tid;
+          check_bool "fields default" true (e.Log.fields = [])
+      | Error e ->
+          Alcotest.failf "minimal rejected: %s" (Stats.Json.error_to_string e))
+
+let test_log_jsonl_readers () =
+  with_log @@ fun () ->
+  Log.log Log.Info ~scope:"a" "one";
+  Log.log Log.Info ~scope:"b" "two";
+  let text =
+    String.concat ""
+      (List.map
+         (fun e -> Stats.Json.to_string (Log.event_to_json e) ^ "\n")
+         (Log.snapshot ()))
+  in
+  (match Log.events_of_jsonl text with
+  | Ok evs -> check_int "strict reads both" 2 (List.length evs)
+  | Error e -> Alcotest.failf "strict: %s" (Stats.Json.error_to_string e));
+  (* strict reader: first bad line is a typed error naming the line *)
+  (match Log.events_of_jsonl (text ^ "{\"half\": \n") with
+  | Ok _ -> Alcotest.fail "torn line accepted"
+  | Error e ->
+      check_bool "line located" true
+        (contains (Stats.Json.error_to_string e) "line 3"));
+  (* forensic reader: leading events survive, leftover returned *)
+  let evs, leftover = Log.events_of_jsonl_prefix (text ^ "{\"torn") in
+  check_int "prefix reads both" 2 (List.length evs);
+  check_bool "leftover returned" true (leftover = Some "{\"torn");
+  let evs, leftover = Log.events_of_jsonl_prefix text in
+  check_int "clean input: all events" 2 (List.length evs);
+  check_bool "clean input: no leftover" true (leftover = None)
+
+let test_log_sink_write_through () =
+  let path = Filename.temp_file "dagsched_test_log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      log_off ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      with_log (fun () ->
+          (match Log.set_sink ~append:false path with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "set_sink: %s" msg);
+          check_bool "sink_path" true (Log.sink_path () = Some path);
+          Log.log Log.Info ~scope:"test" "first";
+          (* no close, no flush: the line must already be on disk *)
+          let ondisk = In_channel.with_open_bin path In_channel.input_all in
+          check_bool "write-through" true (contains ondisk "first"));
+      (* truncate mode wipes, append mode extends *)
+      with_log (fun () ->
+          (match Log.set_sink ~append:true path with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "append sink: %s" msg);
+          Log.log Log.Info ~scope:"test" "second";
+          Log.close_sink ();
+          match Log.events_of_jsonl
+                  (In_channel.with_open_bin path In_channel.input_all)
+          with
+          | Ok evs ->
+              Alcotest.(check (list string))
+                "append kept both" [ "first"; "second" ]
+                (List.map (fun e -> e.Log.msg) evs)
+          | Error e -> Alcotest.failf "read: %s" (Stats.Json.error_to_string e));
+      (* unopenable path is a typed error, not an exception *)
+      match Log.set_sink ~append:false "/nonexistent-dir/x.jsonl" with
+      | Ok () -> Alcotest.fail "bogus path accepted"
+      | Error msg -> check_bool "path in error" true (contains msg "/nonexistent-dir"))
+
+let test_log_heartbeat () =
+  with_log @@ fun () ->
+  (* not armed: no-op even when logging is on *)
+  Log.heartbeat ~phase:"block" ~done_:1 ~total:10 ();
+  check_int "disarmed is silent" 0 (List.length (Log.snapshot ()));
+  Log.set_heartbeat ~interval_s:3600.0 ();
+  check_bool "armed" true (Log.heartbeat_enabled ());
+  Log.heartbeat ~phase:"block" ~done_:1 ~total:10 ();
+  Log.heartbeat ~phase:"block" ~done_:2 ~total:10 ();
+  (* huge interval: the second beat is rate-limited away *)
+  check_int "rate limited" 1 (List.length (Log.snapshot ()));
+  Log.heartbeat ~force:true ~phase:"done" ~done_:10 ~total:10 ();
+  (match Log.snapshot () with
+  | [ _; e ] ->
+      check_string "scope" "heartbeat" e.Log.scope;
+      check_bool "phase field" true
+        (List.assoc_opt "phase" e.Log.fields = Some (Json.String "done"));
+      check_bool "done field" true
+        (List.assoc_opt "done" e.Log.fields = Some (Json.Int 10));
+      (match List.assoc_opt "rss_kb" e.Log.fields with
+      | Some (Json.Int rss) -> check_bool "rss non-negative" true (rss >= 0)
+      | _ -> Alcotest.fail "no rss_kb field")
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l));
+  check_bool "rss_kb readable" true (Log.rss_kb () >= 0)
+
+let test_log_tail () =
+  let path = Filename.temp_file "dagsched_test_tail" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      log_off ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      with_log @@ fun () ->
+      let t = Log.tail_create path in
+      Fun.protect ~finally:(fun () -> Log.tail_close t) @@ fun () ->
+      (match Log.set_sink ~append:false path with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "set_sink: %s" msg);
+      check_int "empty file, no events" 0 (List.length (Log.tail_poll t));
+      Log.log Log.Info ~scope:"test" "one";
+      (match Log.tail_poll t with
+      | [ e ] -> check_string "first poll sees it" "one" e.Log.msg
+      | l -> Alcotest.failf "expected 1 event, got %d" (List.length l));
+      check_int "no re-delivery" 0 (List.length (Log.tail_poll t));
+      Log.log Log.Info ~scope:"test" "two";
+      match Log.tail_poll t with
+      | [ e ] -> check_string "incremental" "two" e.Log.msg
+      | l -> Alcotest.failf "expected 1 new event, got %d" (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* resource profiling *)
+
+let res_off () =
+  Obs_resource.disable ();
+  Obs_resource.reset ()
+
+let with_res f =
+  res_off ();
+  Obs_resource.enable ();
+  Fun.protect ~finally:res_off f
+
+let test_resource_disabled_is_invisible () =
+  res_off ();
+  let r = Obs_resource.with_phase "phase" (fun () -> 41 + 1) in
+  check_int "with_phase returns f ()" 42 r;
+  check_bool "nothing recorded" true (Obs_resource.snapshot () = [])
+
+let test_resource_with_phase_records () =
+  with_res @@ fun () ->
+  let r =
+    Obs_resource.with_phase ~detail:"table-forward" "dag_build" (fun () ->
+        (* allocate something measurable *)
+        Array.length (Array.init 100_000 (fun i -> i * i)))
+  in
+  check_int "result through" 100_000 r;
+  let rows = Obs_resource.snapshot () in
+  let names = List.map (fun s -> s.Obs_resource.phase) rows in
+  Alcotest.(check (list string))
+    "phase and detail rows, name-sorted"
+    [ "dag_build"; "dag_build/table-forward" ]
+    names;
+  List.iter
+    (fun (s : Obs_resource.phase_stat) ->
+      check_int "one call" 1 s.Obs_resource.calls;
+      check_bool "allocation seen" true (s.Obs_resource.minor_words > 0.0);
+      check_bool "heap high-water seen" true (s.Obs_resource.top_heap_words > 0))
+    rows
+
+let test_resource_records_on_exception () =
+  with_res @@ fun () ->
+  (try Obs_resource.with_phase "doomed" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  match Obs_resource.snapshot () with
+  | [ s ] -> check_string "aborted phase recorded" "doomed" s.Obs_resource.phase
+  | l -> Alcotest.failf "expected 1 row, got %d" (List.length l)
+
+let test_resource_json_roundtrip_and_absorb () =
+  with_res @@ fun () ->
+  ignore (Obs_resource.with_phase "merge" (fun () -> List.init 1000 Fun.id));
+  let rows = Obs_resource.snapshot () in
+  let text = Stats.Json.to_string (Obs_resource.to_json rows) in
+  (match Stats.Json.of_string text with
+  | Error msg -> Alcotest.failf "does not parse back: %s" msg
+  | Ok json -> (
+      match Obs_resource.of_json json with
+      | Ok rows' ->
+          check_bool "round trips" true (Obs_resource.equal rows rows')
+      | Error e -> Alcotest.failf "decode: %s" (Stats.Json.error_to_string e)));
+  (* absorb sums (top_heap by max) and is not gated on enablement *)
+  Obs_resource.reset ();
+  Obs_resource.disable ();
+  Obs_resource.absorb rows;
+  Obs_resource.absorb rows;
+  (match Obs_resource.snapshot () with
+  | [ s ] ->
+      let orig = List.hd rows in
+      check_int "calls summed" (2 * orig.Obs_resource.calls) s.Obs_resource.calls;
+      check_bool "words summed" true
+        (Float.abs
+           (s.Obs_resource.minor_words -. (2.0 *. orig.Obs_resource.minor_words))
+        < 1.0);
+      check_int "top heap is max, not sum" orig.Obs_resource.top_heap_words
+        s.Obs_resource.top_heap_words
+  | l -> Alcotest.failf "expected 1 row, got %d" (List.length l));
+  (* adversarial: totality with a typed path *)
+  match
+    Stats.Json.of_string "{\"phases\": [{\"phase\": \"x\"}]}"
+    |> Result.get_ok |> Obs_resource.of_json
+  with
+  | Ok _ -> Alcotest.fail "incomplete row accepted"
+  | Error e ->
+      check_bool "row located" true
+        (contains (Stats.Json.error_to_string e) "phases[0]")
+
+let test_resource_trace_counters () =
+  with_obs @@ fun () ->
+  with_res @@ fun () ->
+  ignore (Obs_resource.with_phase "dag_build" (fun () -> List.init 100 Fun.id));
+  let counters = Trace.snapshot_counters () in
+  let names =
+    List.sort_uniq compare (List.map (fun c -> c.Trace.cname) counters)
+  in
+  Alcotest.(check (list string)) "heap and gc tracks" [ "gc"; "heap" ] names;
+  List.iter
+    (fun (c : Trace.counter) ->
+      check_bool "series non-empty" true (c.Trace.values <> []))
+    counters
+
+(* ------------------------------------------------------------------ *)
+(* trace counters: JSON round trip *)
+
+let test_trace_counters_json_roundtrip () =
+  with_obs @@ fun () ->
+  Trace.record ~cat:"t" ~name:"work" ~start_s:1.0 ~stop_s:2.0 ();
+  Trace.record_counter ~name:"heap"
+    ~values:[ ("heap_words", 1024.0); ("top_heap_words", 2048.0) ]
+    ();
+  let spans = Trace.snapshot () in
+  let counters = Trace.snapshot_counters () in
+  let text = Stats.Json.to_string (Trace.to_json ~counters spans) in
+  check_bool "counter events present" true (contains text "\"ph\": \"C\"");
+  (match Stats.Json.of_string text with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok j -> (
+      (match Trace.counters_of_json j with
+      | Ok cs -> check_bool "counters round trip" true (cs = counters)
+      | Error e -> Alcotest.failf "decode: %s" (Stats.Json.error_to_string e));
+      match Trace.events_of_json j with
+      | Ok spans' -> check_bool "spans unaffected" true (spans' = spans)
+      | Error e -> Alcotest.failf "spans: %s" (Stats.Json.error_to_string e)));
+  (* re-homing for the fleet merge *)
+  let re = List.map (Trace.reassign_counter_pid 5) counters in
+  check_bool "re-homed" true (List.for_all (fun c -> c.Trace.cpid = 5) re);
+  (* adversarial: a counter with a non-numeric series value *)
+  match
+    Stats.Json.of_string
+      "{\"traceEvents\": [{\"ph\": \"C\", \"name\": \"heap\", \"ts\": 1, \
+       \"pid\": 0, \"tid\": 0, \"args\": {\"heap_words\": \"lots\"}}]}"
+    |> Result.get_ok |> Trace.counters_of_json
+  with
+  | Ok _ -> Alcotest.fail "string series value accepted"
+  | Error e ->
+      check_bool "value located" true
+        (contains (Stats.Json.error_to_string e) "heap_words")
+
+(* ------------------------------------------------------------------ *)
+(* metrics quantiles *)
+
+let test_metrics_quantiles () =
+  (* hand-built: 50 observations <= 1, 50 in (1, 3] *)
+  let h =
+    { Metrics.name = "q"; count = 100; sum = 200;
+      buckets = [ (1, 50); (3, 50) ] }
+  in
+  check_int "p50 at first bucket edge" 1 (Metrics.quantile h 0.50);
+  check_int "p95 in second bucket" 3 (Metrics.quantile h 0.95);
+  check_int "p99 in second bucket" 3 (Metrics.quantile h 0.99);
+  check_int "p0 clamps to first" 1 (Metrics.quantile h 0.0);
+  check_int "p1 is max bucket" 3 (Metrics.quantile h 1.0);
+  check_int "empty histogram" 0
+    (Metrics.quantile { Metrics.name = "e"; count = 0; sum = 0; buckets = [] } 0.5);
+  (* summary agrees with quantile and the snapshot order *)
+  with_obs @@ fun () ->
+  List.iter (Metrics.observe (Metrics.histogram "test.q")) [ 1; 1; 1; 100 ];
+  match Metrics.summary (Metrics.snapshot ()) with
+  | [ s ] ->
+      check_string "name" "test.q" s.Metrics.name;
+      check_int "count" 4 s.Metrics.count;
+      check_int "p50" 1 s.Metrics.p50;
+      check_int "p99 reaches the outlier bucket" 127 s.Metrics.p99;
+      check_bool "mean" true (Float.abs (s.Metrics.mean -. 25.75) < 1e-9)
+  | l -> Alcotest.failf "expected 1 summary, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* differential: the full three-pillar stack changes no result *)
+
+let test_full_obs_differential () =
+  obs_off ();
+  log_off ();
+  res_off ();
+  let blocks = Profiles.generate Profiles.grep in
+  let off_results = Batch.run ~domains:2 Batch.section6 blocks in
+  let on_results =
+    with_obs (fun () ->
+        with_res (fun () ->
+            with_log (fun () ->
+                Log.set_heartbeat ~interval_s:0.0 ();
+                Batch.run ~domains:2 Batch.section6 blocks)))
+  in
+  List.iter2
+    (fun (a : Batch.result) (b : Batch.result) ->
+      check_bool "identical up to timing" true
+        (Batch.strip_timing a = Batch.strip_timing b))
+    off_results on_results;
+  (* and everything is silent again *)
+  check_bool "log level off" true (Log.level () = None);
+  check_bool "resource off" true (not (Obs_resource.is_enabled ()));
+  check_int "log rings empty" 0 (List.length (Log.snapshot ()))
+
 let suite =
   [ quick "clock: monotonic" test_clock_monotonic;
     quick "clock: clamping" test_clock_clamp;
@@ -440,4 +816,21 @@ let suite =
     quick "obs: init_from_env" test_obs_init_from_env;
     quick "pool: queue_wait/task_run instrumented" test_pool_instrumented;
     quick "batch: differential off vs on" test_batch_differential;
-    quick "batch: pipeline phases recorded" test_batch_records_pipeline_phases ]
+    quick "batch: pipeline phases recorded" test_batch_records_pipeline_phases;
+    quick "log: disabled is invisible" test_log_disabled_is_invisible;
+    quick "log: level gating" test_log_level_gating;
+    quick "log: context appended" test_log_context_appended;
+    quick "log: event JSON round trip" test_log_event_json_roundtrip;
+    quick "log: JSONL readers" test_log_jsonl_readers;
+    quick "log: sink write-through" test_log_sink_write_through;
+    quick "log: heartbeat" test_log_heartbeat;
+    quick "log: tail" test_log_tail;
+    quick "resource: disabled is invisible" test_resource_disabled_is_invisible;
+    quick "resource: with_phase records" test_resource_with_phase_records;
+    quick "resource: records on exception" test_resource_records_on_exception;
+    quick "resource: JSON round trip + absorb"
+      test_resource_json_roundtrip_and_absorb;
+    quick "resource: trace counter tracks" test_resource_trace_counters;
+    quick "trace: counter JSON round trip" test_trace_counters_json_roundtrip;
+    quick "metrics: quantiles" test_metrics_quantiles;
+    quick "differential: full obs stack" test_full_obs_differential ]

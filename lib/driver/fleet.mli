@@ -107,18 +107,46 @@ type worker_log = {
   report : Batch.report option;
 }
 
+(** Live per-shard progress, derived from the worker heartbeats the
+    orchestrator tails out of the shared log stream.  [state] is one of
+    ["waiting"] (between attempts), ["running"], ["ok"], ["failed"];
+    [done_blocks]/[total_blocks]/[phase]/[rss_kb] echo the shard's most
+    recent heartbeat (zero/empty before the first one); [beat_age_s] is
+    the time since that heartbeat (or since spawn) for a running shard;
+    [stalled] flags a running shard whose [beat_age_s] exceeded
+    [options.stall_s] — the early-warning signal that fires {e before}
+    the timeout kill. *)
+type progress = {
+  shard : int;
+  state : string;
+  done_blocks : int;
+  total_blocks : int;
+  phase : string;
+  rss_kb : int;
+  beat_age_s : float;
+  stalled : bool;
+}
+
 (** Supervision knobs.  [timeout_s] is per attempt; a failed attempt
     [k] (1-based) is retried after [backoff_s *. 2. ** float (k - 1)]
     until [retries] extra attempts are exhausted.  [poll_s] is the idle
-    supervisor sleep. *)
+    supervisor sleep.  [stall_s] is the heartbeat-silence threshold for
+    {!progress.stalled}; [heartbeat_s] is the interval exported to the
+    workers; [on_progress] (the [--progress] renderer) is invoked from
+    the supervision loop whenever the fleet's visible state changes —
+    a shard starts/finishes, a heartbeat advances, a stall begins. *)
 type options = {
   timeout_s : float;
   retries : int;
   backoff_s : float;
   poll_s : float;
+  stall_s : float;
+  heartbeat_s : float;
+  on_progress : (progress list -> unit) option;
 }
 
-(** 60 s timeout, 2 retries, 0.1 s initial backoff, 5 ms poll. *)
+(** 60 s timeout, 2 retries, 0.1 s initial backoff, 5 ms poll, 5 s
+    stall threshold, 0.5 s heartbeat, no progress callback. *)
 val default_options : options
 
 (** A completed fleet run.  [corpus] is the input file list in its
@@ -145,8 +173,20 @@ type t = {
     JSON; the orchestrator injects those spans (re-homed to fleet pid
     [shard + 1]) and absorbs the metrics, forming one fleet-wide
     timeline.  When tracing is enabled the orchestrator also records
-    [spawn]/[attempt]/[merge] spans of its own.  Temp files are removed
-    on exit, even on exception. *)
+    [spawn]/[attempt]/[merge] spans of its own.
+
+    When {!Ds_obs.Log} has a sink — or [options.on_progress] is set, in
+    which case a temp stream is created — workers are pointed at the
+    shared JSONL stream ([DAGSCHED_LOG] append-mode, plus level and
+    heartbeat interval), the supervisor logs every spawn / attempt /
+    retry / timeout / permanent-failure decision into it (scope
+    ["fleet"]), and the orchestrator tails worker heartbeats out of it
+    to drive [on_progress] and stall detection.
+
+    Temp files (manifests, output captures, a temp stream) are removed
+    on every exit path: normal return, exception, and — via a SIGINT
+    handler installed for the duration of the run that first SIGKILLs
+    the live workers and then exits 130 — Ctrl-C. *)
 val run :
   ?options:options -> worker:string array -> corpus:string list ->
   manifest list -> t

@@ -4,12 +4,14 @@
 (** ["DAGSCHED_OBS"]. *)
 val env_var : string
 
-(** ["trace"], ["metrics"], ["trace,metrics"], or [None] when neither
-    recorder is enabled — what an orchestrator should export to child
-    processes. *)
+(** A comma-separated subset of ["trace"], ["metrics"], ["resource"]
+    matching the enabled recorders, or [None] when none is enabled —
+    what an orchestrator should export to child processes.  {!Log} has
+    its own variables ({!Log.env_exports}). *)
 val env_value : unit -> string option
 
-(** Enable {!Trace}/{!Metrics} according to [DAGSCHED_OBS]; unset,
-    empty, or unknown tokens are ignored.  Called by [schedtool worker]
+(** Enable {!Trace}/{!Metrics}/{!Resource} according to [DAGSCHED_OBS]
+    (unset, empty, or unknown tokens are ignored), then apply {!Log}'s
+    environment ({!Log.init_from_env}).  Called by [schedtool worker]
     before any work. *)
 val init_from_env : unit -> unit

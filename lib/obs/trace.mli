@@ -14,11 +14,18 @@
 
     Recording is disabled by default and costs one atomic read per
     {!with_span} when disabled — reports stay byte-identical.  When
-    enabled ([schedtool --trace]), spans accumulate in a process-wide
-    buffer; fleet workers ship their buffer home inside the worker
-    report JSON, and the orchestrator {!inject}s them (re-homed with
-    {!reassign_pid}) into its own buffer to form the single fleet-wide
-    timeline.
+    enabled ([schedtool --trace]), spans accumulate in per-domain
+    lock-free buffers (each domain CASes onto its own slot; no shared
+    mutex on the record path) that {!snapshot} merges into one
+    deterministic order; fleet workers ship their buffer home inside
+    the worker report JSON, and the orchestrator {!inject}s them
+    (re-homed with {!reassign_pid}) into its own buffer to form the
+    single fleet-wide timeline.
+
+    Besides spans the recorder holds {e counter events} ("ph":"C") —
+    cumulative gauges such as heap words and GC collection counts,
+    recorded by {!Resource} at phase boundaries — which Perfetto
+    renders as counter tracks alongside the spans.
 
     Timestamps come from {!Clock} and are {e absolute} epoch
     microseconds: trace viewers normalize to the earliest event, and
@@ -67,23 +74,60 @@ val inject : span list -> unit
 val reassign_pid : int -> span -> span
 
 (** All recorded spans in a deterministic chronological order
-    (timestamp, then pid/tid/duration/name). *)
+    (timestamp, then pid/tid/duration/name, full content as the final
+    tiebreak). *)
 val snapshot : unit -> span list
+
+(** {1 Counter events}
+
+    A counter event samples one or more named series at a point in
+    time; Chrome/Perfetto draw each [cname] as a counter track with one
+    line per series.  Recorded at phase boundaries by {!Resource}
+    (heap words, GC collections). *)
+
+type counter = {
+  cname : string;                  (** track name, e.g. ["heap"] *)
+  cts_us : float;                  (** absolute epoch microseconds *)
+  cpid : int;                      (** fleet coordinate, like spans *)
+  ctid : int;                      (** OCaml domain id *)
+  values : (string * float) list;  (** series sampled at this instant *)
+}
+
+(** Record a counter sample at [Clock.now] from the calling domain.
+    Not gated on {!enabled} — call sites guard, like {!record}. *)
+val record_counter :
+  ?pid:int -> name:string -> values:(string * float) list -> unit -> unit
+
+(** Deterministic order (timestamp, pid/tid/name, content). *)
+val snapshot_counters : unit -> counter list
+
+(** Append pre-built counters verbatim (the fleet merge path). *)
+val inject_counters : counter list -> unit
+
+val reassign_counter_pid : int -> counter -> counter
 
 (** {1 Chrome trace-event JSON}
 
     Schema in docs/FORMAT.md ("trace").  {!to_json} wraps the spans as
     [{"traceEvents": [...]}] with one complete ("ph":"X") event per
-    span, prefixing a ["process_name"] metadata event for each pid named
-    in [pid_names] that actually appears.  {!events_of_json} is total
-    over arbitrary JSON, skips non-"X" events (metadata), and round
-    trips {!to_json} exactly on the span list. *)
+    span and one "ph":"C" event per counter sample, prefixing a
+    ["process_name"] metadata event for each pid named in [pid_names]
+    that actually appears (in spans or counters).  {!events_of_json} /
+    {!counters_of_json} are total over arbitrary JSON, skip events of
+    other phases, and round trip {!to_json} exactly on their
+    respective lists. *)
 
 val span_to_json : span -> Json.t
-val to_json : ?pid_names:(int * string) list -> span list -> Json.t
+
+val to_json :
+  ?pid_names:(int * string) list -> ?counters:counter list -> span list ->
+  Json.t
 
 val events_of_json :
   ?path:string list -> Json.t -> (span list, Json.error) result
+
+val counters_of_json :
+  ?path:string list -> Json.t -> (counter list, Json.error) result
 
 (** {1 Per-phase aggregation} *)
 

@@ -296,6 +296,226 @@ let test_fleet_json_round_trip () =
             (Fleet.equal t t'))
 
 (* ------------------------------------------------------------------ *)
+(* observability: supervision forensics and live progress *)
+
+let log_off () =
+  Log.set_level None;
+  Log.close_sink ();
+  Log.disable_heartbeat ();
+  Log.set_context [];
+  Log.reset ()
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* run [f] with the orchestrator logging Info+ into a temp JSONL sink
+   (which the workers then inherit), returning the sink's parsed-or-raw
+   contents alongside f's result *)
+let with_log_stream f =
+  let path = Filename.temp_file "dagsched_fleet_log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      log_off ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Log.set_level (Some Log.Info);
+      (match Log.set_sink ~append:false path with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "set_sink: %s" msg);
+      let r = f () in
+      Log.close_sink ();
+      (r, read_file path))
+
+let count_msg scope msg evs =
+  List.length
+    (List.filter
+       (fun (e : Log.event) -> e.Log.scope = scope && e.Log.msg = msg)
+       evs)
+
+let test_supervision_logged () =
+  with_corpus crash_profiles @@ fun files ->
+  let t, stream =
+    with_log_stream (fun () ->
+        with_fault "exit:1:0" (fun () ->
+            run_fleet ~options:{ fast_options with Fleet.retries = 1 }
+              ~workers:2 files))
+  in
+  check_bool "no failed shards" true (Fleet.failed_shards t = []);
+  match Log.events_of_jsonl stream with
+  | Error e ->
+      Alcotest.failf "stream unparseable: %s" (Stats.Json.error_to_string e)
+  | Ok evs ->
+      (* shard 0: spawn, sabotaged exit, retry, spawn, ok; shard 1:
+         spawn, ok — every supervision decision is in the stream *)
+      check_int "three spawns" 3 (count_msg "fleet" "spawn" evs);
+      check_int "one retry" 1 (count_msg "fleet" "retry scheduled" evs);
+      check_int "two successes" 2 (count_msg "fleet" "attempt ok" evs);
+      check_int "no permanent failures" 0 (count_msg "fleet" "shard failed" evs);
+      (* the workers appended to the same stream: forced parse/done
+         heartbeats carry their shard via the log context *)
+      check_bool "worker heartbeats present" true
+        (List.exists (fun (e : Log.event) -> e.Log.scope = "heartbeat") evs);
+      check_bool "heartbeats carry the shard" true
+        (List.for_all
+           (fun (e : Log.event) ->
+             e.Log.scope <> "heartbeat"
+             || (match List.assoc_opt "shard" e.Log.fields with
+                | Some (Json.Int s) -> s = 0 || s = 1
+                | _ -> false))
+           evs)
+
+let test_hang_forensics () =
+  with_corpus crash_profiles @@ fun files ->
+  let stalls = ref [] in
+  let on_progress ps =
+    List.iter
+      (fun (p : Fleet.progress) ->
+        if p.Fleet.stalled then stalls := p :: !stalls)
+      ps
+  in
+  let t, stream =
+    with_log_stream (fun () ->
+        with_fault "hang:1:0" (fun () ->
+            run_fleet
+              ~options:
+                { fast_options with
+                  Fleet.timeout_s = 2.0; retries = 1; stall_s = 0.3;
+                  heartbeat_s = 0.05; on_progress = Some on_progress }
+              ~workers:2 files))
+  in
+  check_bool "fleet recovers from the hang" true (Fleet.failed_shards t = []);
+  (* the stall alarm fired on the hung shard before the 2 s timeout *)
+  check_bool "stall flagged before the kill" true
+    (List.exists
+       (fun (p : Fleet.progress) ->
+         p.Fleet.shard = 0 && p.Fleet.state = "running"
+         && p.Fleet.beat_age_s >= 0.3)
+       !stalls);
+  (* forensics: the SIGKILLed worker's last words survive on disk, and
+     the prefix reader recovers every complete line *)
+  let evs, _leftover = Log.events_of_jsonl_prefix stream in
+  check_bool "hang announced by the worker" true
+    (count_msg "worker" "sabotage: hanging" evs > 0);
+  check_bool "last-gasp heartbeat from the hung shard" true
+    (List.exists
+       (fun (e : Log.event) ->
+         e.Log.scope = "heartbeat"
+         && List.assoc_opt "phase" e.Log.fields = Some (Json.String "hang")
+         && List.assoc_opt "shard" e.Log.fields = Some (Json.Int 0))
+       evs);
+  check_bool "kill recorded by the orchestrator" true
+    (count_msg "fleet" "timeout, killing" evs > 0)
+
+let test_progress_differential () =
+  with_corpus crash_profiles @@ fun files ->
+  let t_off = run_fleet ~workers:2 files in
+  let fired = ref 0 in
+  let t_on =
+    run_fleet
+      ~options:
+        { fast_options with
+          Fleet.heartbeat_s = 0.02; on_progress = Some (fun _ -> incr fired) }
+      ~workers:2 files
+  in
+  check_bool "progress callback fired" true (!fired > 0);
+  check_string "summary JSON byte-identical with progress on"
+    (Stats.Json.to_string (Fleet.summary_to_json t_off))
+    (Stats.Json.to_string (Fleet.summary_to_json t_on))
+
+(* ------------------------------------------------------------------ *)
+(* temp hygiene: every exit path leaves the temp dir empty *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "dagsched_tmpdir" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let old = Filename.get_temp_dir_name () in
+  Filename.set_temp_dir_name dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Filename.set_temp_dir_name old;
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let leftovers dir = List.sort compare (Array.to_list (Sys.readdir dir))
+
+let test_temp_cleanup () =
+  with_corpus crash_profiles @@ fun files ->
+  (* success path, with a progress watcher so the temp log stream is
+     exercised too *)
+  with_temp_dir (fun dir ->
+      let t =
+        run_fleet
+          ~options:{ fast_options with Fleet.on_progress = Some (fun _ -> ()) }
+          ~workers:2 files
+      in
+      check_bool "fleet ok" true (Fleet.failed_shards t = []);
+      check_bool "no temps after success" true (leftovers dir = []));
+  (* permanent-failure path — the route the CLI turns into exit 4 *)
+  with_temp_dir (fun dir ->
+      let t =
+        with_fault "exit:99" (fun () ->
+            run_fleet ~options:{ fast_options with Fleet.retries = 0 }
+              ~workers:2 files)
+      in
+      check_bool "every shard failed" true
+        (Fleet.failed_shards t = [ 0; 1 ]);
+      check_bool "no temps after permanent failure" true (leftovers dir = []))
+
+let test_sigint_cleans_up () =
+  with_corpus [ Profiles.grep ] @@ fun files ->
+  let dir = Filename.temp_file "dagsched_tmpdir" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      (* a fleet whose single worker hangs forever, its temp files
+         pointed at our private dir *)
+      let env =
+        Array.of_list
+          (("TMPDIR=" ^ dir) :: "DAGSCHED_WORKER_FAIL=hang:9"
+          :: List.filter
+               (fun s ->
+                 not
+                   (String.starts_with ~prefix:"TMPDIR=" s
+                   || String.starts_with ~prefix:"DAGSCHED_WORKER_FAIL=" s))
+               (Array.to_list (Unix.environment ())))
+      in
+      let argv =
+        Array.append
+          [| schedtool; "fleet"; "-w"; "1"; "--timeout"; "60"; "-q" |]
+          (Array.of_list files)
+      in
+      let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      let pid = Unix.create_process_env schedtool argv env Unix.stdin null null in
+      Unix.close null;
+      (* wait for the orchestrator's temp files: they appear just before
+         it installs its SIGINT handler and starts supervising *)
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      while Array.length (Sys.readdir dir) = 0
+            && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.02
+      done;
+      check_bool "orchestrator created temp files" true
+        (Array.length (Sys.readdir dir) > 0);
+      Unix.sleepf 0.3;
+      Unix.kill pid Sys.sigint;
+      let _, status = Unix.waitpid [] pid in
+      (match status with
+      | Unix.WEXITED 130 -> ()
+      | Unix.WEXITED n -> Alcotest.failf "expected exit 130, got exit %d" n
+      | Unix.WSIGNALED s -> Alcotest.failf "killed by signal %d" s
+      | Unix.WSTOPPED s -> Alcotest.failf "stopped by signal %d" s);
+      check_bool "temp files removed on Ctrl-C" true (Sys.readdir dir = [||]))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   if not (Sys.file_exists schedtool) then begin
@@ -318,4 +538,16 @@ let () =
         [ Alcotest.test_case "manifest round trip" `Quick
             test_manifest_round_trip;
           Alcotest.test_case "fleet report round trip" `Slow
-            test_fleet_json_round_trip ] ) ]
+            test_fleet_json_round_trip ] );
+      ( "observability",
+        [ Alcotest.test_case "supervision decisions logged" `Slow
+            test_supervision_logged;
+          Alcotest.test_case "hang forensics survive the SIGKILL" `Slow
+            test_hang_forensics;
+          Alcotest.test_case "progress changes no summary byte" `Slow
+            test_progress_differential ] );
+      ( "hygiene",
+        [ Alcotest.test_case "temps removed on success and failure" `Slow
+            test_temp_cleanup;
+          Alcotest.test_case "SIGINT: exit 130, temps removed" `Slow
+            test_sigint_cleans_up ] ) ]
