@@ -15,7 +15,11 @@
     DAGSCHED_BENCH_WORKERS; schedtool path with DAGSCHED_SCHEDTOOL);
     [obs] measures the batch pipeline with tracing+metrics disabled vs
     enabled over the same corpus and writes BENCH_obs.json (target:
-    under 5% overhead enabled).
+    under 5% overhead enabled); [pool] compares the old central-queue
+    dispatcher against the work-stealing deque pool (per-block and
+    chunked, chunk size overridable with DAGSCHED_BENCH_CHUNK) over the
+    same corpus and writes BENCH_pool.json (target: >= 10x lower total
+    pool.queue_wait_us per corpus run with chunking).
 
     Timing methodology mirrors the paper's: each benchmark's full
     instruction-scheduling pipeline (DAG construction, intermediate
@@ -972,6 +976,257 @@ let obs_bench () =
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* pool dispatch overhead: the old central-queue pool vs the
+   work-stealing deque pool, per-block and chunked, over the Table-3
+   corpus, with a machine-readable BENCH_pool.json *)
+
+(* The baseline the deque pool replaced: one central queue, one lock,
+   every take contends on it, one task per item.  Kept here — not in
+   lib/ — purely as the bench yardstick.  It registers the same
+   pool.queue_wait_us / pool.task_run_us histogram names, so both pools
+   are measured by identical instruments.  Tasks are assumed not to
+   raise (the bench pipeline never does). *)
+module Central_pool = struct
+  let queue_wait_us = Metrics.histogram "pool.queue_wait_us"
+  let task_run_us = Metrics.histogram "pool.task_run_us"
+
+  type t = {
+    mutex : Mutex.t;
+    has_work : Condition.t;
+    all_done : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable pending : int;
+    mutable stop : bool;
+    mutable workers : unit Domain.t array;
+  }
+
+  let instrument task =
+    if not (Metrics.is_enabled ()) then task
+    else begin
+      let enqueued = Clock.now () in
+      fun () ->
+        let started = Clock.now () in
+        Metrics.observe_s queue_wait_us (started -. enqueued);
+        Fun.protect
+          ~finally:(fun () ->
+            Metrics.observe_s task_run_us (Clock.now () -. started))
+          task
+    end
+
+  let rec worker_loop pool =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stop do
+      Condition.wait pool.has_work pool.mutex
+    done;
+    match Queue.take_opt pool.queue with
+    | None -> Mutex.unlock pool.mutex (* stopping and drained *)
+    | Some task ->
+        Mutex.unlock pool.mutex;
+        (try task () with _ -> ());
+        Mutex.lock pool.mutex;
+        pool.pending <- pool.pending - 1;
+        if pool.pending = 0 then Condition.broadcast pool.all_done;
+        Mutex.unlock pool.mutex;
+        worker_loop pool
+
+  let create ~domains () =
+    let pool =
+      { mutex = Mutex.create (); has_work = Condition.create ();
+        all_done = Condition.create (); queue = Queue.create ();
+        pending = 0; stop = false; workers = [||] }
+    in
+    pool.workers <-
+      Array.init (max 1 domains) (fun _ ->
+          Domain.spawn (fun () -> worker_loop pool));
+    pool
+
+  let submit pool task =
+    let task = instrument task in
+    Mutex.lock pool.mutex;
+    pool.pending <- pool.pending + 1;
+    Queue.add task pool.queue;
+    Condition.signal pool.has_work;
+    Mutex.unlock pool.mutex
+
+  let wait pool =
+    Mutex.lock pool.mutex;
+    while pool.pending > 0 do
+      Condition.wait pool.all_done pool.mutex
+    done;
+    Mutex.unlock pool.mutex
+
+  let shutdown pool =
+    Mutex.lock pool.mutex;
+    pool.stop <- true;
+    Condition.broadcast pool.has_work;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+
+  let map_array ~domains f arr =
+    let pool = create ~domains () in
+    Fun.protect
+      ~finally:(fun () -> shutdown pool)
+      (fun () ->
+        let n = Array.length arr in
+        let out = Array.make n None in
+        for i = 0 to n - 1 do
+          submit pool (fun () -> out.(i) <- Some (f arr.(i)))
+        done;
+        wait pool;
+        Array.map (function Some v -> v | None -> assert false) out)
+end
+
+let pool_bench () =
+  heading "Pool dispatch: central queue vs work-stealing deques vs chunking";
+  let corpus = Profiles.corpus Profiles.benchmarks in
+  let blocks = Array.of_list (List.concat_map snd corpus) in
+  let domains =
+    match Sys.getenv_opt "DAGSCHED_BENCH_DOMAINS" with
+    | Some s -> (try max 1 (int_of_string s) with _ -> Pool.recommended ())
+    | None -> Pool.recommended ()
+  in
+  let chunk =
+    match Sys.getenv_opt "DAGSCHED_BENCH_CHUNK" with
+    | Some s -> (try max 1 (int_of_string s) with _ -> Pool.default_chunk)
+    | None -> Pool.default_chunk
+  in
+  Printf.printf
+    "(full §6 pipeline over the Table-3 corpus — %d blocks — on %d domains;\n\
+    \ chunk %d, DAGSCHED_BENCH_CHUNK overrides; metrics on throughout, so\n\
+    \ pool.queue_wait_us charges the time tasks sit queued; schedules\n\
+    \ differentially checked across all three dispatchers)\n"
+    (Array.length blocks) domains chunk;
+  let f block =
+    let dag = Builder.build Builder.Table_forward paper_opts block in
+    let annot = Static_pass.compute_for section6_heuristics dag in
+    Engine.run section6_config ~annot dag
+  in
+  let configs =
+    [ ("central-queue", fun () -> Central_pool.map_array ~domains f blocks);
+      ("deques chunk=1", fun () -> Pool.map_array ~domains ~chunk:1 f blocks);
+      ( Printf.sprintf "deques chunk=%d" chunk,
+        fun () -> Pool.map_array ~domains ~chunk f blocks ) ]
+  in
+  let k = List.length configs in
+  let wall = Array.make k 0.0 in
+  let qw_count = Array.make k 0 and qw_sum = Array.make k 0 in
+  let steals = Array.make k 0 and steal_fails = Array.make k 0 in
+  let chunk_tasks = Array.make k 0 in
+  let results = Array.make k None in
+  let hist name (snap : Metrics.snapshot) =
+    match
+      List.find_opt
+        (fun (h : Metrics.hist_snapshot) -> h.Metrics.name = name)
+        snap.Metrics.histograms
+    with
+    | Some h -> (h.Metrics.count, h.Metrics.sum)
+    | None -> (0, 0)
+  in
+  let counter name (snap : Metrics.snapshot) =
+    Option.value ~default:0 (List.assoc_opt name snap.Metrics.counters)
+  in
+  (* one timed corpus run with a clean registry; the snapshot is exact
+     because map_array joins its pool before returning *)
+  let timed run_f =
+    Trace.disable ();
+    Metrics.reset ();
+    Metrics.enable ();
+    let t0 = Clock.now () in
+    let r = run_f () in
+    let d = Clock.since t0 in
+    let snap = Metrics.snapshot () in
+    Metrics.disable ();
+    Metrics.reset ();
+    (d, snap, r)
+  in
+  (* untimed warmup so no dispatcher pays first-run cache/GC costs; the
+     three configurations are interleaved within each iteration so host
+     drift cancels (same pairing argument as the obs bench) *)
+  ignore (timed (fun () -> Pool.map_array ~domains ~chunk f blocks));
+  for _ = 1 to runs do
+    List.iteri
+      (fun i (_, run_f) ->
+        let d, snap, r = timed run_f in
+        wall.(i) <- wall.(i) +. d;
+        let c, s = hist "pool.queue_wait_us" snap in
+        qw_count.(i) <- qw_count.(i) + c;
+        qw_sum.(i) <- qw_sum.(i) + s;
+        steals.(i) <- steals.(i) + counter "pool.steals" snap;
+        steal_fails.(i) <- steal_fails.(i) + counter "pool.steal_fails" snap;
+        chunk_tasks.(i) <- chunk_tasks.(i) + counter "pool.chunks" snap;
+        results.(i) <- Some r)
+      configs
+  done;
+  (* differential: all three dispatchers must produce identical
+     schedules for every block *)
+  let reference = Option.get results.(0) in
+  List.iteri
+    (fun i (name, _) ->
+      if Option.get results.(i) <> reference then
+        failwith (name ^ ": schedules differ from the central-queue run"))
+    configs;
+  let fruns = float_of_int runs in
+  let per_run a i = float_of_int a.(i) /. fruns in
+  let t =
+    Table.create ~title:""
+      [ "dispatcher"; "ms/run"; "qwait ms/run"; "qwait spans/run";
+        "us/span"; "steals/run"; "chunks/run" ]
+  in
+  List.iteri
+    (fun i (name, _) ->
+      Table.add_row t
+        [ name;
+          Table.fmt_float (1000.0 *. wall.(i) /. fruns);
+          Table.fmt_float (per_run qw_sum i /. 1000.0);
+          Table.fmt_float (per_run qw_count i);
+          Table.fmt_float (per_run qw_sum i /. Float.max 1.0 (per_run qw_count i));
+          Table.fmt_float (per_run steals i);
+          Table.fmt_float (per_run chunk_tasks i) ])
+    configs;
+  Table.print t;
+  (* the headline number: total time tasks spent queued, per identical
+     unit of work (one corpus run), old dispatcher vs new-with-chunking *)
+  let reduction =
+    per_run qw_sum 0 /. Float.max 1.0 (per_run qw_sum (k - 1))
+  in
+  Printf.printf
+    "queue-wait reduction (central-queue / deques chunk=%d): %.1fx\n\
+     (target: >= 10x per corpus run; chunking alone cuts span count ~%dx)\n"
+    chunk reduction chunk;
+  let json =
+    Stats.Json.Obj
+      [ ("experiment", Stats.Json.String "pool");
+        ("runs", Stats.Json.Int runs);
+        ("blocks", Stats.Json.Int (Array.length blocks));
+        ("domains", Stats.Json.Int domains);
+        ("chunk", Stats.Json.Int chunk);
+        ( "configs",
+          Stats.Json.List
+            (List.mapi
+               (fun i (name, _) ->
+                 Stats.Json.Obj
+                   [ ("name", Stats.Json.String name);
+                     ("wall_s", Stats.Json.Float (wall.(i) /. fruns));
+                     ("queue_wait_us_total", Stats.Json.Float (per_run qw_sum i));
+                     ("queue_wait_spans", Stats.Json.Float (per_run qw_count i));
+                     ("steals", Stats.Json.Float (per_run steals i));
+                     ("steal_fails", Stats.Json.Float (per_run steal_fails i));
+                     ("chunks", Stats.Json.Float (per_run chunk_tasks i)) ])
+               configs) );
+        ("queue_wait_reduction_x", Stats.Json.Float reduction) ]
+  in
+  let text = Stats.Json.to_string json in
+  (match Stats.Json.of_string text with
+  | Ok _ -> ()
+  | Error msg -> failwith ("BENCH_pool.json does not parse back: " ^ msg));
+  let path = "BENCH_pool.json" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc text;
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks: per-block construction cost *)
 
 let micro () =
@@ -1411,7 +1666,7 @@ let experiments =
     ("attributes", attributes); ("reservation", reservation_bench);
     ("structure", structure); ("pressure", pressure);
     ("parallel", parallel); ("shard", shard_bench); ("fleet", fleet_bench);
-    ("obs", obs_bench); ("micro", micro) ]
+    ("obs", obs_bench); ("pool", pool_bench); ("micro", micro) ]
 
 let () =
   let requested =

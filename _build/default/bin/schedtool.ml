@@ -583,8 +583,8 @@ let chain_cmd =
 (* batch: the parallel batch-scheduling driver *)
 
 let batch_cmd =
-  let run alg model strategy jobs json_path quiet trace metrics resource log
-      log_level progress file =
+  let run alg model strategy jobs chunk json_path quiet trace metrics resource
+      log log_level progress file =
     obs_enable ~trace ~metrics ~resource ?log ?log_level ();
     if progress then Log.set_heartbeat ~echo:true ~interval_s:0.5 ();
     let blocks = span_parse file (fun () -> load_blocks file) in
@@ -594,7 +594,8 @@ let batch_cmd =
         opts = opts_of model strategy }
     in
     let domains = if jobs <= 0 then Pool.recommended () else jobs in
-    let results, report = Batch.run_with_report ~domains config blocks in
+    let chunk = if chunk <= 0 then Pool.default_chunk else chunk in
+    let results, report = Batch.run_with_report ~domains ~chunk config blocks in
     if not quiet then
       List.iter
         (fun (r : Batch.result) ->
@@ -642,6 +643,13 @@ let batch_cmd =
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:"Worker domains (0 or absent: one per recommended core).")
   in
+  let chunk =
+    Arg.(
+      value & opt int 0
+      & info [ "chunk" ] ~docv:"C"
+          ~doc:"Blocks per work-stealing pool task (0 or absent: the \
+                built-in default, 64).")
+  in
   let json_path =
     Arg.(
       value
@@ -655,11 +663,12 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:
-         "Run the full pipeline over every block in parallel across domains \
-          (deterministic: output is independent of $(b,--jobs)).")
+         "Run the full pipeline over every block in parallel across a \
+          work-stealing domain pool (deterministic: output is independent \
+          of $(b,--jobs) and $(b,--chunk)).")
     Term.(
-      const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ json_path
-      $ quiet $ trace_arg $ metrics_arg $ resource_arg $ log_arg
+      const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ chunk
+      $ json_path $ quiet $ trace_arg $ metrics_arg $ resource_arg $ log_arg
       $ log_level_arg $ progress_arg $ file_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -679,8 +688,8 @@ let policy_conv =
   Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Shard.policy_to_string p))
 
 let shard_cmd =
-  let run alg model strategy jobs shards policy json_path quiet trace metrics
-      resource log log_level progress files =
+  let run alg model strategy jobs chunk shards policy json_path quiet trace
+      metrics resource log log_level progress files =
     obs_enable ~trace ~metrics ~resource ?log ?log_level ();
     if progress then Log.set_heartbeat ~echo:true ~interval_s:0.5 ();
     let files = if files = [] then [ "-" ] else files in
@@ -695,8 +704,9 @@ let shard_cmd =
         opts = opts_of model strategy }
     in
     let domains = if jobs <= 0 then Pool.recommended () else jobs in
+    let chunk = if chunk <= 0 then Pool.default_chunk else chunk in
     let shards = if shards <= 0 then List.length corpus else shards in
-    let _, merged = Shard.run ~domains ~policy ~shards config corpus in
+    let _, merged = Shard.run ~domains ~chunk ~policy ~shards config corpus in
     if not quiet then
       List.iteri
         (fun i (r : Batch.report) ->
@@ -749,6 +759,13 @@ let shard_cmd =
           ~doc:"Worker domains shared by the fleet (0 or absent: one per \
                 recommended core).")
   in
+  let chunk =
+    Arg.(
+      value & opt int 0
+      & info [ "chunk" ] ~docv:"C"
+          ~doc:"Blocks per work-stealing pool task (0 or absent: the \
+                built-in default, 64).")
+  in
   let shards =
     Arg.(
       value & opt int 0
@@ -785,13 +802,13 @@ let shard_cmd =
     (Cmd.info "shard"
        ~doc:
          "Partition a multi-file corpus into shards and run one batch \
-          pipeline per shard over a shared domain pool (aggregate \
-          statistics are independent of $(b,--shards), $(b,--policy) and \
-          $(b,--jobs)).")
+          pipeline per shard over a shared work-stealing domain pool \
+          (aggregate statistics are independent of $(b,--shards), \
+          $(b,--policy), $(b,--jobs) and $(b,--chunk)).")
     Term.(
-      const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ shards
-      $ policy $ json_path $ quiet $ trace_arg $ metrics_arg $ resource_arg
-      $ log_arg $ log_level_arg $ progress_arg $ files)
+      const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ chunk
+      $ shards $ policy $ json_path $ quiet $ trace_arg $ metrics_arg
+      $ resource_arg $ log_arg $ log_level_arg $ progress_arg $ files)
 
 (* ------------------------------------------------------------------ *)
 (* worker: one fleet shard, driven by a manifest file *)

@@ -126,6 +126,10 @@ let resolve_domains = function
   | Some d -> max 1 d
   | None -> Ds_util.Pool.recommended ()
 
+let resolve_chunk = function
+  | Some c -> max 1 c
+  | None -> Ds_util.Pool.default_chunk
+
 let log_start config blocks =
   Ds_obs.Log.log Ds_obs.Log.Debug ~scope:"batch"
     ~fields:
@@ -134,16 +138,22 @@ let log_start config blocks =
           Ds_obs.Json.String (Ds_dag.Builder.to_string config.algorithm) ) ]
     "starting batch"
 
-let run_on ~pool config blocks =
+(* ~64-block chunks per pool task (Pool.default_chunk) cut dispatch
+   bookkeeping — deque traffic, queue_wait spans — by the chunk factor
+   while leaving plenty of tasks to balance across domains via steals;
+   results and reports are chunk-size-invariant (differential-tested) *)
+let run_on ~pool ?chunk config blocks =
+  let chunk = resolve_chunk chunk in
   log_start config blocks;
   hb_start (List.length blocks);
-  Ds_util.Pool.map_on pool (run_block config) blocks
+  Ds_util.Pool.map_on pool ~chunk (run_block config) blocks
 
-let run ?domains config blocks =
+let run ?domains ?chunk config blocks =
   let domains = resolve_domains domains in
+  let chunk = resolve_chunk chunk in
   log_start config blocks;
   hb_start (List.length blocks);
-  Ds_util.Pool.map ~domains (run_block config) blocks
+  Ds_util.Pool.map ~domains ~chunk (run_block config) blocks
 
 type report = {
   domains : int;
@@ -205,14 +215,15 @@ let report_merge ~domains ?wall_s reports =
 
 (* The pool lives outside the timed region: wall_s covers scheduling
    work only, not domain spawn/join, so --jobs comparisons are fair. *)
-let run_with_report ?domains config blocks =
+let run_with_report ?domains ?chunk config blocks =
   let domains = resolve_domains domains in
   let pool = Ds_util.Pool.create ~domains () in
   Fun.protect
     ~finally:(fun () -> Ds_util.Pool.shutdown pool)
     (fun () ->
       let wall_s, results =
-        Ds_util.Stats.time_runs ~runs:1 (fun () -> run_on ~pool config blocks)
+        Ds_util.Stats.time_runs ~runs:1 (fun () ->
+            run_on ~pool ?chunk config blocks)
       in
       (results, report ~domains ~wall_s results))
 

@@ -48,16 +48,25 @@ val strip_timing :
     schedule; carries the block id and the violation. *)
 exception Invalid_schedule of int * string
 
-(** [run ?domains config blocks] schedules every block, fanning out over
-    [domains] workers (default {!Ds_util.Pool.recommended}).  Results are
-    in input order. *)
-val run : ?domains:int -> pipeline_config -> Ds_cfg.Block.t list -> result list
+(** [run ?domains ?chunk config blocks] schedules every block, fanning
+    out over [domains] workers (default {!Ds_util.Pool.recommended}) in
+    chunks of [chunk] blocks per pool task (default
+    {!Ds_util.Pool.default_chunk}; values < 1 are clamped to 1).
+    Results are in input order, and identical for every domain count
+    and chunk size — only dispatch bookkeeping changes (the
+    [pool.queue_wait_us] histogram and [queue_wait]/[task_run] spans
+    are per chunk).  The differential test layer in
+    [test/test_driver.ml] pins the chunk-size invariance. *)
+val run :
+  ?domains:int -> ?chunk:int -> pipeline_config -> Ds_cfg.Block.t list ->
+  result list
 
 (** [run_on ~pool config blocks] is {!run} on an existing pool, which
     stays usable afterwards — this is how a sharded corpus reuses one
     set of worker domains across many batches ({!Shard}). *)
 val run_on :
-  pool:Ds_util.Pool.t -> pipeline_config -> Ds_cfg.Block.t list -> result list
+  pool:Ds_util.Pool.t -> ?chunk:int -> pipeline_config ->
+  Ds_cfg.Block.t list -> result list
 
 (** Batch aggregate: totals plus per-block timing statistics. *)
 type report = {
@@ -87,7 +96,7 @@ val report_merge : domains:int -> ?wall_s:float -> report list -> report
     is created (and torn down) {e outside} the timed region, so
     [wall_s] measures scheduling work, not domain spawn cost. *)
 val run_with_report :
-  ?domains:int -> pipeline_config -> Ds_cfg.Block.t list ->
+  ?domains:int -> ?chunk:int -> pipeline_config -> Ds_cfg.Block.t list ->
   result list * report
 
 (** Field-wise report equality with NaN-tolerant float comparison (two

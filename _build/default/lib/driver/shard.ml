@@ -71,7 +71,7 @@ let resolve_domains = function
   | Some d -> max 1 d
   | None -> Ds_util.Pool.recommended ()
 
-let run ?domains ?(policy = Balanced) ~shards config corpus =
+let run ?domains ?chunk ?(policy = Balanced) ~shards config corpus =
   let domains = resolve_domains domains in
   let shards = max 1 shards in
   let parts = partition policy ~shards (List.concat_map snd corpus) in
@@ -96,7 +96,7 @@ let run ?domains ?(policy = Balanced) ~shards config corpus =
               (fun shard_blocks ->
                 let shard_wall, results =
                   Ds_util.Stats.time_runs ~runs:1 (fun () ->
-                      Batch.run_on ~pool config shard_blocks)
+                      Batch.run_on ~pool ?chunk config shard_blocks)
                 in
                 (results, Batch.report ~domains ~wall_s:shard_wall results))
               parts)

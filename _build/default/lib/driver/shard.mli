@@ -67,16 +67,18 @@ type merged = {
   per_shard : Batch.report list;
 }
 
-(** [run ?domains ?policy ~shards config corpus] partitions the
+(** [run ?domains ?chunk ?policy ~shards config corpus] partitions the
     flattened corpus ([policy] defaults to [Balanced]), runs one batch
     per shard over a shared pool of [domains] workers (default
-    {!Ds_util.Pool.recommended}), and merges the reports.  Element [i]
-    of the returned array holds shard [i]'s per-block results in shard
-    order.  An empty corpus yields [shards] empty shards and an all-zero
-    aggregate. *)
+    {!Ds_util.Pool.recommended}) submitting [chunk] blocks per pool
+    task (default {!Ds_util.Pool.default_chunk}), and merges the
+    reports.  Element [i] of the returned array holds shard [i]'s
+    per-block results in shard order.  An empty corpus yields [shards]
+    empty shards and an all-zero aggregate.  Results and reports are
+    chunk-size-invariant, like {!Batch.run}'s. *)
 val run :
-  ?domains:int -> ?policy:policy -> shards:int -> Batch.pipeline_config ->
-  corpus -> Batch.result list array * merged
+  ?domains:int -> ?chunk:int -> ?policy:policy -> shards:int ->
+  Batch.pipeline_config -> corpus -> Batch.result list array * merged
 
 (** Field-wise equality with NaN-tolerant float comparison on the
     embedded reports (see {!Batch.report_equal}). *)

@@ -1,1 +1,1 @@
-lib/util/pool.ml: Array Condition Domain Ds_obs Fun Mutex Printexc Queue
+lib/util/pool.ml: Array Atomic Condition Domain Ds_obs Fun Mutex Printexc Prng

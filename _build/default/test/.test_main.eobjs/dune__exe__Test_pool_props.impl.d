@@ -1,0 +1,1 @@
+test/test_pool_props.ml: Alcotest Array Atomic Dagsched Domain Fun Helpers List Pool Printf Prng Sys

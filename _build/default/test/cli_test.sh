@@ -219,13 +219,32 @@ grep -q '"traceEvents": \[' "$TMP/bt.json" || fail "batch trace: no traceEvents"
 grep -q '"name": "dag_build"' "$TMP/bt.json" || fail "batch trace: no dag_build span"
 grep -q "phases" "$TMP/bt.err" || fail "batch --trace: no phase table"
 grep -q "dag.arcs_added" "$TMP/bt.err" || fail "batch --metrics: no counter dump"
+grep -q "pool.chunks" "$TMP/bt.err" || fail "batch --metrics: no pool.chunks counter"
+grep -q "pool.queue_wait_us" "$TMP/bt.err" \
+  || fail "batch --metrics: no pool queue-wait histogram"
 
-# shard: timing-free stdout identical to the untraced run
-"$TOOL" shard --jobs 2 --shards 3 --trace "$TMP/st.json" \
-  "$TMP/grep.s" "$TMP/linpack.s" > "$TMP/st.out" 2>/dev/null \
+# chunked submission: stdout byte-identical for any --chunk value
+"$TOOL" batch --jobs 2 --chunk 1 "$TMP/grep.s" > "$TMP/bc1.out" 2>/dev/null \
+  || fail "batch --chunk 1 failed"
+"$TOOL" batch --jobs 2 --chunk 1000 "$TMP/grep.s" > "$TMP/bc1000.out" 2>/dev/null \
+  || fail "batch --chunk 1000 failed"
+cmp -s "$TMP/b1.out" "$TMP/bc1.out" || fail "batch output depends on --chunk 1"
+cmp -s "$TMP/b1.out" "$TMP/bc1000.out" \
+  || fail "batch output depends on --chunk 1000"
+
+# shard: timing-free stdout identical to the untraced run; the shared
+# pool's counters land in the --metrics stderr dump
+"$TOOL" shard --jobs 2 --shards 3 --trace "$TMP/st.json" --metrics \
+  "$TMP/grep.s" "$TMP/linpack.s" > "$TMP/st.out" 2> "$TMP/st.err" \
   || fail "shard --trace failed"
 cmp -s "$TMP/sj2.out" "$TMP/st.out" || fail "shard stdout changed under --trace"
 grep -q '"traceEvents": \[' "$TMP/st.json" || fail "shard trace: no traceEvents"
+grep -q "pool.chunks" "$TMP/st.err" || fail "shard --metrics: no pool.chunks counter"
+
+# chunked submission: shard stdout byte-identical for any --chunk value
+"$TOOL" shard --jobs 2 --shards 3 --chunk 5 "$TMP/grep.s" "$TMP/linpack.s" \
+  > "$TMP/sc.out" 2>/dev/null || fail "shard --chunk 5 failed"
+cmp -s "$TMP/sj2.out" "$TMP/sc.out" || fail "shard output depends on --chunk"
 
 # fleet: the one timeline covers the orchestrator (pid 0) and both
 # worker processes (pid = shard + 1), with every pipeline phase
@@ -242,6 +261,8 @@ for phase in parse dag_build heur_static heur_dynamic schedule verify \
 done
 grep -q '"name": "process_name"' "$TMP/ft.json" \
   || fail "fleet trace: no process_name metadata"
+# worker pool counters ship home and appear in the fleet-wide dump
+grep -q "pool.chunks" "$TMP/ft.err" || fail "fleet --metrics: no pool.chunks counter"
 
 # an empty --trace path is a CLI error (124), before any work runs
 for sub in batch shard fleet; do

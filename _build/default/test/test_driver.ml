@@ -2,7 +2,8 @@
     parallelism must not change results.  [Batch.run ~domains:1] and
     [Batch.run ~domains:N] must produce identical schedules, heuristic
     annotations and statistics for every block, across all construction
-    algorithms and disambiguation strategies.
+    algorithms, disambiguation strategies and chunk sizes (per-block,
+    odd, the 64-block default, and bigger than the corpus).
 
     CI can pin the parallel domain count with DAGSCHED_TEST_DOMAINS
     (default 4; values < 2 are clamped to 2 so the test always crosses a
@@ -24,22 +25,40 @@ let config_with alg strategy =
     Batch.algorithm = alg;
     opts = { Batch.section6.Batch.opts with Opts.strategy } }
 
+(* chunk sizes crossing every interesting boundary: per-block
+   submission, an odd mid-size that splits the corpus unevenly, the
+   driver default, and a chunk bigger than the whole corpus *)
+let chunks_for blocks = [ 1; 7; 64; List.length blocks + 1 ]
+
 let check_differential config blocks =
-  let seq = Batch.run ~domains:1 config blocks in
-  let par = Batch.run ~domains:test_domains config blocks in
-  check_int "same result count" (List.length seq) (List.length par);
-  List.iter2
-    (fun a b ->
-      if key a <> key b then
-        Alcotest.failf "parallel result differs for block %d" a.Batch.block_id)
-    seq par;
+  let seq = Batch.run ~domains:1 ~chunk:1 config blocks in
   (* aggregate stats agree once wall-clock fields are normalized *)
   let strip (r : Batch.report) =
     { r with Batch.domains = 0; wall_s = 0.0; block_s_mean = 0.0;
       block_s_max = 0.0 }
   in
   let rep d results = strip (Batch.report ~domains:d ~wall_s:0.0 results) in
-  check_bool "same report" true (rep 1 seq = rep test_domains par)
+  let check_against label par =
+    check_int (label ^ ": same result count") (List.length seq)
+      (List.length par);
+    List.iter2
+      (fun a b ->
+        if key a <> key b then
+          Alcotest.failf "%s: result differs for block %d" label
+            a.Batch.block_id)
+      seq par;
+    check_bool (label ^ ": same report") true
+      (rep 1 seq = rep test_domains par)
+  in
+  (* default chunking across a domain boundary, then the explicit chunk
+     sweep: sequential per-block == parallel chunked for every size *)
+  check_against "parallel" (Batch.run ~domains:test_domains config blocks);
+  List.iter
+    (fun chunk ->
+      check_against
+        (Printf.sprintf "chunk %d" chunk)
+        (Batch.run ~domains:test_domains ~chunk config blocks))
+    (chunks_for blocks)
 
 (* ------------------------------------------------------------------ *)
 (* the full algorithm x strategy cross product on a fixed seed set *)
@@ -58,13 +77,18 @@ let test_differential_cross_product () =
 (* qcheck property: >= 100 random seeds through the default pipeline *)
 
 let prop_differential_batch seed =
-  (* four blocks per batch so work actually interleaves across workers *)
+  (* four blocks per batch so work actually interleaves across workers;
+     the chunk size also rotates with the seed so the 120-seed sweep
+     crosses per-block, odd, default and bigger-than-corpus chunking *)
   let blocks =
     List.init 4 (fun i -> { (random_block (seed + (7919 * i))) with Block.id = i })
   in
-  let seq = Batch.run ~domains:1 Batch.section6 blocks in
+  let chunk = List.nth (chunks_for blocks) (seed mod 4) in
+  let seq = Batch.run ~domains:1 ~chunk:1 Batch.section6 blocks in
   let par = Batch.run ~domains:test_domains Batch.section6 blocks in
+  let chunked = Batch.run ~domains:test_domains ~chunk Batch.section6 blocks in
   List.for_all2 (fun a b -> key a = key b) seq par
+  && List.for_all2 (fun a b -> key a = key b) seq chunked
 
 (* ------------------------------------------------------------------ *)
 (* ordering and shape *)
@@ -84,8 +108,24 @@ let test_results_in_input_order () =
     blocks results
 
 let test_empty_batch () =
-  check_int "no blocks, no results" 0
-    (List.length (Batch.run ~domains:test_domains Batch.section6 []))
+  List.iter
+    (fun chunk ->
+      check_int "no blocks, no results" 0
+        (List.length (Batch.run ~domains:test_domains ?chunk Batch.section6 [])))
+    [ None; Some 1; Some 7; Some 64 ]
+
+(* single-block corpus: every chunk size degenerates to one task *)
+let test_single_block_chunks () =
+  let blocks = [ { (random_block 123) with Block.id = 0 } ] in
+  let seq = Batch.run ~domains:1 ~chunk:1 Batch.section6 blocks in
+  List.iter
+    (fun chunk ->
+      let par = Batch.run ~domains:test_domains ~chunk Batch.section6 blocks in
+      check_bool
+        (Printf.sprintf "single block, chunk %d" chunk)
+        true
+        (List.map key seq = List.map key par))
+    [ 1; 2; 64 ]
 
 (* an invalid-schedule exception from a worker surfaces on the caller *)
 let test_verify_runs () =
@@ -279,6 +319,32 @@ let test_shard_merge_determinism () =
             [ 1; test_domains ])
         [ 1; 2; 5 ])
     Shard.all_policies
+
+(* the shard layer threads ?chunk down to the shared pool: aggregates
+   and per-block results must not move with it *)
+let test_shard_chunk_invariance () =
+  let corpus = shard_corpus () in
+  let keys results =
+    Array.to_list results |> List.concat |> List.map Batch.strip_timing
+  in
+  let ref_results, ref_merged =
+    Shard.run ~domains:1 ~chunk:1 ~shards:2 Batch.section6 corpus
+  in
+  List.iter
+    (fun chunk ->
+      let results, merged =
+        Shard.run ~domains:test_domains ~chunk ~shards:2 Batch.section6 corpus
+      in
+      check_bool
+        (Printf.sprintf "aggregate invariant under chunk %d" chunk)
+        true
+        (aggregate_key merged.Shard.aggregate
+        = aggregate_key ref_merged.Shard.aggregate);
+      check_bool
+        (Printf.sprintf "per-block results invariant under chunk %d" chunk)
+        true
+        (keys results = keys ref_results))
+    [ 7; 64; 1000 ]
 
 let test_shard_merged_json_round_trip () =
   let _, merged =
@@ -486,6 +552,7 @@ let suite =
       arb_block prop_differential_batch;
     quick "results in input order" test_results_in_input_order;
     quick "empty batch" test_empty_batch;
+    quick "single-block chunk edge cases" test_single_block_chunks;
     quick "verification runs in workers" test_verify_runs;
     quick "report JSON round trip" test_report_round_trip;
     quick "report JSON round trip with NaN" test_report_round_trip_nan;
@@ -495,6 +562,7 @@ let suite =
     quick "partition balanced within bound" test_partition_balanced_bound;
     quick "partition deterministic" test_partition_deterministic;
     quick "shard merge determinism" test_shard_merge_determinism;
+    quick "shard chunk invariance" test_shard_chunk_invariance;
     quick "shard merged JSON round trip" test_shard_merged_json_round_trip;
     quick "shard empty corpus" test_shard_empty_corpus;
     quick "more shards than blocks" test_shard_more_shards_than_blocks;

@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "dagsched"
     [ ("util", Test_util.suite);
+      ("pool-props", Test_pool_props.suite);
       ("obs", Test_obs.suite);
       ("isa", Test_isa.suite);
       ("machine", Test_machine.suite);

@@ -249,6 +249,43 @@ let test_pool_chunk_exception_ordering () =
   check_bool "later chunk still drained" true
     (visited.(4) && visited.(5) && visited.(6) && visited.(7))
 
+let test_pool_steal_exception_input_order () =
+  (* Exception injection under stealing: two raising elements land in
+     different chunks — with 4 domains and round-robin submission the
+     later one is typically run by another domain (often via a steal)
+     and raises first in wall-clock time, because the input-earlier
+     raiser spins before raising.  [wait] must still propagate the
+     input-order-first failure (lowest submission sequence number), not
+     the first one to fire, and the pool must stay joinable and usable
+     afterwards. *)
+  for round = 0 to 9 do
+    let early = 5 and late = 29 in
+    let f i =
+      if i = early then begin
+        let k = ref 0 in
+        for _ = 1 to 2_000_000 do incr k done;
+        ignore !k;
+        raise (Boom i)
+      end;
+      if i = late then raise (Boom i);
+      i
+    in
+    let pool = Pool.create ~domains:4 () in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        (match Pool.map_array_on pool ~chunk:2 f (Array.init 32 Fun.id) with
+        | _ -> Alcotest.fail "expected Boom"
+        | exception Boom i ->
+            check_int
+              (Printf.sprintf "round %d: first raise in input order" round)
+              early i);
+        (* the failure was cleared; workers survived the raising steal *)
+        Alcotest.(check (list int))
+          "pool usable after stolen-task failure" [ 0; 2; 4 ]
+          (Pool.map_on pool (fun i -> 2 * i) [ 0; 1; 2 ]))
+  done
+
 (* ------------------------------------------------------------------ *)
 (* hand-rolled JSON *)
 
@@ -375,6 +412,8 @@ let suite =
     quick "pool map_on reuses one pool" test_pool_map_on_reuse;
     quick "pool map_on usable after exception" test_pool_map_on_usable_after_exception;
     quick "pool chunk exception ordering" test_pool_chunk_exception_ordering;
+    quick "pool steal exception input order"
+      test_pool_steal_exception_input_order;
     quick "json writer" test_json_writer;
     quick "json round trip" test_json_round_trip;
     quick "json number forms" test_json_number_forms;
