@@ -1,1 +1,1 @@
-lib/dag/build_reach.ml: Array Dag Ds_cfg Ds_obs Ds_util List Opts Pairdep
+lib/dag/build_reach.ml: Array Dag Ds_cfg Ds_obs Ds_util Opts Pairdep

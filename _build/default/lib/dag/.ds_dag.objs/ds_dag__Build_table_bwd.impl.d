@@ -1,1 +1,1 @@
-lib/dag/build_table_bwd.ml: Array Dag Dep Disambiguate Ds_cfg Ds_isa Ds_machine Insn Latency List Opts Res_table
+lib/dag/build_table_bwd.ml: Array Dag Dep Disambiguate Ds_cfg Ds_isa Ds_machine Insn Latency Opts Res_table

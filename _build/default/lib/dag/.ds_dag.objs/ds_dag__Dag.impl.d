@@ -1,1 +1,1 @@
-lib/dag/dag.ml: Array Dep Ds_isa Ds_machine Ds_obs Ds_util Format Hashtbl Insn Latency List
+lib/dag/dag.ml: Array Dep Ds_isa Ds_machine Ds_obs Ds_util Format Insn Int64 Latency List

@@ -1,0 +1,1 @@
+lib/dag/dag_legacy.ml: Array Dep Disambiguate Ds_cfg Ds_isa Ds_machine Hashtbl Insn Int Latency List Opts Resource

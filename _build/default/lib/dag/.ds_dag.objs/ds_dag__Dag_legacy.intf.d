@@ -1,0 +1,1 @@
+lib/dag/dag_legacy.mli: Ds_cfg Ds_isa Ds_machine Opts

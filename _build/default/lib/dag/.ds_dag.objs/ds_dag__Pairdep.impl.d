@@ -1,1 +1,1 @@
-lib/dag/pairdep.ml: Dep Disambiguate Ds_isa Ds_machine Insn Latency List Resource
+lib/dag/pairdep.ml: Array Dep Disambiguate Domain Ds_isa Ds_machine Insn Latency List Resource

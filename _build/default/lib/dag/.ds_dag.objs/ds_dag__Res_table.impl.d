@@ -1,1 +1,1 @@
-lib/dag/res_table.ml: Disambiguate Ds_isa Ds_obs Int List Resource
+lib/dag/res_table.ml: Array Disambiguate Domain Ds_isa Ds_obs Hashtbl Insn Mem_expr Reg Resource

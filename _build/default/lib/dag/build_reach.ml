@@ -14,9 +14,10 @@
 
     Nodes are visited in reverse program order and candidates in ascending
     order, so a candidate's descendant map is already complete when merged;
-    the produced DAG is transitively reduced.  The maps are retained on the
-    DAG — the paper notes [#descendants] then falls out as a population
-    count. *)
+    the produced DAG is transitively reduced.  The maps live in one
+    contiguous bit matrix (one row per node) and the merge is a row-OR
+    with zero per-arc allocation; they are retained on the DAG — the paper
+    notes [#descendants] then falls out as a population count. *)
 
 (* dependencies whose direct arc the reachability test suppressed *)
 let pruned_counter = Ds_obs.Metrics.counter "dag.transitive_arcs_pruned"
@@ -24,28 +25,28 @@ let pruned_counter = Ds_obs.Metrics.counter "dag.transitive_arcs_pruned"
 let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
   let insns = block.Ds_cfg.Block.insns in
   let dag = Dag.create ~model:opts.model insns in
-  let sums = Array.map (Pairdep.summarize opts.strategy) insns in
+  let sums = Pairdep.summarize_block opts.strategy insns in
   let n = Array.length insns in
-  let reach = Array.init n (fun i ->
-      let b = Ds_util.Bitset.make n in
-      Ds_util.Bitset.set b i;
-      b)
-  in
+  let reach = Ds_util.Bitset.Matrix.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    Ds_util.Bitset.Matrix.set reach i i
+  done;
   for a = n - 2 downto 0 do
     for b = a + 1 to n - 1 do
-      match
-        Pairdep.strongest_of ~model:opts.model ~strategy:opts.strategy
-          ~parent:insns.(a) ~parent_sum:sums.(a) ~child:insns.(b)
-          ~child_sum:sums.(b)
-      with
-      | Some c ->
-          if Ds_util.Bitset.mem reach.(a) b then
-            Ds_obs.Metrics.incr pruned_counter
-          else begin
-            Ds_util.Bitset.union_into ~into:reach.(a) reach.(b);
-            ignore (Dag.add_arc dag ~src:a ~dst:b ~kind:c.kind ~latency:c.latency)
-          end
-      | None -> ()
+      let pk =
+        Pairdep.strongest_packed sums ~model:opts.model
+          ~strategy:opts.strategy insns a b
+      in
+      if pk >= 0 then begin
+        if Ds_util.Bitset.Matrix.mem reach a b then
+          Ds_obs.Metrics.incr pruned_counter
+        else begin
+          Ds_util.Bitset.Matrix.union_rows reach ~into:a ~from:b;
+          ignore
+            (Dag.add_arc dag ~src:a ~dst:b ~kind:(Pairdep.kind_of_packed pk)
+               ~latency:(Pairdep.latency_of_packed pk))
+        end
+      end
     done
   done;
   if opts.anchor_branch then begin
@@ -53,11 +54,9 @@ let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
     (* anchoring adds leaf->branch arcs after the fact; refresh the maps so
        ancestors of the anchored leaves also see the branch *)
     for i = n - 1 downto 0 do
-      List.iter
-        (fun (a : Dag.arc) ->
-          Ds_util.Bitset.union_into ~into:reach.(i) reach.(a.dst))
-        (Dag.succs dag i)
+      Dag.iter_succ_dsts dag i (fun dst ->
+          Ds_util.Bitset.Matrix.union_rows reach ~into:i ~from:dst)
     done
   end;
-  Dag.set_reach dag reach;
+  Dag.set_reach_matrix dag reach;
   dag

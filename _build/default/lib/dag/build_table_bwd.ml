@@ -28,7 +28,11 @@
 
     The paper pairs this builder with a plain linked-list first pass, which
     eliminates the child-revisitation overhead of the forward approaches
-    before the backward heuristic pass (§6, third approach). *)
+    before the backward heuristic pass (§6, third approach).
+
+    Like the forward pass, this is allocation-free per block: resources
+    are scanned into a reused buffer and the table is the flat per-domain
+    arena of {!Res_table}. *)
 
 open Ds_isa
 open Ds_machine
@@ -37,65 +41,83 @@ let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
   let insns = block.Ds_cfg.Block.insns in
   let dag = Dag.create ~model:opts.model insns in
   let table = Res_table.create opts.strategy in
+  let strategy = opts.strategy in
+  let model = opts.model in
+  let buf = Res_table.scan_buf table in
   let n = Array.length insns in
   for j = n - 1 downto 0 do
     let parent = insns.(j) in
     (* process resources defined *)
-    List.iter
-      (fun (res, def_pos) ->
-        let res = Disambiguate.canonical opts.strategy res in
-        let waw_to (e : Res_table.entry) =
-          match e.def_ with
-          | Some (d, _) when d <> j ->
-              let latency =
-                opts.model.Latency.waw ~parent ~res ~child:insns.(d)
-              in
-              ignore (Dag.add_arc dag ~src:j ~dst:d ~kind:Dep.Waw ~latency)
-          | Some _ | None -> ()
-        in
-        let raw_to_uses uses =
-          List.iter
-            (fun (u, use_pos) ->
-              if u <> j then begin
-                let latency =
-                  opts.model.Latency.raw ~parent ~def_pos ~res
-                    ~child:insns.(u) ~use_pos
-                in
-                ignore (Dag.add_arc dag ~src:j ~dst:u ~kind:Dep.Raw ~latency)
-              end)
-            uses
-        in
-        (* own entry: the paper's algorithm, including the clear *)
-        let own = Res_table.entry table res in
-        if own.uses = [] then waw_to own
-        else raw_to_uses (Res_table.uses_ascending own);
-        own.uses <- [];
-        own.def_ <- Some (j, def_pos);
-        (* cross-aliasing entries: conservative arcs, no state change *)
-        List.iter
-          (fun (e : Res_table.entry) ->
-            raw_to_uses (Res_table.uses_ascending e);
-            waw_to e)
-          (Res_table.cross_aliasing table res))
-      (List.mapi (fun pos r -> (r, pos)) (Insn.defs parent));
+    Insn.scan_defs buf parent;
+    for def_pos = 0 to Insn.Scan.len buf - 1 do
+      let res = Disambiguate.canonical strategy (Insn.Scan.res buf def_pos) in
+      let own = Res_table.lookup table res in
+      (* own entry: the paper's algorithm, including the clear *)
+      if not (Res_table.has_uses table own) then begin
+        let dpk = Res_table.def_pk table own in
+        if dpk >= 0 && dpk lsr 8 <> j then begin
+          let d = dpk lsr 8 in
+          let latency = model.Latency.waw ~parent ~res ~child:insns.(d) in
+          ignore (Dag.add_arc dag ~src:j ~dst:d ~kind:Dep.Waw ~latency)
+        end
+      end
+      else begin
+        let nu = Res_table.uses_into table own ~except:j in
+        for k = 0 to nu - 1 do
+          let u = Res_table.use_node table k in
+          let latency =
+            model.Latency.raw ~parent ~def_pos ~res ~child:insns.(u)
+              ~use_pos:(Res_table.use_pos table k)
+          in
+          ignore (Dag.add_arc dag ~src:j ~dst:u ~kind:Dep.Raw ~latency)
+        done
+      end;
+      Res_table.clear_uses table own;
+      Res_table.set_def table own ~node:j ~pos:def_pos;
+      (* cross-aliasing entries: conservative arcs, no state change *)
+      let nc = Res_table.cross_into table ~self:own res in
+      for k = 0 to nc - 1 do
+        let e = Res_table.cross_id table k in
+        let nu = Res_table.uses_into table e ~except:j in
+        for m = 0 to nu - 1 do
+          let u = Res_table.use_node table m in
+          let latency =
+            model.Latency.raw ~parent ~def_pos ~res ~child:insns.(u)
+              ~use_pos:(Res_table.use_pos table m)
+          in
+          ignore (Dag.add_arc dag ~src:j ~dst:u ~kind:Dep.Raw ~latency)
+        done;
+        let dpk = Res_table.def_pk table e in
+        if dpk >= 0 && dpk lsr 8 <> j then begin
+          let d = dpk lsr 8 in
+          let latency = model.Latency.waw ~parent ~res ~child:insns.(d) in
+          ignore (Dag.add_arc dag ~src:j ~dst:d ~kind:Dep.Waw ~latency)
+        end
+      done
+    done;
     (* process resources used *)
-    List.iter
-      (fun (res, use_pos) ->
-        let res = Disambiguate.canonical opts.strategy res in
-        let war_to (e : Res_table.entry) =
-          match e.def_ with
-          | Some (d, _) when d <> j ->
-              let latency =
-                opts.model.Latency.war ~parent ~res ~child:insns.(d)
-              in
-              ignore (Dag.add_arc dag ~src:j ~dst:d ~kind:Dep.War ~latency)
-          | Some _ | None -> ()
-        in
-        let own = Res_table.entry table res in
-        war_to own;
-        List.iter war_to (Res_table.cross_aliasing table res);
-        own.uses <- (j, use_pos) :: own.uses)
-      (Insn.uses_with_pos parent)
+    Insn.scan_uses buf parent;
+    for use_pos = 0 to Insn.Scan.len buf - 1 do
+      let res = Disambiguate.canonical strategy (Insn.Scan.res buf use_pos) in
+      let own = Res_table.lookup table res in
+      let dpk = Res_table.def_pk table own in
+      if dpk >= 0 && dpk lsr 8 <> j then begin
+        let d = dpk lsr 8 in
+        let latency = model.Latency.war ~parent ~res ~child:insns.(d) in
+        ignore (Dag.add_arc dag ~src:j ~dst:d ~kind:Dep.War ~latency)
+      end;
+      let nc = Res_table.cross_into table ~self:own res in
+      for k = 0 to nc - 1 do
+        let e = Res_table.cross_id table k in
+        let dpk = Res_table.def_pk table e in
+        if dpk >= 0 && dpk lsr 8 <> j then begin
+          let d = dpk lsr 8 in
+          let latency = model.Latency.war ~parent ~res ~child:insns.(d) in
+          ignore (Dag.add_arc dag ~src:j ~dst:d ~kind:Dep.War ~latency)
+        end
+      done;
+      Res_table.add_use table own ~node:j ~pos:use_pos
+    done
   done;
   if opts.anchor_branch then Dag.anchor_terminator dag;
   dag

@@ -18,7 +18,12 @@
     cross-expression dependencies cannot reuse the clearing logic: a
     definition additionally draws arcs against every may-aliasing entry's
     last definition and pending uses, leaving that entry's state intact.
-    Only an expression's own definition clears its uselist. *)
+    Only an expression's own definition clears its uselist.
+
+    The pass is allocation-free per block: instruction resources are
+    scanned into a reused buffer, the table is the flat per-domain arena
+    of {!Res_table}, and all iteration is over indices — no closures,
+    lists or options on the per-instruction path. *)
 
 open Ds_isa
 open Ds_machine
@@ -27,66 +32,90 @@ let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
   let insns = block.Ds_cfg.Block.insns in
   let dag = Dag.create ~model:opts.model insns in
   let table = Res_table.create opts.strategy in
+  let strategy = opts.strategy in
+  let model = opts.model in
+  let buf = Res_table.scan_buf table in
   let n = Array.length insns in
   for j = 0 to n - 1 do
     let child = insns.(j) in
     (* process resources used *)
-    List.iter
-      (fun (res, use_pos) ->
-        let res = Disambiguate.canonical opts.strategy res in
-        let raw_from (e : Res_table.entry) =
-          match e.def_ with
-          | Some (d, def_pos) when d <> j ->
-              let latency =
-                opts.model.Latency.raw ~parent:insns.(d) ~def_pos
-                  ~res:e.resource ~child ~use_pos
-              in
-              ignore (Dag.add_arc dag ~src:d ~dst:j ~kind:Dep.Raw ~latency)
-          | Some _ | None -> ()
+    Insn.scan_uses buf child;
+    for use_pos = 0 to Insn.Scan.len buf - 1 do
+      let res = Disambiguate.canonical strategy (Insn.Scan.res buf use_pos) in
+      let own = Res_table.lookup table res in
+      (* RAW from the entry's last definition; a cross entry's latency is
+         charged to that entry's own resource *)
+      let dpk = Res_table.def_pk table own in
+      if dpk >= 0 && dpk lsr 8 <> j then begin
+        let d = dpk lsr 8 and def_pos = dpk land 0xff in
+        let latency =
+          model.Latency.raw ~parent:insns.(d) ~def_pos ~res ~child ~use_pos
         in
-        let own = Res_table.entry table res in
-        raw_from own;
-        List.iter raw_from (Res_table.cross_aliasing table res);
-        own.uses <- (j, use_pos) :: own.uses)
-      (Insn.uses_with_pos child);
+        ignore (Dag.add_arc dag ~src:d ~dst:j ~kind:Dep.Raw ~latency)
+      end;
+      let nc = Res_table.cross_into table ~self:own res in
+      for k = 0 to nc - 1 do
+        let e = Res_table.cross_id table k in
+        let dpk = Res_table.def_pk table e in
+        if dpk >= 0 && dpk lsr 8 <> j then begin
+          let d = dpk lsr 8 and def_pos = dpk land 0xff in
+          let latency =
+            model.Latency.raw ~parent:insns.(d) ~def_pos
+              ~res:(Res_table.resource table e) ~child ~use_pos
+          in
+          ignore (Dag.add_arc dag ~src:d ~dst:j ~kind:Dep.Raw ~latency)
+        end
+      done;
+      Res_table.add_use table own ~node:j ~pos:use_pos
+    done;
     (* process resources defined *)
-    List.iter
-      (fun (res, def_pos) ->
-        let res = Disambiguate.canonical opts.strategy res in
-        let war_from_uses uses =
-          List.iter
-            (fun (u, _) ->
-              if u <> j then begin
-                let latency =
-                  opts.model.Latency.war ~parent:insns.(u) ~res ~child
-                in
-                ignore (Dag.add_arc dag ~src:u ~dst:j ~kind:Dep.War ~latency)
-              end)
-            uses
-        in
-        let waw_from (e : Res_table.entry) =
-          match e.def_ with
-          | Some (d, _) when d <> j ->
-              let latency =
-                opts.model.Latency.waw ~parent:insns.(d) ~res:e.resource ~child
-              in
-              ignore (Dag.add_arc dag ~src:d ~dst:j ~kind:Dep.Waw ~latency)
-          | Some _ | None -> ()
-        in
-        (* own entry: the paper's algorithm, including the clear *)
-        let own = Res_table.entry table res in
-        let pending = List.filter (fun (u, _) -> u <> j) own.uses in
-        if pending <> [] then war_from_uses (Res_table.uses_ascending { own with uses = pending })
-        else waw_from own;
-        own.uses <- [];
-        own.def_ <- Some (j, def_pos);
-        (* cross-aliasing entries: conservative arcs, no state change *)
-        List.iter
-          (fun (e : Res_table.entry) ->
-            war_from_uses (Res_table.uses_ascending e);
-            waw_from e)
-          (Res_table.cross_aliasing table res))
-      (List.mapi (fun pos r -> (r, pos)) (Insn.defs child))
+    Insn.scan_defs buf child;
+    for def_pos = 0 to Insn.Scan.len buf - 1 do
+      let res = Disambiguate.canonical strategy (Insn.Scan.res buf def_pos) in
+      let own = Res_table.lookup table res in
+      (* own entry: the paper's algorithm, including the clear — WAR from
+         every pending use in ascending order, or a WAW from the previous
+         definition when no use is pending *)
+      let np = Res_table.uses_into table own ~except:j in
+      if np > 0 then
+        for k = 0 to np - 1 do
+          let u = Res_table.use_node table k in
+          let latency = model.Latency.war ~parent:insns.(u) ~res ~child in
+          ignore (Dag.add_arc dag ~src:u ~dst:j ~kind:Dep.War ~latency)
+        done
+      else begin
+        let dpk = Res_table.def_pk table own in
+        if dpk >= 0 && dpk lsr 8 <> j then begin
+          let d = dpk lsr 8 in
+          let latency = model.Latency.waw ~parent:insns.(d) ~res ~child in
+          ignore (Dag.add_arc dag ~src:d ~dst:j ~kind:Dep.Waw ~latency)
+        end
+      end;
+      Res_table.clear_uses table own;
+      Res_table.set_def table own ~node:j ~pos:def_pos;
+      (* cross-aliasing entries: conservative arcs, no state change; WAR
+         latencies are charged to the defined resource, WAW latencies to
+         the aliasing entry's own resource *)
+      let nc = Res_table.cross_into table ~self:own res in
+      for k = 0 to nc - 1 do
+        let e = Res_table.cross_id table k in
+        let nu = Res_table.uses_into table e ~except:j in
+        for m = 0 to nu - 1 do
+          let u = Res_table.use_node table m in
+          let latency = model.Latency.war ~parent:insns.(u) ~res ~child in
+          ignore (Dag.add_arc dag ~src:u ~dst:j ~kind:Dep.War ~latency)
+        done;
+        let dpk = Res_table.def_pk table e in
+        if dpk >= 0 && dpk lsr 8 <> j then begin
+          let d = dpk lsr 8 in
+          let latency =
+            model.Latency.waw ~parent:insns.(d)
+              ~res:(Res_table.resource table e) ~child
+          in
+          ignore (Dag.add_arc dag ~src:d ~dst:j ~kind:Dep.Waw ~latency)
+        end
+      done
+    done
   done;
   if opts.anchor_branch then Dag.anchor_terminator dag;
   dag

@@ -1,4 +1,4 @@
-(** The dependence DAG.
+(** The dependence DAG, stored as a flat arena.
 
     Nodes are the instructions of one basic block, identified by index;
     arcs are data dependencies weighted by operation latency.  [add_arc]
@@ -6,7 +6,15 @@
     [#children]/[#parents] counters, the interlock-with-child flag, and
     the delay sums behind the "φ delays to children / from parents"
     heuristics.  Arcs between the same pair are coalesced to the most
-    constraining dependency, so [#children] counts distinct child nodes. *)
+    constraining dependency, so [#children] counts distinct child nodes;
+    equal-latency ties between kinds resolve RAW > WAW > WAR > CTL, so
+    annotations are independent of builder visit order.
+
+    Internally the graph is flat int arrays: packed arcs, intrusive
+    succ/pred chains, packed per-node counters, and an optional
+    contiguous reachability bit matrix.  The [arc list] accessors are
+    lazily memoized views over the arena; structural identity is exposed
+    as an insertion-order-independent {!fingerprint}. *)
 
 type arc = {
   src : int;
@@ -17,6 +25,8 @@ type arc = {
 
 type t
 
+(** Blocks must be shorter than [2^20] instructions (arena packing
+    bound); raises [Invalid_argument] otherwise. *)
 val create : model:Ds_machine.Latency.t -> Ds_isa.Insn.t array -> t
 
 val length : t -> int
@@ -40,12 +50,16 @@ val max_delay_from_parent : t -> int -> int
     predicate. *)
 val interlock_with_child : t -> int -> bool
 
+(** Out-of-range node indices simply report no arc ([None]/[false]) —
+    they can never alias an in-range pair. *)
 val find_arc : t -> src:int -> dst:int -> arc option
+
 val has_arc : t -> src:int -> dst:int -> bool
 
 (** [add_arc t ~src ~dst ~kind ~latency] inserts (or upgrades to a larger
     latency) the arc; self-arcs are ignored.  Returns [true] when a new
-    arc was created. *)
+    arc was created.  Raises [Invalid_argument] on an out-of-range node
+    index or a latency outside [0, 2^20). *)
 val add_arc :
   t -> src:int -> dst:int -> kind:Ds_machine.Dep.kind -> latency:int -> bool
 
@@ -54,6 +68,12 @@ val add_arc :
 val roots : t -> int list
 val leaves : t -> int list
 
+(** Iterate the destination of every outgoing arc of a node (most
+    recently added first) without materializing the arc-list view. *)
+val iter_succ_dsts : t -> int -> (int -> unit) -> unit
+
+val iter_pred_srcs : t -> int -> (int -> unit) -> unit
+
 (** Number of weakly connected components. *)
 val forest_size : t -> int
 
@@ -61,8 +81,15 @@ val forest_size : t -> int
     the branch schedules last (§2's dummy-leaf convention). *)
 val anchor_terminator : t -> unit
 
-(** Descendant bit maps, when a builder maintained them (the
-    [#descendants] heuristic is their population count minus one). *)
+(** Descendant bit maps as one contiguous matrix (row per node), when a
+    builder maintained them (the [#descendants] heuristic is a row
+    population count minus one). *)
+val set_reach_matrix : t -> Ds_util.Bitset.Matrix.m -> unit
+val reach_matrix : t -> Ds_util.Bitset.Matrix.m option
+
+(** Compatibility views of the reach rows as growable bit sets.
+    [set_reach] copies the maps into a fresh matrix; [reach]
+    materializes fresh rows on every call. *)
 val set_reach : t -> Ds_util.Bitset.t array -> unit
 val reach : t -> Ds_util.Bitset.t array option
 
@@ -72,5 +99,11 @@ val arcs : t -> arc list
 (** All arcs point from lower to higher instruction index (program order
     is a topological order); checks the invariant. *)
 val forward_ordered : t -> bool
+
+(** FNV-1a (64-bit) digest of the arena: node count plus the packed arc
+    set, independent of arc insertion order — the future
+    content-addressed cache key (combined with block text, builder,
+    strategy and machine model). *)
+val fingerprint : t -> int64
 
 val pp : Format.formatter -> t -> unit

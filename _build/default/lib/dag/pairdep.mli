@@ -35,6 +35,30 @@ val strongest_of :
   model:Latency.t -> strategy:Disambiguate.t -> parent:Insn.t ->
   parent_sum:summary -> child:Insn.t -> child_sum:summary -> conflict option
 
+(** {1 Flat block summaries}
+
+    The closure- and allocation-free pair path the O(n²) builders run:
+    canonicalized defs/uses of a whole block packed into per-domain
+    arrays, and the strongest conflict of a pair returned as a packed
+    int.  At most one live block summary per domain —
+    [summarize_block] invalidates the previous one. *)
+
+type block_sum
+
+val summarize_block : Disambiguate.t -> Insn.t array -> block_sum
+
+(** [strongest_packed sum ~model ~strategy insns i j] is the strongest
+    dependency of pair [(i, j)] packed as [(latency lsl 2) lor rank]
+    (rank: Raw 3 > Waw 2 > War 1), or [-1] if independent — largest
+    latency wins, RAW preferred on ties, as {!strongest_of}.  [insns]
+    must be the array given to {!summarize_block}. *)
+val strongest_packed :
+  block_sum -> model:Latency.t -> strategy:Disambiguate.t ->
+  Insn.t array -> int -> int -> int
+
+val kind_of_packed : int -> Dep.kind
+val latency_of_packed : int -> int
+
 (** Conveniences that summarize on the fly. *)
 val conflicts :
   model:Latency.t -> strategy:Disambiguate.t -> parent:Insn.t ->

@@ -1,1 +1,1 @@
-lib/isa/insn.ml: Format List Mem_expr Opcode Operand Printf Reg Resource String
+lib/isa/insn.ml: Array Format List Mem_expr Opcode Operand Printf Reg Resource String

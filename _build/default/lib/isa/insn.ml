@@ -29,140 +29,206 @@ let make ?(index = -1) ?(annul = false) ?label op operands =
 
 let with_index t index = { t with index }
 
-(* A register operand as a resource, dropping %g0. *)
-let reg_res acc = function
-  | Operand.Reg r when not (Reg.is_zero r) -> Resource.R r :: acc
-  | Operand.Reg _ | Operand.Imm _ | Operand.Mem _ | Operand.Target _ -> acc
+(** Reusable resource-scan buffer — the allocation-free core behind
+    [defs]/[uses_with_pos].  Definition and use positions are always the
+    sequential 0-based emission index, so a scan is just the resource
+    array plus a length; DAG builders keep one buffer per domain and
+    loop over indices instead of consuming lists.  The scan helpers
+    below are top-level and thread the buffer explicitly, so a scan
+    allocates nothing beyond the (preallocated) [Resource.t] values —
+    only double-word memory operands create a fresh second-word
+    expression. *)
+module Scan = struct
+  type buf = { mutable res : Resource.t array; mutable len : int }
 
-(* Memory resources touched by a reference: the expression itself, plus the
-   next word for double-word operations. *)
-let mem_res ~double m =
-  let second = { m with Mem_expr.offset = m.Mem_expr.offset + 4 } in
-  if double then [ Resource.Mem m; Resource.Mem second ] else [ Resource.Mem m ]
+  let create () = { res = Array.make 8 Resource.Ctrl; len = 0 }
 
-(* Base register of a memory operand is a use. *)
-let mem_base_use acc = function
-  | { Mem_expr.base = Mem_expr.Breg r; _ } when not (Reg.is_zero r) ->
-      Resource.R r :: acc
-  | { Mem_expr.base = Mem_expr.Breg _ | Mem_expr.Bsym _; _ } -> acc
+  let push b r =
+    if b.len >= Array.length b.res then begin
+      let grown = Array.make (2 * Array.length b.res) Resource.Ctrl in
+      Array.blit b.res 0 grown 0 b.len;
+      b.res <- grown
+    end;
+    b.res.(b.len) <- r;
+    b.len <- b.len + 1
 
-let split_last xs =
-  match List.rev xs with
-  | [] -> (None, [])
-  | last :: rest -> (Some last, List.rev rest)
+  let len b = b.len
+  let res b i = b.res.(i)
+end
 
-(* Register destination (last operand), as a list of resources; double-word
-   destinations include the pair partner. *)
-let dest_resources ~double t =
-  match split_last t.operands with
-  | Some (Operand.Reg r), _ when not (Reg.is_zero r) ->
-      let base = [ Resource.R r ] in
-      if double then
-        match Reg.pair_partner r with
-        | Some r2 -> base @ [ Resource.R r2 ]
-        | None -> base
-      else base
-  | _ -> []
+(* Every non-%g0 register operand, in operand order. *)
+let rec push_all_reg_srcs b ops =
+  match ops with
+  | [] -> ()
+  | Operand.Reg r :: rest ->
+      if not (Reg.is_zero r) then Scan.push b (Resource.of_reg r);
+      push_all_reg_srcs b rest
+  | (Operand.Imm _ | Operand.Mem _ | Operand.Target _) :: rest ->
+      push_all_reg_srcs b rest
 
-let source_operands t =
-  match split_last t.operands with _, srcs -> srcs
+(* Register sources: all operands except the last (the destination). *)
+let rec push_reg_srcs_except_last b ops =
+  match ops with
+  | [] | [ _ ] -> ()
+  | Operand.Reg r :: rest ->
+      if not (Reg.is_zero r) then Scan.push b (Resource.of_reg r);
+      push_reg_srcs_except_last b rest
+  | (Operand.Imm _ | Operand.Mem _ | Operand.Target _) :: rest ->
+      push_reg_srcs_except_last b rest
 
-(** Resources defined by the instruction, in definition order (a register
-    pair lists the even register first). *)
-let defs t =
+let push_pair_partner b r =
+  match Reg.pair_partner r with
+  | Some r2 -> Scan.push b (Resource.of_reg r2)
+  | None -> ()
+
+(* Store value sources: each non-%g0 register operand, with the pair
+   partner after it for double-word stores. *)
+let rec push_store_values b ~double ops =
+  match ops with
+  | [] -> ()
+  | Operand.Reg r :: rest ->
+      if not (Reg.is_zero r) then begin
+        Scan.push b (Resource.of_reg r);
+        if double then push_pair_partner b r
+      end;
+      push_store_values b ~double rest
+  | (Operand.Imm _ | Operand.Mem _ | Operand.Target _) :: rest ->
+      push_store_values b ~double rest
+
+let push_mem_base b m =
+  match m.Mem_expr.base with
+  | Mem_expr.Breg r when not (Reg.is_zero r) -> Scan.push b (Resource.of_reg r)
+  | Mem_expr.Breg _ | Mem_expr.Bsym _ -> ()
+
+(* Base registers of memory operands (store address sources). *)
+let rec push_mem_bases b ops =
+  match ops with
+  | [] -> ()
+  | Operand.Mem m :: rest ->
+      push_mem_base b m;
+      push_mem_bases b rest
+  | (Operand.Reg _ | Operand.Imm _ | Operand.Target _) :: rest ->
+      push_mem_bases b rest
+
+let push_mem_exprs b ~double m =
+  Scan.push b (Resource.Mem m);
+  if double then
+    Scan.push b (Resource.Mem { m with Mem_expr.offset = m.Mem_expr.offset + 4 })
+
+(* Load sources: per memory operand, the base register then the touched
+   expression(s). *)
+let rec push_load_srcs b ~double ops =
+  match ops with
+  | [] -> ()
+  | Operand.Mem m :: rest ->
+      push_mem_base b m;
+      push_mem_exprs b ~double m;
+      push_load_srcs b ~double rest
+  | (Operand.Reg _ | Operand.Imm _ | Operand.Target _) :: rest ->
+      push_load_srcs b ~double rest
+
+(* Store defs: the touched memory expression(s). *)
+let rec push_store_defs b ~double ops =
+  match ops with
+  | [] -> ()
+  | Operand.Mem m :: rest ->
+      push_mem_exprs b ~double m;
+      push_store_defs b ~double rest
+  | (Operand.Reg _ | Operand.Imm _ | Operand.Target _) :: rest ->
+      push_store_defs b ~double rest
+
+(* Register destination (last operand); double-word destinations include
+   the pair partner. *)
+let rec push_dest b ~double ops =
+  match ops with
+  | [] -> ()
+  | [ Operand.Reg r ] ->
+      if not (Reg.is_zero r) then begin
+        Scan.push b (Resource.of_reg r);
+        if double then push_pair_partner b r
+      end
+  | [ Operand.Imm _ | Operand.Mem _ | Operand.Target _ ] -> ()
+  | _ :: rest -> push_dest b ~double rest
+
+let scan_defs b t =
+  b.Scan.len <- 0;
   let open Opcode in
-  let cc = if sets_icc t.op then [ Resource.Icc ] else [] in
-  let fcc = if sets_fcc t.op then [ Resource.Fcc ] else [] in
-  let y =
-    match t.op with Smul | Umul -> [ Resource.Y ] | _ -> []
-  in
   match t.op with
   | Cmp | Fcmps | Fcmpd ->
       (* compares have no register destination *)
-      cc @ fcc
+      if sets_icc t.op then Scan.push b Resource.Icc;
+      if sets_fcc t.op then Scan.push b Resource.Fcc
   | St | Stb | Sth | Stf | Std | Stdf ->
       (* store: [src; mem]; defines the memory expression(s) *)
-      let double = is_doubleword t.op in
-      List.concat_map
-        (function
-          | Operand.Mem m -> mem_res ~double m
-          | Operand.Reg _ | Operand.Imm _ | Operand.Target _ -> [])
-        t.operands
+      push_store_defs b ~double:(is_doubleword t.op) t.operands
   | Call | Jmpl ->
       (* conservative call effects when a call is kept inside a block *)
-      [ Resource.R (Reg.int 8); Resource.R (Reg.int 9); Resource.R (Reg.int 15);
-        Resource.Icc; Resource.Fcc; Resource.Y; Resource.Mem_all ]
+      Scan.push b (Resource.of_reg (Reg.Int 8));
+      Scan.push b (Resource.of_reg (Reg.Int 9));
+      Scan.push b (Resource.of_reg (Reg.Int 15));
+      Scan.push b Resource.Icc;
+      Scan.push b Resource.Fcc;
+      Scan.push b Resource.Y;
+      Scan.push b Resource.Mem_all
   | Ba | Bn | Be | Bne | Bg | Ble | Bge | Bl | Bgu | Bleu | Bcs | Bcc_
   | Fba | Fbe | Fbne | Fbg | Fbl | Fbge | Fble | Ret | Nop ->
-      []
-  | Save | Restore ->
-      dest_resources ~double:false t
+      ()
+  | Save | Restore -> push_dest b ~double:false t.operands
   | _ ->
-      let double = is_doubleword t.op in
-      dest_resources ~double t @ cc @ y
+      push_dest b ~double:(is_doubleword t.op) t.operands;
+      if sets_icc t.op then Scan.push b Resource.Icc;
+      (match t.op with
+      | Smul | Umul -> Scan.push b Resource.Y
+      | _ -> ())
 
-(** Resources used by the instruction, paired with the source-operand
-    position (0-based) for asymmetric-bypass latency models. *)
-let uses_with_pos t =
+let scan_uses b t =
+  b.Scan.len <- 0;
   let open Opcode in
-  let number xs = List.mapi (fun i r -> (r, i)) xs in
-  let icc = if reads_icc t.op then [ Resource.Icc ] else [] in
-  let fcc = if reads_fcc t.op then [ Resource.Fcc ] else [] in
-  let y = match t.op with Sdiv | Udiv -> [ Resource.Y ] | _ -> [] in
   match t.op with
-  | Nop | Sethi | Ba | Bn | Fba | Save | Restore | Ret -> number (icc @ fcc)
+  | Nop | Sethi | Ba | Bn | Fba | Save | Restore | Ret
   | Be | Bne | Bg | Ble | Bge | Bl | Bgu | Bleu | Bcs | Bcc_
   | Fbe | Fbne | Fbg | Fbl | Fbge | Fble ->
-      number (icc @ fcc)
+      if reads_icc t.op then Scan.push b Resource.Icc;
+      if reads_fcc t.op then Scan.push b Resource.Fcc
   | Call | Jmpl ->
-      number
-        [ Resource.R (Reg.int 8); Resource.R (Reg.int 9);
-          Resource.R (Reg.int 10); Resource.R (Reg.int 11);
-          Resource.R (Reg.int 12); Resource.R (Reg.int 13);
-          Resource.Mem_all ]
+      Scan.push b (Resource.of_reg (Reg.Int 8));
+      Scan.push b (Resource.of_reg (Reg.Int 9));
+      Scan.push b (Resource.of_reg (Reg.Int 10));
+      Scan.push b (Resource.of_reg (Reg.Int 11));
+      Scan.push b (Resource.of_reg (Reg.Int 12));
+      Scan.push b (Resource.of_reg (Reg.Int 13));
+      Scan.push b Resource.Mem_all
   | Cmp | Fcmps | Fcmpd ->
       (* all operands are sources *)
-      number (List.rev (List.fold_left reg_res [] t.operands))
+      push_all_reg_srcs b t.operands
   | St | Stb | Sth | Stf | Std | Stdf ->
-      (* store: value source(s) first, then base register, then memory *)
+      (* store: value source(s) first, then base register(s) *)
       let double = is_doubleword t.op in
-      let value =
-        List.concat_map
-          (function
-            | Operand.Reg r when not (Reg.is_zero r) ->
-                let base = [ Resource.R r ] in
-                if double then
-                  match Reg.pair_partner r with
-                  | Some r2 -> base @ [ Resource.R r2 ]
-                  | None -> base
-                else base
-            | Operand.Reg _ | Operand.Imm _ | Operand.Mem _
-            | Operand.Target _ -> [])
-          t.operands
-      in
-      let bases =
-        List.concat_map
-          (function
-            | Operand.Mem m -> List.rev (mem_base_use [] m)
-            | Operand.Reg _ | Operand.Imm _ | Operand.Target _ -> [])
-          t.operands
-      in
-      number (value @ bases)
+      push_store_values b ~double t.operands;
+      push_mem_bases b t.operands
   | Ld | Ldd | Ldub | Ldsb | Lduh | Ldsh | Ldf | Lddf ->
-      let double = is_doubleword t.op in
-      let from_mem =
-        List.concat_map
-          (function
-            | Operand.Mem m -> List.rev (mem_base_use [] m) @ mem_res ~double m
-            | Operand.Reg _ | Operand.Imm _ | Operand.Target _ -> [])
-          t.operands
-      in
-      number from_mem
+      push_load_srcs b ~double:(is_doubleword t.op) t.operands
   | _ ->
       (* ALU / FP ops: all operands except the last (destination) *)
-      let srcs = source_operands t in
-      let regs = List.rev (List.fold_left reg_res [] srcs) in
-      number (regs @ y)
+      push_reg_srcs_except_last b t.operands;
+      (match t.op with
+      | Sdiv | Udiv -> Scan.push b Resource.Y
+      | _ -> ())
+
+(** Resources defined by the instruction, in definition order (a register
+    pair lists the even register first).  List view over {!scan_defs}. *)
+let defs t =
+  let b = Scan.create () in
+  scan_defs b t;
+  List.init b.Scan.len (fun i -> b.Scan.res.(i))
+
+(** Resources used by the instruction, paired with the source-operand
+    position (0-based) for asymmetric-bypass latency models.  List view
+    over {!scan_uses} (positions are the emission indices). *)
+let uses_with_pos t =
+  let b = Scan.create () in
+  scan_uses b t;
+  List.init b.Scan.len (fun i -> (b.Scan.res.(i), i))
 
 let uses t = List.map fst (uses_with_pos t)
 

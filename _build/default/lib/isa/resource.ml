@@ -44,6 +44,15 @@ let hash = function
   | Mem_all -> 1003
   | Ctrl -> 1004
 
+(* Registers are dense, so the [R r] wrappers are preallocated once and
+   resource extraction on the DAG-build hot path allocates nothing. *)
+let r_int = Array.init 32 (fun n -> R (Reg.Int n))
+let r_float = Array.init 32 (fun n -> R (Reg.Float n))
+
+let of_reg = function
+  | Reg.Int n -> r_int.(n)
+  | Reg.Float n -> r_float.(n)
+
 let is_memory = function Mem _ | Mem_all -> true | R _ | Icc | Fcc | Y | Ctrl -> false
 
 let is_register = function R _ -> true | Icc | Fcc | Y | Mem _ | Mem_all | Ctrl -> false

@@ -1,0 +1,1 @@
+test/test_dag_arena.ml: Alcotest Array Block Builder Dag Dag_legacy Dagsched Dep Disambiguate Gc Helpers Insn Latency Lazy List Opts Printf Prng Profiles

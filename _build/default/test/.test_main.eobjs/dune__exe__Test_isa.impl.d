@@ -1,1 +1,1 @@
-test/test_isa.ml: Alcotest Dagsched Helpers Insn List Mem_expr Opcode Parser Reg Resource
+test/test_isa.ml: Alcotest Array Block Dagsched Helpers Insn List Mem_expr Opcode Operand Parser Printf Reg Resource

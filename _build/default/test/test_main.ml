@@ -9,6 +9,7 @@ let () =
       ("machine", Test_machine.suite);
       ("cfg", Test_cfg.suite);
       ("dag", Test_dag.suite);
+      ("dag-arena", Test_dag_arena.suite);
       ("heuristics", Test_heur.suite);
       ("scheduling", Test_sched.suite);
       ("workload", Test_workload.suite);

@@ -8,6 +8,11 @@
     are already transitively ordered before the new node.  The result is a
     transitively reduced DAG.
 
+    The ancestor sets live in one bit matrix (row [i] = ancestors of
+    node [i]); an extra scratch row holds the per-node covered set, so
+    the pruning bookkeeping is row-OR merges with zero per-pair
+    allocation.
+
     The paper *recommends against* this treatment (conclusion 3): Figure 1
     shows a pruned direct RAW arc whose latency information cannot be
     recovered through the retained WAR-then-RAW path.  This builder exists
@@ -21,28 +26,32 @@ let pruned_counter = Ds_obs.Metrics.counter "dag.transitive_arcs_pruned"
 let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
   let insns = block.Ds_cfg.Block.insns in
   let dag = Dag.create ~model:opts.model insns in
-  let sums = Array.map (Pairdep.summarize opts.strategy) insns in
+  let sums = Pairdep.summarize_block opts.strategy insns in
   let n = Array.length insns in
-  (* ancestors.(i): i's ancestor set, complete once i is processed *)
-  let ancestors = Array.init n (fun _ -> Ds_util.Bitset.create ()) in
+  (* rows 0..n-1: ancestors.(i), complete once i is processed; row n is
+     the covered scratch row, cleared per child *)
+  let anc = Ds_util.Bitset.Matrix.create ~rows:(n + 1) ~cols:(max n 1) in
+  let covered = n in
   for j = 1 to n - 1 do
-    let covered = Ds_util.Bitset.make n in
+    Ds_util.Bitset.Matrix.clear_row anc covered;
     for i = j - 1 downto 0 do
-      if Ds_util.Bitset.mem covered i then
+      if Ds_util.Bitset.Matrix.mem anc covered i then
         Ds_obs.Metrics.incr pruned_counter
-      else
-        match
-          Pairdep.strongest_of ~model:opts.model ~strategy:opts.strategy
-            ~parent:insns.(i) ~parent_sum:sums.(i) ~child:insns.(j)
-            ~child_sum:sums.(j)
-        with
-        | Some c ->
-            ignore (Dag.add_arc dag ~src:i ~dst:j ~kind:c.kind ~latency:c.latency);
-            Ds_util.Bitset.set covered i;
-            Ds_util.Bitset.union_into ~into:covered ancestors.(i);
-            Ds_util.Bitset.set ancestors.(j) i;
-            Ds_util.Bitset.union_into ~into:ancestors.(j) ancestors.(i)
-        | None -> ()
+      else begin
+        let pk =
+          Pairdep.strongest_packed sums ~model:opts.model
+            ~strategy:opts.strategy insns i j
+        in
+        if pk >= 0 then begin
+          ignore
+            (Dag.add_arc dag ~src:i ~dst:j ~kind:(Pairdep.kind_of_packed pk)
+               ~latency:(Pairdep.latency_of_packed pk));
+          Ds_util.Bitset.Matrix.set anc covered i;
+          Ds_util.Bitset.Matrix.union_rows anc ~into:covered ~from:i;
+          Ds_util.Bitset.Matrix.set anc j i;
+          Ds_util.Bitset.Matrix.union_rows anc ~into:j ~from:i
+        end
+      end
     done
   done;
   if opts.anchor_branch then Dag.anchor_terminator dag;

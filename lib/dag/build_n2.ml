@@ -5,29 +5,25 @@
     pair receives a direct arc, so the resulting DAG carries "a huge number
     of transitive arcs"; Tables 4 vs 5 quantify the cost.
 
-    Per-instruction resource summaries are extracted once; the quadratic
-    cost the paper measures is the pair test itself. *)
-
-let summaries (opts : Opts.t) insns =
-  Array.map (Pairdep.summarize opts.strategy) insns
-
-let try_arc (opts : Opts.t) dag insns sums i j =
-  match
-    Pairdep.strongest_of ~model:opts.model ~strategy:opts.strategy
-      ~parent:insns.(i) ~parent_sum:sums.(i) ~child:insns.(j)
-      ~child_sum:sums.(j)
-  with
-  | Some c -> ignore (Dag.add_arc dag ~src:i ~dst:j ~kind:c.kind ~latency:c.latency)
-  | None -> ()
+    Per-instruction resource summaries are extracted once into the flat
+    per-domain block summary; the quadratic cost the paper measures is the
+    pair test itself, which allocates nothing (see {!Pairdep}). *)
 
 let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
   let insns = block.Ds_cfg.Block.insns in
   let dag = Dag.create ~model:opts.model insns in
-  let sums = summaries opts insns in
+  let sums = Pairdep.summarize_block opts.strategy insns in
   let n = Array.length insns in
   for j = 1 to n - 1 do
     for i = j - 1 downto 0 do
-      try_arc opts dag insns sums i j
+      let pk =
+        Pairdep.strongest_packed sums ~model:opts.model
+          ~strategy:opts.strategy insns i j
+      in
+      if pk >= 0 then
+        ignore
+          (Dag.add_arc dag ~src:i ~dst:j ~kind:(Pairdep.kind_of_packed pk)
+             ~latency:(Pairdep.latency_of_packed pk))
     done
   done;
   if opts.anchor_branch then Dag.anchor_terminator dag;
@@ -41,11 +37,18 @@ let build (opts : Opts.t) (block : Ds_cfg.Block.t) =
 let build_backward (opts : Opts.t) (block : Ds_cfg.Block.t) =
   let insns = block.Ds_cfg.Block.insns in
   let dag = Dag.create ~model:opts.model insns in
-  let sums = summaries opts insns in
+  let sums = Pairdep.summarize_block opts.strategy insns in
   let n = Array.length insns in
   for i = n - 2 downto 0 do
     for j = i + 1 to n - 1 do
-      try_arc opts dag insns sums i j
+      let pk =
+        Pairdep.strongest_packed sums ~model:opts.model
+          ~strategy:opts.strategy insns i j
+      in
+      if pk >= 0 then
+        ignore
+          (Dag.add_arc dag ~src:i ~dst:j ~kind:(Pairdep.kind_of_packed pk)
+             ~latency:(Pairdep.latency_of_packed pk))
     done
   done;
   if opts.anchor_branch then Dag.anchor_terminator dag;

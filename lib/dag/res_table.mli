@@ -1,31 +1,80 @@
 (** The resource table of table-building DAG construction: per-resource
     record of the most recent definition and the set of current uses
     (§2).  Memory entries additionally participate in cross-expression
-    alias scans. *)
+    alias scans.
 
-type entry = {
-  resource : Ds_isa.Resource.t;
-  mutable def_ : (int * int) option;  (* node index, def position *)
-  mutable uses : (int * int) list;    (* node index, use position *)
-}
+    The table is flat: resources are interned to dense integer entry
+    ids (registers, condition codes, [%y], [Mem_all] have fixed ids;
+    symbolic memory expressions are interned on first encounter, the
+    variable-length growth of §6), and per-entry state lives in
+    preallocated per-domain arrays with epoch-stamped lazy reset — so
+    building a table for a new block allocates nothing.  Uselists are
+    intrusive chains in a pooled arena; iteration hands out indices
+    into internal buffers rather than lists, keeping the builders'
+    hot loops closure- and allocation-free.
+
+    Concurrency: the backing scratch is domain-local and reused across
+    blocks.  At most one table may be live per domain at a time —
+    [create] invalidates any table previously created on the same
+    domain.  The DAG builders (the only consumers) respect this by
+    construction. *)
 
 type t
 
+(** [create strategy] starts a fresh table for one block on this
+    domain's scratch (invalidating any previous table of this domain). *)
 val create : Disambiguate.t -> t
 
-(** The (created-on-demand) entry for a resource. *)
-val entry : t -> Ds_isa.Resource.t -> entry
+(** Entry id for a (canonicalized) resource, interning it on first
+    encounter.  Counts one [dag.table_probes] metric per call — this is
+    the paper's per-access table lookup. *)
+val lookup : t -> Ds_isa.Resource.t -> int
 
-(** Memory entries other than [res]'s own that may denote the same
-    storage.  May-alias is not transitive, so callers add arcs against
-    these conservatively and never clear them; only an entry's own
-    definition clears its uselist.  Empty under the [Symbolic]
-    strategy. *)
-val cross_aliasing : t -> Ds_isa.Resource.t -> entry list
+(** The resource a live entry id denotes. *)
+val resource : t -> int -> Ds_isa.Resource.t
 
-(** Uses in ascending program order — the paper iterates the uselist "in
-    ascending order". *)
-val uses_ascending : entry -> (int * int) list
+(** Recorded definition of an entry, packed as
+    [(node lsl 8) lor def_pos], or [-1] when empty. *)
+val def_pk : t -> int -> int
 
-(** Number of entries (the variable-length table growth of §6). *)
+val set_def : t -> int -> node:int -> pos:int -> unit
+
+(** Append a use (node, use position) to the entry's uselist. *)
+val add_use : t -> int -> node:int -> pos:int -> unit
+
+val clear_uses : t -> int -> unit
+val has_uses : t -> int -> bool
+
+(** [uses_into t e ~except] fills the internal use buffer with [e]'s
+    recorded uses whose node differs from [except], in ascending node
+    order (the paper iterates the uselist "in ascending order"; ties
+    keep newest-first insertion order, matching a stable sort of the
+    legacy list representation), and returns their count.  The buffer
+    is valid until the next [uses_into] on this domain; read it with
+    {!use_node}/{!use_pos}. *)
+val uses_into : t -> int -> except:int -> int
+
+val use_node : t -> int -> int
+val use_pos : t -> int -> int
+
+(** [cross_into t ~self res] fills the internal cross buffer with the
+    ids of memory entries other than [self] that may denote the same
+    storage as [res] — newest first, like the legacy entry list — and
+    returns their count.  May-alias is not transitive, so callers add
+    arcs against these conservatively and never clear them; only an
+    entry's own definition clears its uselist.  Always 0 under the
+    [Symbolic] strategy.  When metrics are enabled, adds the number of
+    memory entries scanned (before filtering) to
+    [dag.alias_entries_scanned].  The buffer is valid until the next
+    [cross_into] on this domain; read it with {!cross_id}. *)
+val cross_into : t -> self:int -> Ds_isa.Resource.t -> int
+
+val cross_id : t -> int -> int
+
+(** Per-domain instruction-scan buffer, for builders to use with
+    [Insn.scan_defs]/[Insn.scan_uses]. *)
+val scan_buf : t -> Ds_isa.Insn.Scan.buf
+
+(** Number of distinct entries touched for this block (the
+    variable-length table growth of §6). *)
 val size : t -> int

@@ -50,20 +50,29 @@ let backward_visit dag (annot : Annot.t) ~critical_path i =
    count on the reachability bit map minus one").  Reuses maps a builder
    left on the DAG, else computes them. *)
 let descendant_measures dag (annot : Annot.t) =
-  let maps =
-    match Ds_dag.Dag.reach dag with
-    | Some maps -> maps
-    | None -> Ds_dag.Closure.descendants dag
-  in
-  Array.iteri
-    (fun i map ->
-      annot.num_descendants.(i) <- Ds_util.Bitset.cardinal map - 1;
-      let sum = ref 0 in
-      Ds_util.Bitset.iter
-        (fun d -> if d <> i then sum := !sum + annot.exec_time.(d))
-        map;
-      annot.sum_exec_of_descendants.(i) <- !sum)
-    maps
+  match Ds_dag.Dag.reach_matrix dag with
+  | Some m ->
+      (* fast path: population counts and row scans straight off the
+         builder's contiguous bit matrix, no per-node set materialization *)
+      for i = 0 to Ds_util.Bitset.Matrix.rows m - 1 do
+        annot.num_descendants.(i) <- Ds_util.Bitset.Matrix.row_cardinal m i - 1;
+        let sum = ref 0 in
+        Ds_util.Bitset.Matrix.iter_row
+          (fun d -> if d <> i then sum := !sum + annot.exec_time.(d))
+          m i;
+        annot.sum_exec_of_descendants.(i) <- !sum
+      done
+  | None ->
+      let maps = Ds_dag.Closure.descendants dag in
+      Array.iteri
+        (fun i map ->
+          annot.num_descendants.(i) <- Ds_util.Bitset.cardinal map - 1;
+          let sum = ref 0 in
+          Ds_util.Bitset.iter
+            (fun d -> if d <> i then sum := !sum + annot.exec_time.(d))
+            map;
+          annot.sum_exec_of_descendants.(i) <- !sum)
+        maps
 
 (** Which optional (and costly) annotation groups to compute.  The
     path/delay/EST/LST/slack annotations are always computed; descendant

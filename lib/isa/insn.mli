@@ -21,6 +21,27 @@ val make :
 
 val with_index : t -> int -> t
 
+(** Reusable resource-scan buffer — the allocation-free core behind
+    [defs]/[uses_with_pos].  Definition and use positions are always the
+    sequential 0-based emission index, so a scan is the resource array
+    plus a length; hot paths keep one buffer per domain and loop over
+    indices instead of consuming lists. *)
+module Scan : sig
+  type buf
+
+  val create : unit -> buf
+  val len : buf -> int
+  val res : buf -> int -> Resource.t
+end
+
+(** Fill the buffer with the instruction's defined resources (definition
+    position = index). *)
+val scan_defs : Scan.buf -> t -> unit
+
+(** Fill the buffer with the instruction's used resources (source-operand
+    position = index). *)
+val scan_uses : Scan.buf -> t -> unit
+
 (** Resources defined, in definition order (a register pair lists the even
     register first). *)
 val defs : t -> Resource.t list

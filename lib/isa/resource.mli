@@ -13,6 +13,10 @@ type t =
   | Mem_all             (* all of memory, serialized *)
   | Ctrl                (* control resource *)
 
+(** [of_reg r] is [R r] from a preallocated table — allocation-free on
+    the resource-extraction hot path. *)
+val of_reg : Reg.t -> t
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int

@@ -90,12 +90,17 @@ let with_phase ?detail phase f =
   if not (Atomic.get enabled) then f ()
   else begin
     let s0 = Gc.quick_stat () in
+    (* [Gc.minor_words] (the primitive) includes the live young region,
+       so the minor delta is exact even when no minor collection runs
+       inside the phase; the [quick_stat] field is only refreshed at
+       collections and reads as 0 across allocation-light phases. *)
+    let m0 = Gc.minor_words () in
     (* record even when [f] raises, so an aborted phase's allocation
        still shows up — same discipline as Trace.with_span *)
     Fun.protect
       ~finally:(fun () ->
         let s1 = Gc.quick_stat () in
-        let minor = s1.Gc.minor_words -. s0.Gc.minor_words
+        let minor = Gc.minor_words () -. m0
         and promoted = s1.Gc.promoted_words -. s0.Gc.promoted_words
         and major = s1.Gc.major_words -. s0.Gc.major_words
         and minor_c = s1.Gc.minor_collections - s0.Gc.minor_collections

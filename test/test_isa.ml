@@ -229,6 +229,155 @@ let test_roundtrip_program () =
       check_bool "equal labels" true (a.Insn.label = b.Insn.label))
     insns reparsed
 
+(* ------------------------------------------------------------------ *)
+(* def/use extraction against the pre-scan list-based specification *)
+
+(* The list-based [defs]/[uses_with_pos] that shipped before the reusable
+   scan buffer, copied verbatim as an executable specification.  The
+   current implementations are views over [scan_defs]/[scan_uses], so
+   this differential pins the scan rewrite to the historical semantics
+   independently of the DAG layer (whose own yardstick, [Dag_legacy],
+   shares the new [Insn] and would mask a common regression). *)
+module Spec = struct
+  let reg_res acc = function
+    | Operand.Reg r when not (Reg.is_zero r) -> Resource.R r :: acc
+    | Operand.Reg _ | Operand.Imm _ | Operand.Mem _ | Operand.Target _ -> acc
+
+  let mem_res ~double m =
+    let second = { m with Mem_expr.offset = m.Mem_expr.offset + 4 } in
+    if double then [ Resource.Mem m; Resource.Mem second ] else [ Resource.Mem m ]
+
+  let mem_base_use acc = function
+    | { Mem_expr.base = Mem_expr.Breg r; _ } when not (Reg.is_zero r) ->
+        Resource.R r :: acc
+    | { Mem_expr.base = Mem_expr.Breg _ | Mem_expr.Bsym _; _ } -> acc
+
+  let split_last xs =
+    match List.rev xs with
+    | [] -> (None, [])
+    | last :: rest -> (Some last, List.rev rest)
+
+  let dest_resources ~double (t : Insn.t) =
+    match split_last t.operands with
+    | Some (Operand.Reg r), _ when not (Reg.is_zero r) ->
+        let base = [ Resource.R r ] in
+        if double then
+          match Reg.pair_partner r with
+          | Some r2 -> base @ [ Resource.R r2 ]
+          | None -> base
+        else base
+    | _ -> []
+
+  let source_operands (t : Insn.t) =
+    match split_last t.operands with _, srcs -> srcs
+
+  let defs (t : Insn.t) =
+    let open Opcode in
+    let cc = if sets_icc t.op then [ Resource.Icc ] else [] in
+    let fcc = if sets_fcc t.op then [ Resource.Fcc ] else [] in
+    let y = match t.op with Smul | Umul -> [ Resource.Y ] | _ -> [] in
+    match t.op with
+    | Cmp | Fcmps | Fcmpd -> cc @ fcc
+    | St | Stb | Sth | Stf | Std | Stdf ->
+        let double = is_doubleword t.op in
+        List.concat_map
+          (function
+            | Operand.Mem m -> mem_res ~double m
+            | Operand.Reg _ | Operand.Imm _ | Operand.Target _ -> [])
+          t.operands
+    | Call | Jmpl ->
+        [ Resource.R (Reg.int 8); Resource.R (Reg.int 9);
+          Resource.R (Reg.int 15); Resource.Icc; Resource.Fcc; Resource.Y;
+          Resource.Mem_all ]
+    | Ba | Bn | Be | Bne | Bg | Ble | Bge | Bl | Bgu | Bleu | Bcs | Bcc_
+    | Fba | Fbe | Fbne | Fbg | Fbl | Fbge | Fble | Ret | Nop ->
+        []
+    | Save | Restore -> dest_resources ~double:false t
+    | _ ->
+        let double = is_doubleword t.op in
+        dest_resources ~double t @ cc @ y
+
+  let uses_with_pos (t : Insn.t) =
+    let open Opcode in
+    let number xs = List.mapi (fun i r -> (r, i)) xs in
+    let icc = if reads_icc t.op then [ Resource.Icc ] else [] in
+    let fcc = if reads_fcc t.op then [ Resource.Fcc ] else [] in
+    let y = match t.op with Sdiv | Udiv -> [ Resource.Y ] | _ -> [] in
+    match t.op with
+    | Nop | Sethi | Ba | Bn | Fba | Save | Restore | Ret -> number (icc @ fcc)
+    | Be | Bne | Bg | Ble | Bge | Bl | Bgu | Bleu | Bcs | Bcc_
+    | Fbe | Fbne | Fbg | Fbl | Fbge | Fble ->
+        number (icc @ fcc)
+    | Call | Jmpl ->
+        number
+          [ Resource.R (Reg.int 8); Resource.R (Reg.int 9);
+            Resource.R (Reg.int 10); Resource.R (Reg.int 11);
+            Resource.R (Reg.int 12); Resource.R (Reg.int 13);
+            Resource.Mem_all ]
+    | Cmp | Fcmps | Fcmpd ->
+        number (List.rev (List.fold_left reg_res [] t.operands))
+    | St | Stb | Sth | Stf | Std | Stdf ->
+        let double = is_doubleword t.op in
+        let value =
+          List.concat_map
+            (function
+              | Operand.Reg r when not (Reg.is_zero r) ->
+                  let base = [ Resource.R r ] in
+                  if double then
+                    match Reg.pair_partner r with
+                    | Some r2 -> base @ [ Resource.R r2 ]
+                    | None -> base
+                  else base
+              | Operand.Reg _ | Operand.Imm _ | Operand.Mem _
+              | Operand.Target _ -> [])
+            t.operands
+        in
+        let bases =
+          List.concat_map
+            (function
+              | Operand.Mem m -> List.rev (mem_base_use [] m)
+              | Operand.Reg _ | Operand.Imm _ | Operand.Target _ -> [])
+            t.operands
+        in
+        number (value @ bases)
+    | Ld | Ldd | Ldub | Ldsb | Lduh | Ldsh | Ldf | Lddf ->
+        let double = is_doubleword t.op in
+        let from_mem =
+          List.concat_map
+            (function
+              | Operand.Mem m -> List.rev (mem_base_use [] m) @ mem_res ~double m
+              | Operand.Reg _ | Operand.Imm _ | Operand.Target _ -> [])
+            t.operands
+        in
+        number from_mem
+    | _ ->
+        let srcs = source_operands t in
+        let regs = List.rev (List.fold_left reg_res [] srcs) in
+        number (regs @ y)
+end
+
+let spec_asm_samples =
+  [ "add %o1, %o2, %o3"; "sub %g0, %o2, %g0"; "mov 5, %o1";
+    "cmp %o1, %o2"; "smul %o1, %o2, %o3"; "sdiv %o1, %o2, %o3";
+    "ld [%fp - 8], %o1"; "ldd [%fp - 8], %o0"; "lddf [%o2 + 4], %f2";
+    "st %o1, [%fp - 8]"; "std %o0, [%fp - 16]"; "stdf %f4, [glob + 8]";
+    "sethi 1024, %o1"; "be out"; "fba out"; "ba out"; "call f"; "ret";
+    "save %sp, -96, %sp"; "restore"; "nop"; "faddd %f0, %f2, %f4";
+    "fcmpd %f0, %f2"; "st %g0, [%g0 + 4]"; "ld [gv], %o5" ]
+
+let test_defs_uses_match_spec () =
+  let check_insn where i =
+    if Insn.defs i <> Spec.defs i then
+      Alcotest.failf "%s: defs diverge on: %s" where (Insn.to_string i);
+    if Insn.uses_with_pos i <> Spec.uses_with_pos i then
+      Alcotest.failf "%s: uses diverge on: %s" where (Insn.to_string i)
+  in
+  List.iter (fun s -> List.iter (check_insn s) (parse s)) spec_asm_samples;
+  for seed = 0 to 199 do
+    let b = random_block seed in
+    Array.iter (check_insn (Printf.sprintf "seed %d" seed)) b.Block.insns
+  done
+
 let suite =
   [ quick "reg names" test_reg_names;
     quick "reg round trip" test_reg_roundtrip;
@@ -254,4 +403,5 @@ let suite =
     quick "parse annul" test_parse_annul;
     quick "parse memory forms" test_parse_memory_forms;
     quick "parse errors" test_parse_errors;
-    quick "round trip program" test_roundtrip_program ]
+    quick "round trip program" test_roundtrip_program;
+    quick "defs/uses match list-based spec" test_defs_uses_match_spec ]

@@ -102,6 +102,112 @@ let test_bitset_elements () =
   List.iter (Bitset.set b) [ 9; 1; 64; 63 ];
   Alcotest.(check (list int)) "sorted elements" [ 1; 9; 63; 64 ] (Bitset.elements b)
 
+(* A negative index used to hit [1 lsl (i mod word_size)] with a negative
+   shift count and silently corrupt word 0; now every entry point raises. *)
+let test_bitset_negative_raises () =
+  let b = Bitset.create () in
+  let raises name f =
+    match f () with
+    | () -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument msg ->
+        check_bool (name ^ " names the operation") true (contains msg name)
+  in
+  raises "set" (fun () -> Bitset.set b (-1));
+  raises "clear" (fun () -> Bitset.clear b (-1));
+  raises "mem" (fun () -> ignore (Bitset.mem b (-1)));
+  check_bool "word 0 untouched" true (Bitset.is_empty b);
+  let m = Bitset.Matrix.create ~rows:2 ~cols:70 in
+  raises "set" (fun () -> Bitset.Matrix.set m 0 (-1));
+  raises "set" (fun () -> Bitset.Matrix.set m (-1) 0);
+  raises "clear" (fun () -> Bitset.Matrix.clear m 1 (-1));
+  raises "mem" (fun () -> ignore (Bitset.Matrix.mem m 0 (-1)));
+  check_int "matrix untouched" 0 (Bitset.Matrix.row_cardinal m 0)
+
+(* Word-boundary indices (63-bit words): bits 0, 62, 63 and the
+   capacity-growth edge behave like any interior bit. *)
+let test_bitset_word_boundaries () =
+  let edges = [ 0; 1; 61; 62; 63; 64; 125; 126; 127 ] in
+  List.iter
+    (fun i ->
+      let b = Bitset.create () in
+      Bitset.set b i;
+      check_bool "set is member" true (Bitset.mem b i);
+      check_int "only that bit" 1 (Bitset.cardinal b);
+      check_bool "neighbor clear" false (Bitset.mem b (i + 1));
+      if i > 0 then check_bool "lower neighbor clear" false (Bitset.mem b (i - 1));
+      Bitset.clear b i;
+      check_bool "cleared" false (Bitset.mem b i);
+      check_bool "empty again" true (Bitset.is_empty b))
+    edges;
+  (* clear/mem past the current capacity are total, not errors *)
+  let b = Bitset.make 4 in
+  Bitset.clear b 9999;
+  check_bool "mem past capacity" false (Bitset.mem b 9999)
+
+(* Random set/clear/mem sequence against a Hashtbl model, with indices
+   concentrated on word boundaries and the growth edge. *)
+let test_bitset_model_check () =
+  let rng = Prng.create 2024 in
+  let b = Bitset.create () in
+  let model = Hashtbl.create 64 in
+  for _ = 1 to 4000 do
+    let i =
+      match Prng.int rng 4 with
+      | 0 -> Prng.int rng 4                 (* word 0 *)
+      | 1 -> 61 + Prng.int rng 5            (* first word boundary *)
+      | 2 -> 124 + Prng.int rng 5           (* second word boundary *)
+      | _ -> Prng.int rng 400               (* anywhere, forcing growth *)
+    in
+    (match Prng.int rng 3 with
+    | 0 -> Bitset.set b i; Hashtbl.replace model i ()
+    | 1 -> Bitset.clear b i; Hashtbl.remove model i
+    | _ -> check_bool "model agrees" (Hashtbl.mem model i) (Bitset.mem b i));
+    check_int "cardinal agrees" (Hashtbl.length model) (Bitset.cardinal b)
+  done
+
+let test_matrix_edges () =
+  let m = Bitset.Matrix.create ~rows:3 ~cols:64 in
+  check_int "rows" 3 (Bitset.Matrix.rows m);
+  check_int "cols" 64 (Bitset.Matrix.cols m);
+  (* last valid column (straddles the 63-bit word boundary) *)
+  Bitset.Matrix.set m 1 63;
+  Bitset.Matrix.set m 1 62;
+  Bitset.Matrix.set m 1 0;
+  check_bool "bit 63" true (Bitset.Matrix.mem m 1 63);
+  check_bool "bit 62" true (Bitset.Matrix.mem m 1 62);
+  check_bool "bit 0" true (Bitset.Matrix.mem m 1 0);
+  check_int "row cardinal" 3 (Bitset.Matrix.row_cardinal m 1);
+  check_int "other rows untouched" 0 (Bitset.Matrix.row_cardinal m 0);
+  (* columns at or past [cols]: set raises, clear is a no-op, mem is false *)
+  (match Bitset.Matrix.set m 0 64 with
+  | () -> Alcotest.fail "set past cols: expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  Bitset.Matrix.clear m 0 64;
+  check_bool "mem past cols" false (Bitset.Matrix.mem m 0 64);
+  (* rows out of range raise *)
+  (match Bitset.Matrix.set m 3 0 with
+  | () -> Alcotest.fail "set past rows: expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  (* union/clear_row stay within their row *)
+  Bitset.Matrix.set m 0 5;
+  Bitset.Matrix.union_rows m ~into:0 ~from:1;
+  check_int "union merged" 4 (Bitset.Matrix.row_cardinal m 0);
+  check_int "source intact" 3 (Bitset.Matrix.row_cardinal m 1);
+  Bitset.Matrix.clear_row m 0;
+  check_int "cleared row" 0 (Bitset.Matrix.row_cardinal m 0);
+  check_int "neighbor row intact" 3 (Bitset.Matrix.row_cardinal m 1);
+  (* round trip through the growable set *)
+  let row = Bitset.Matrix.row_bitset m 1 in
+  Alcotest.(check (list int)) "row elements" [ 0; 62; 63 ] (Bitset.elements row);
+  Bitset.Matrix.blit_bitset_row m row 2;
+  check_bool "row_equal after blit" true (Bitset.Matrix.row_equal m 1 m 2);
+  (* degenerate shapes *)
+  let z = Bitset.Matrix.create ~rows:0 ~cols:0 in
+  check_int "zero rows" 0 (Bitset.Matrix.rows z);
+  let e = Bitset.Matrix.create ~rows:2 ~cols:0 in
+  Bitset.Matrix.clear_row e 0;
+  check_int "zero-col cardinal" 0 (Bitset.Matrix.row_cardinal e 1)
+
 let test_stats () =
   let s = Stats.of_ints [ 1; 2; 3; 4 ] in
   check_int "count" 4 (Stats.count s);
@@ -400,6 +506,10 @@ let suite =
     quick "bitset union" test_bitset_union;
     quick "bitset subset/equal" test_bitset_subset_equal;
     quick "bitset elements" test_bitset_elements;
+    quick "bitset negative raises" test_bitset_negative_raises;
+    quick "bitset word boundaries" test_bitset_word_boundaries;
+    quick "bitset model check" test_bitset_model_check;
+    quick "matrix edges" test_matrix_edges;
     quick "stats" test_stats;
     quick "stats merge" test_stats_merge;
     quick "pool empty" test_pool_empty;
