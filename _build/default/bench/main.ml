@@ -1741,6 +1741,254 @@ let dag_bench () =
       output_char oc '\n');
   Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* serve: daemon round-trip latency, cold (pipeline) vs warm (cache hit),
+   under N concurrent clients mixing Table-3 corpus and random traffic,
+   with a machine-readable BENCH_serve.json.  Target: warm p50 at least
+   10x below cold p50, with every warm response byte-identical to the
+   cold response that populated the cache. *)
+
+let serve_bench () =
+  heading "Scheduling as a service: daemon round trips, cold vs warm";
+  let schedtool =
+    match Sys.getenv_opt "DAGSCHED_SCHEDTOOL" with
+    | Some p -> p
+    | None ->
+        Filename.concat
+          (Filename.dirname Sys.executable_name)
+          (Filename.concat ".." (Filename.concat "bin" "schedtool.exe"))
+  in
+  if not (Sys.file_exists schedtool) then
+    Printf.printf
+      "schedtool binary not found at %s (set DAGSCHED_SCHEDTOOL); skipping\n"
+      schedtool
+  else begin
+    (* default concurrency scales with the host: extra clients on a
+       single-core box cannot overlap with the daemon, they only queue
+       behind each other and inflate round-trip tails (the daemon
+       services connections sequentially) *)
+    let clients =
+      match Sys.getenv_opt "DAGSCHED_BENCH_CLIENTS" with
+      | Some s -> (try max 1 (int_of_string s) with _ -> 4)
+      | None -> max 1 (min 4 (Pool.recommended () - 1))
+    in
+    let rounds = runs in
+    (* the request mix: a few Table-3 programs plus random generator
+       traffic, each rendered with the block labels `schedtool gen`
+       uses so the daemon re-parses the same block structure *)
+    let program_text blocks =
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun b ->
+          Buffer.add_string buf
+            (Printf.sprintf "B%d:\n%s" b.Block.id
+               (Parser.print_program (Block.to_list b))))
+        blocks;
+      Buffer.contents buf
+    in
+    let corpus_texts =
+      List.map
+        (fun (name, blocks) -> (name, program_text blocks))
+        (Profiles.corpus
+           [ Profiles.grep; Profiles.cccp; Profiles.linpack;
+             Profiles.tomcatv ])
+    in
+    let rng = Prng.create 0xbe5e7 in
+    let random_texts =
+      List.init 8 (fun i ->
+          let blocks =
+            List.init 32 (fun j ->
+                let size = Gen.sample_size rng ~avg:30.0 ~mx:120 ~tail_prob:0.1 in
+                Gen.block rng ~params:Gen.fp_loops ~id:j ~size ())
+          in
+          (Printf.sprintf "random%d" i, program_text blocks))
+    in
+    let texts = Array.of_list (corpus_texts @ random_texts) in
+    let payload_of text =
+      Stats.Json.to_string
+        (Serve.request_to_json
+           (Serve.Schedule
+              { text;
+                builder = Builder.Table_forward;
+                strategy = Disambiguate.Base_offset;
+                model = Latency.simple_risc }))
+    in
+    let payloads = Array.map (fun (_, t) -> payload_of t) texts in
+    Printf.printf
+      "(%d distinct programs — %d Table-3, %d random — over one daemon,\n\
+      \ cold pass then %d warm rounds from %d concurrent clients;\n\
+      \ DAGSCHED_BENCH_CLIENTS / DAGSCHED_BENCH_RUNS override)\n"
+      (Array.length texts) (List.length corpus_texts)
+      (List.length random_texts) rounds clients;
+    let dir = Filename.temp_file "dagsched_bench_serve" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o700;
+    let socket = Filename.concat dir "d.sock" in
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let pid =
+      Unix.create_process schedtool
+        [| schedtool; "serve"; "--socket"; socket; "-j"; "1" |]
+        Unix.stdin devnull devnull
+    in
+    Unix.close devnull;
+    (* readiness: ping until the daemon answers *)
+    let deadline = Clock.now () +. 10.0 in
+    let ping = {|{"op": "ping"}|} in
+    let rec await () =
+      match Serve.request_once ~socket ping with
+      | Ok _ -> ()
+      | Error _ when Clock.now () < deadline ->
+          Unix.sleepf 0.05;
+          await ()
+      | Error msg -> failwith ("serve daemon never came up: " ^ msg)
+    in
+    await ();
+    let request payload =
+      match Serve.request_once ~socket payload with
+      | Ok r -> r
+      | Error msg -> failwith ("serve request failed: " ^ msg)
+    in
+    let timed payload =
+      let t0 = Clock.now () in
+      let r = request payload in
+      (1e6 *. (Clock.now () -. t0), r)
+    in
+    (* cold pass: every program once, sequentially — all misses *)
+    let cold_responses = Array.make (Array.length texts) "" in
+    let cold_us =
+      Array.to_list
+        (Array.mapi
+           (fun i p ->
+             let us, r = timed p in
+             cold_responses.(i) <- r;
+             us)
+           payloads)
+    in
+    (* warm rounds: N concurrent clients, each walking the programs in
+       its own shuffled order — all hits, and every response must be
+       byte-identical to the cold one *)
+    let worker c =
+      let rng = Prng.create (0x5eed + c) in
+      let lats = ref [] and mismatches = ref 0 in
+      for _ = 1 to rounds do
+        let order = Array.init (Array.length payloads) Fun.id in
+        for i = Array.length order - 1 downto 1 do
+          let j = Prng.int rng (i + 1) in
+          let t = order.(i) in
+          order.(i) <- order.(j);
+          order.(j) <- t
+        done;
+        Array.iter
+          (fun i ->
+            let us, r = timed payloads.(i) in
+            lats := us :: !lats;
+            if not (String.equal r cold_responses.(i)) then incr mismatches)
+          order
+      done;
+      (!lats, !mismatches)
+    in
+    (* one client runs inline: spawning a lone worker domain only adds
+       cross-domain GC synchronization to every round trip *)
+    let results =
+      if clients = 1 then [ worker 0 ]
+      else
+        List.map Domain.join
+          (List.init clients (fun c -> Domain.spawn (fun () -> worker c)))
+    in
+    let warm_us = List.concat_map fst results in
+    let mismatches = List.fold_left (fun a (_, m) -> a + m) 0 results in
+    (* daemon-side counters, then drain it and check the exit code *)
+    let stats_response = request {|{"op": "stats"}|} in
+    let hits, misses =
+      match Stats.Json.of_string stats_response with
+      | Ok json -> (
+          match Stats.Json.member "cache" json with
+          | Some cache ->
+              let get k =
+                match Stats.Json.member k cache with
+                | Some (Stats.Json.Int n) -> n
+                | _ -> -1
+              in
+              (get "hits", get "misses")
+          | None -> (-1, -1))
+      | Error _ -> (-1, -1)
+    in
+    Unix.kill pid Sys.sigint;
+    let _, status = Unix.waitpid [] pid in
+    (if status <> Unix.WEXITED 130 then
+       Printf.printf "WARNING: daemon exit was not 130 after SIGINT\n");
+    let summarize us =
+      let a = Array.of_list us in
+      Array.sort compare a;
+      let n = Array.length a in
+      let pct p = a.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+      let mean = Array.fold_left ( +. ) 0.0 a /. float_of_int (max 1 n) in
+      (n, mean, pct 0.50, pct 0.95, pct 0.99)
+    in
+    let cn, cmean, cp50, cp95, cp99 = summarize cold_us in
+    let wn, wmean, wp50, wp95, wp99 = summarize warm_us in
+    let speedup = cp50 /. wp50 in
+    let hit_rate =
+      if hits + misses <= 0 then 0.0
+      else float_of_int hits /. float_of_int (hits + misses)
+    in
+    let t =
+      Table.create ~title:"serve round trips"
+        [ "phase"; "requests"; "mean us"; "p50 us"; "p95 us"; "p99 us" ]
+    in
+    let row name (n, mean, p50, p95, p99) =
+      Table.add_row t
+        [ name; string_of_int n; Printf.sprintf "%.0f" mean;
+          Printf.sprintf "%.0f" p50; Printf.sprintf "%.0f" p95;
+          Printf.sprintf "%.0f" p99 ]
+    in
+    row "cold (pipeline)" (cn, cmean, cp50, cp95, cp99);
+    row "warm (cache)" (wn, wmean, wp50, wp95, wp99);
+    Table.print t;
+    Printf.printf
+      "warm p50 %.1fx below cold p50 (target >= 10x); hit rate %.3f; %s\n"
+      speedup hit_rate
+      (if mismatches = 0 then "all warm responses byte-identical"
+       else Printf.sprintf "%d WARM RESPONSE MISMATCHES" mismatches);
+    let phase_json (n, mean, p50, p95, p99) =
+      Stats.Json.Obj
+        [ ("requests", Stats.Json.Int n);
+          ("mean_us", Stats.Json.Float mean);
+          ("p50_us", Stats.Json.Float p50);
+          ("p95_us", Stats.Json.Float p95);
+          ("p99_us", Stats.Json.Float p99) ]
+    in
+    let json =
+      Stats.Json.Obj
+        [ ("experiment", Stats.Json.String "serve");
+          ("programs", Stats.Json.Int (Array.length texts));
+          ("clients", Stats.Json.Int clients);
+          ("rounds", Stats.Json.Int rounds);
+          ("cold", phase_json (cn, cmean, cp50, cp95, cp99));
+          ("warm", phase_json (wn, wmean, wp50, wp95, wp99));
+          ("speedup_p50", Stats.Json.Float speedup);
+          ( "cache",
+            Stats.Json.Obj
+              [ ("hits", Stats.Json.Int hits);
+                ("misses", Stats.Json.Int misses);
+                ("hit_rate", Stats.Json.Float hit_rate) ] );
+          ("warm_identical", Stats.Json.Bool (mismatches = 0)) ]
+    in
+    let text = Stats.Json.to_string json in
+    (match Stats.Json.of_string text with
+    | Ok _ -> ()
+    | Error msg -> failwith ("BENCH_serve.json does not parse back: " ^ msg));
+    let path = "BENCH_serve.json" in
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc text;
+        output_char oc '\n');
+    Printf.printf "wrote %s\n" path;
+    (try
+       Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+       Sys.rmdir dir
+     with Sys_error _ -> ())
+  end
+
 let experiments =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("table4", table4); ("table5", table5); ("figure1", figure1);
@@ -1753,7 +2001,7 @@ let experiments =
     ("structure", structure); ("pressure", pressure);
     ("parallel", parallel); ("shard", shard_bench); ("fleet", fleet_bench);
     ("obs", obs_bench); ("pool", pool_bench); ("dag", dag_bench);
-    ("micro", micro) ]
+    ("serve", serve_bench); ("micro", micro) ]
 
 let () =
   let requested =

@@ -1119,6 +1119,149 @@ let fleet_cmd =
       $ files)
 
 (* ------------------------------------------------------------------ *)
+(* serve: the scheduling daemon, and its client *)
+
+let socket_conv =
+  let parse s =
+    if s = "" then Error (`Msg "socket path must not be empty") else Ok s
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some socket_conv) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run socket jobs chunk cache_entries cache_bytes max_frame timeout
+      backlog trace metrics resource log log_level progress =
+    obs_enable ~trace ~metrics ~resource ?log ?log_level ();
+    if progress then Log.set_heartbeat ~echo:true ~interval_s:0.5 ();
+    let d = Serve.default_options in
+    let options =
+      { Serve.domains = (if jobs <= 0 then 1 else jobs);
+        chunk;
+        max_entries = (if cache_entries <= 0 then d.Serve.max_entries else cache_entries);
+        max_bytes = (if cache_bytes <= 0 then d.Serve.max_bytes else cache_bytes);
+        max_frame = (if max_frame <= 0 then d.Serve.max_frame else max_frame);
+        read_timeout_s = (if timeout <= 0.0 then d.Serve.read_timeout_s else timeout);
+        backlog = (if backlog <= 0 then d.Serve.backlog else backlog) }
+    in
+    let code = Serve.run ~options ~socket () in
+    obs_finish ~trace ~metrics ~resource ();
+    exit code
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains in the resident pool (default 1; part of \
+                the report, so also part of the response bytes).")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 0
+      & info [ "chunk" ] ~docv:"C"
+          ~doc:"Blocks per pool task (0 or absent: the built-in default).")
+  in
+  let cache_entries =
+    Arg.(
+      value & opt int 0
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Result-cache entry bound (0 or absent: 4096).")
+  in
+  let cache_bytes =
+    Arg.(
+      value & opt int 0
+      & info [ "cache-bytes" ] ~docv:"B"
+          ~doc:"Result-cache byte bound (0 or absent: 256 MiB).")
+  in
+  let max_frame =
+    Arg.(
+      value & opt int 0
+      & info [ "max-frame" ] ~docv:"B"
+          ~doc:"Largest accepted request frame in bytes (0 or absent: 16 \
+                MiB); an oversized frame is answered with a typed error.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 0.0
+      & info [ "timeout" ] ~docv:"S"
+          ~doc:"Per-connection receive timeout in seconds (0 or absent: 10).")
+  in
+  let backlog =
+    Arg.(
+      value & opt int 0
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"listen(2) backlog — how many clients may queue (0 or \
+                absent: 128).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduling daemon: accept length-prefixed JSON schedule \
+          requests on a Unix socket, answer from a content-addressed LRU \
+          result cache or by running the batch pipeline on a resident \
+          domain pool.  One request per connection, serviced sequentially; \
+          a warm response is byte-identical to the cold response that \
+          populated it.  SIGINT drains (in-flight request finishes) and \
+          exits 130.")
+    Term.(
+      const run $ socket_arg $ jobs $ chunk $ cache_entries $ cache_bytes
+      $ max_frame $ timeout $ backlog $ trace_arg $ metrics_arg $ resource_arg
+      $ log_arg $ log_level_arg $ progress_arg)
+
+let client_cmd =
+  let run socket ping stats alg model strategy file =
+    let request =
+      if ping then Serve.Ping
+      else if stats then Serve.Stats
+      else
+        Serve.Schedule
+          { text = read_input file; builder = alg; strategy; model }
+    in
+    let payload = Json.to_string (Serve.request_to_json request) in
+    match Serve.request_once ~socket payload with
+    | Error msg ->
+        Printf.eprintf "client error: %s\n" msg;
+        exit 125
+    | Ok response -> (
+        print_endline response;
+        (* a typed error answer is a request failure: exit 1 so scripts
+           can tell "scheduled" from "daemon said no" *)
+        match Json.of_string response with
+        | Ok json
+          when Json.member "status" json = Some (Json.String "error") ->
+            exit 1
+        | _ -> ())
+  in
+  let ping =
+    Arg.(
+      value & flag
+      & info [ "ping" ] ~doc:"Send a liveness ping instead of a schedule \
+                              request.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Ask the daemon for its request and cache counters \
+                (hits, misses, evictions, bytes) instead of scheduling.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running $(b,schedtool serve) daemon and \
+          print the JSON response: a schedule request built from an \
+          assembly file (default), $(b,--ping), or $(b,--stats).  Exits \
+          125 when the daemon is unreachable, 1 when it answers a typed \
+          error.")
+    Term.(
+      const run $ socket_arg $ ping $ stats $ builder_arg $ model_arg
+      $ strategy_arg $ file_arg)
+
+(* ------------------------------------------------------------------ *)
 (* dot *)
 
 let dot_cmd =
@@ -1177,4 +1320,4 @@ let () =
        (Cmd.group info
           [ gen_cmd; stats_cmd; build_cmd; schedule_cmd; compare_cmd;
             optimal_cmd; chain_cmd; batch_cmd; shard_cmd; worker_cmd;
-            fleet_cmd; dot_cmd; gantt_cmd ]))
+            fleet_cmd; serve_cmd; client_cmd; dot_cmd; gantt_cmd ]))

@@ -52,6 +52,7 @@ module Clock = Ds_obs.Clock
 module Trace = Ds_obs.Trace
 module Metrics = Ds_obs.Metrics
 module Log = Ds_obs.Log
+module Frame = Ds_obs.Frame
 module Obs_resource = Ds_obs.Resource
 module Obs = Ds_obs.Obs
 
@@ -113,10 +114,13 @@ module Reglimit = Ds_sched.Reglimit
 module Gantt = Ds_sched.Gantt
 module Emit = Ds_sched.Emit
 
-(* parallel batch driver + corpus sharding + multi-process fleet *)
+(* parallel batch driver + corpus sharding + multi-process fleet +
+   scheduling-as-a-service daemon with its result cache *)
 module Batch = Ds_driver.Batch
 module Shard = Ds_driver.Shard
 module Fleet = Ds_driver.Fleet
+module Cache = Ds_driver.Cache
+module Serve = Ds_driver.Serve
 
 (* workloads *)
 module Gen = Ds_workload.Gen

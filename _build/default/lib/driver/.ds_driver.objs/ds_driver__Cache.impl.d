@@ -1,0 +1,1 @@
+lib/driver/cache.ml: Char Ds_obs Hashtbl Int64 List Result String

@@ -1,0 +1,1 @@
+lib/driver/cache.mli:

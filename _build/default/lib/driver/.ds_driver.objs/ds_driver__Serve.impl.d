@@ -1,0 +1,1 @@
+lib/driver/serve.ml: Array Atomic Batch Cache Ds_cfg Ds_dag Ds_isa Ds_machine Ds_obs Ds_util Fun List Option Printexc Printf Result String Sys Unix

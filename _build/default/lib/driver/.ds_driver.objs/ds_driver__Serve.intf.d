@@ -1,0 +1,1 @@
+lib/driver/serve.mli: Cache Ds_dag Ds_machine Ds_obs

@@ -31,6 +31,8 @@ type result = {
   block_id : int;
   insns : int;
   dag_arcs : int;
+  fingerprint : int64;          (* Ds_dag.Dag.fingerprint of the DAG —
+                                   the serve cache's structural key *)
   order : int array;            (* node ids in scheduled order *)
   annot : Ds_heur.Annot.t;      (* the static heuristic annotations *)
   original_cycles : int;        (* simulated cycles, original order *)
@@ -42,7 +44,8 @@ type result = {
 (** The deterministic part of a result (drops [time_s]) — what the
     differential tests compare. *)
 val strip_timing :
-  result -> int * int * int * int array * Ds_heur.Annot.t * int * int * int
+  result ->
+  int * int * int * int64 * int array * Ds_heur.Annot.t * int * int * int
 
 (** Raised (from the submitting domain) when [verify] finds an invalid
     schedule; carries the block id and the violation. *)

@@ -1,0 +1,442 @@
+(** Scheduling-as-a-service daemon with the content-addressed result
+    cache in front of the batch pipeline.  See serve.mli for the
+    contract and docs/FORMAT.md for the wire schemas. *)
+
+module Json = Ds_obs.Json
+module Frame = Ds_obs.Frame
+
+let fail_env = "DAGSCHED_SERVE_FAIL"
+
+(* ------------------------------------------------------------------ *)
+(* requests *)
+
+type request =
+  | Ping
+  | Stats
+  | Schedule of {
+      text : string;
+      builder : Ds_dag.Builder.algorithm;
+      strategy : Ds_dag.Disambiguate.t;
+      model : Ds_machine.Latency.t;
+    }
+
+(* the CLI defaults (schedtool build/batch): table-forward,
+   base-offset, simple-risc *)
+let default_builder = Ds_dag.Builder.Table_forward
+let default_strategy = Ds_dag.Disambiguate.Base_offset
+let default_model = Ds_machine.Latency.simple_risc
+
+let opt_field ~path name decode json =
+  match Json.member name json with
+  | None -> Ok None
+  | Some v -> Result.map Option.some (decode ~path:(path @ [ name ]) v)
+
+let decode_name ~what of_string ~path v =
+  match v with
+  | Json.String s -> (
+      match of_string s with
+      | Some x -> Ok x
+      | None ->
+          Json.decode_error ~path (Printf.sprintf "unknown %s %S" what s))
+  | other ->
+      Json.decode_error ~path
+        (Printf.sprintf "expected a %s name, found %s" what
+           (Json.type_name other))
+
+let request_of_json ?(path = []) json =
+  let ( let* ) = Result.bind in
+  match json with
+  | Json.Obj _ -> (
+      let* op =
+        match Json.member "op" json with
+        | None -> Ok "schedule"
+        | Some (Json.String s) -> Ok s
+        | Some other ->
+            Json.decode_error ~path:(path @ [ "op" ])
+              (Printf.sprintf "expected a string, found %s"
+                 (Json.type_name other))
+      in
+      match op with
+      | "ping" -> Ok Ping
+      | "stats" -> Ok Stats
+      | "schedule" ->
+          let* text = Json.get_string ~path "block" json in
+          let* builder =
+            opt_field ~path "builder"
+              (decode_name ~what:"builder" Ds_dag.Builder.of_string)
+              json
+          in
+          let* strategy =
+            opt_field ~path "strategy"
+              (decode_name ~what:"strategy" Ds_dag.Disambiguate.of_string)
+              json
+          in
+          let* model =
+            opt_field ~path "model"
+              (decode_name ~what:"model" Ds_machine.Latency.by_name)
+              json
+          in
+          Ok
+            (Schedule
+               { text;
+                 builder = Option.value builder ~default:default_builder;
+                 strategy = Option.value strategy ~default:default_strategy;
+                 model = Option.value model ~default:default_model })
+      | op ->
+          Json.decode_error ~path:(path @ [ "op" ])
+            (Printf.sprintf "unknown op %S" op))
+  | other ->
+      Json.decode_error ~path
+        (Printf.sprintf "expected a request object, found %s"
+           (Json.type_name other))
+
+let request_to_json = function
+  | Ping -> Json.Obj [ ("op", Json.String "ping") ]
+  | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Schedule { text; builder; strategy; model } ->
+      Json.Obj
+        [ ("op", Json.String "schedule");
+          ("block", Json.String text);
+          ("builder", Json.String (Ds_dag.Builder.to_string builder));
+          ("strategy", Json.String (Ds_dag.Disambiguate.to_string strategy));
+          ("model", Json.String model.Ds_machine.Latency.name) ]
+
+(* ------------------------------------------------------------------ *)
+(* responses *)
+
+type error_kind =
+  | Parse
+  | Bad_request
+  | Block_parse
+  | Oversized
+  | Malformed_frame
+  | Internal
+
+let error_kind_to_string = function
+  | Parse -> "parse"
+  | Bad_request -> "bad-request"
+  | Block_parse -> "block-parse"
+  | Oversized -> "oversized"
+  | Malformed_frame -> "malformed-frame"
+  | Internal -> "internal"
+
+let error_response kind message =
+  Json.to_string
+    (Json.Obj
+       [ ("status", Json.String "error");
+         ( "error",
+           Json.Obj
+             [ ("kind", Json.String (error_kind_to_string kind));
+               ("message", Json.String message) ] ) ])
+
+let fingerprint_hex fp = Printf.sprintf "%016Lx" fp
+
+let result_to_json (r : Batch.result) =
+  Json.Obj
+    [ ("block_id", Json.Int r.Batch.block_id);
+      ("insns", Json.Int r.Batch.insns);
+      ("arcs", Json.Int r.Batch.dag_arcs);
+      ("fingerprint", Json.String (fingerprint_hex r.Batch.fingerprint));
+      ( "order",
+        Json.List
+          (Array.to_list (Array.map (fun i -> Json.Int i) r.Batch.order)) );
+      ("original_cycles", Json.Int r.Batch.original_cycles);
+      ("cycles", Json.Int r.Batch.cycles);
+      ("stalls", Json.Int r.Batch.stalls) ]
+
+(* ------------------------------------------------------------------ *)
+(* daemon state *)
+
+type t = {
+  pool : Ds_util.Pool.t;
+  domains : int;
+  chunk : int;
+  cache : Cache.t;
+  mutable served : int;
+  mutable fail_budget : int;  (* DAGSCHED_SERVE_FAIL=raise:n countdown *)
+}
+
+let parse_fail_budget () =
+  match Sys.getenv_opt fail_env with
+  | None | Some "" -> 0
+  | Some spec -> (
+      match String.split_on_char ':' spec with
+      | [ "raise"; n ] -> (
+          match int_of_string_opt n with Some n -> max 0 n | None -> 0)
+      | _ -> 0)
+
+let create ?(domains = 1) ?(chunk = 0) ?max_entries ?max_bytes () =
+  let domains = max 1 domains in
+  { pool = Ds_util.Pool.create ~domains ();
+    domains;
+    chunk = (if chunk <= 0 then Ds_util.Pool.default_chunk else chunk);
+    cache = Cache.create ?max_entries ?max_bytes ();
+    served = 0;
+    fail_budget = parse_fail_budget () }
+
+let destroy t = Ds_util.Pool.shutdown t.pool
+let cache t = t.cache
+let served t = t.served
+
+(* ------------------------------------------------------------------ *)
+(* request handling *)
+
+let stats_response t =
+  let s = Cache.stats t.cache in
+  Json.to_string
+    (Json.Obj
+       [ ("status", Json.String "ok");
+         ("op", Json.String "stats");
+         ("requests", Json.Int t.served);
+         ( "cache",
+           Json.Obj
+             [ ("entries", Json.Int s.Cache.entries);
+               ("bytes", Json.Int s.Cache.bytes);
+               ("hits", Json.Int s.Cache.hits);
+               ("misses", Json.Int s.Cache.misses);
+               ("evictions", Json.Int s.Cache.evictions);
+               ("rejects", Json.Int s.Cache.rejects) ] ) ])
+
+let pong = Json.to_string
+    (Json.Obj [ ("status", Json.String "ok"); ("op", Json.String "pong") ])
+
+(* the cold path: full pipeline on the resident pool, then encode.  The
+   response text is entirely deterministic for (text, builder, strategy,
+   model, domains) — timing fields are zeroed — so it IS the cache
+   payload, and a warm response is byte-identical by construction. *)
+let schedule_cold t ~text ~builder ~strategy ~model =
+  if t.fail_budget > 0 then begin
+    t.fail_budget <- t.fail_budget - 1;
+    failwith (fail_env ^ ": injected pipeline failure")
+  end;
+  match Ds_isa.Parser.parse_program_result text with
+  | Error msg -> Error (error_response Block_parse msg)
+  | Ok insns ->
+      let blocks = Ds_cfg.Builder.partition insns in
+      let config =
+        { Batch.section6 with
+          Batch.algorithm = builder;
+          opts =
+            { Ds_dag.Opts.default with
+              Ds_dag.Opts.model; strategy } }
+      in
+      let results = Batch.run_on ~pool:t.pool ~chunk:t.chunk config blocks in
+      let fingerprint =
+        List.fold_left
+          (fun h (r : Batch.result) ->
+            Cache.hash_fold_int64 h r.Batch.fingerprint)
+          Cache.hash_seed results
+      in
+      let report =
+        { (Batch.report ~domains:t.domains ~wall_s:0.0 results) with
+          Batch.block_s_mean = 0.0;
+          block_s_max = 0.0 }
+      in
+      let json =
+        Json.Obj
+          [ ("status", Json.String "ok");
+            ("op", Json.String "schedule");
+            ("fingerprint", Json.String (fingerprint_hex fingerprint));
+            ("report", Batch.report_to_json report);
+            ("results", Json.List (List.map result_to_json results)) ]
+      in
+      Ok (fingerprint, Json.to_string json)
+
+let m_requests = Ds_obs.Metrics.counter "serve.requests"
+
+let handle_request t json =
+  match request_of_json json with
+  | Error e -> error_response Bad_request (Json.error_to_string e)
+  | Ok Ping -> pong
+  | Ok Stats -> stats_response t
+  | Ok (Schedule { text; builder; strategy; model }) -> (
+      let config =
+        { Cache.builder = Ds_dag.Builder.to_string builder;
+          strategy = Ds_dag.Disambiguate.to_string strategy;
+          model = model.Ds_machine.Latency.name }
+      in
+      match Cache.find t.cache ~text config with
+      | Some hit -> hit.Cache.payload
+      | None -> (
+          match schedule_cold t ~text ~builder ~strategy ~model with
+          | Error resp -> resp
+          | Ok (fingerprint, payload) ->
+              Cache.put t.cache ~text ~fingerprint config ~payload;
+              payload))
+
+let handle_text t payload =
+  let response =
+    match Json.of_string payload with
+    | Error msg -> error_response Parse msg
+    | Ok json -> (
+        try handle_request t json
+        with e -> error_response Internal (Printexc.to_string e))
+  in
+  t.served <- t.served + 1;
+  Ds_obs.Metrics.incr m_requests;
+  response
+
+(* ------------------------------------------------------------------ *)
+(* the daemon *)
+
+type options = {
+  domains : int;
+  chunk : int;
+  max_entries : int;
+  max_bytes : int;
+  max_frame : int;
+  read_timeout_s : float;
+  backlog : int;
+}
+
+let default_options =
+  { domains = 1;
+    chunk = 0;
+    max_entries = 4096;
+    max_bytes = 256 * 1024 * 1024;
+    max_frame = Frame.default_max_bytes;
+    read_timeout_s = 10.0;
+    backlog = 128 }
+
+let log_serve ?(fields = []) level msg =
+  Ds_obs.Log.log level ~scope:"serve" ~fields msg
+
+(* one connection: one framed request, one framed response.  All frame
+   damage answers a typed error when the peer can still hear it; the
+   daemon itself never dies for a connection's sake. *)
+let handle_connection t ~max_frame fd =
+  let respond text =
+    try Frame.write fd text
+    with Unix.Unix_error _ ->
+      (* peer vanished between request and response; nothing to do *)
+      log_serve Ds_obs.Log.Warn "client gone before response"
+  in
+  let reader = Frame.reader fd in
+  match Frame.read ~max_bytes:max_frame reader with
+  | Ok payload ->
+      let response =
+        Ds_obs.Trace.with_span ~cat:"serve"
+          ~args:[ ("bytes", Json.Int (String.length payload)) ]
+          "request"
+          (fun () -> handle_text t payload)
+      in
+      respond response
+  | Error Frame.Closed ->
+      (* disconnect before/inside the request frame: log, move on *)
+      log_serve Ds_obs.Log.Warn "client disconnected mid-request"
+  | Error Frame.Timeout ->
+      respond (error_response Malformed_frame "request read timed out")
+  | Error (Frame.Oversized n) ->
+      respond
+        (error_response Oversized
+           (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" n
+              max_frame))
+  | Error (Frame.Malformed msg) ->
+      respond (error_response Malformed_frame msg)
+
+let run ?(options = default_options) ~socket () =
+  let draining = Atomic.make false in
+  match
+    let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       if Sys.file_exists socket then Unix.unlink socket;
+       Unix.bind lfd (Unix.ADDR_UNIX socket);
+       Unix.listen lfd (max 1 options.backlog)
+     with e ->
+       (try Unix.close lfd with Unix.Unix_error _ -> ());
+       raise e);
+    lfd
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "serve: cannot bind %s: %s\n%!" socket
+        (Unix.error_message err);
+      125
+  | exception Sys_error msg ->
+      Printf.eprintf "serve: cannot bind %s: %s\n%!" socket msg;
+      125
+  | lfd ->
+      let state =
+        create ~domains:options.domains ~chunk:options.chunk
+          ~max_entries:options.max_entries ~max_bytes:options.max_bytes ()
+      in
+      let old_sigint =
+        match
+          Sys.signal Sys.sigint
+            (Sys.Signal_handle (fun _ -> Atomic.set draining true))
+        with
+        | behavior -> Some behavior
+        | exception (Invalid_argument _ | Sys_error _) -> None
+      in
+      let cleanup () =
+        (match old_sigint with
+        | Some b -> ( try Sys.set_signal Sys.sigint b with Sys_error _ -> ())
+        | None -> ());
+        (try Unix.close lfd with Unix.Unix_error _ -> ());
+        (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ());
+        destroy state
+      in
+      Fun.protect ~finally:cleanup @@ fun () ->
+      log_serve Ds_obs.Log.Info
+        ~fields:
+          [ ("socket", Json.String socket);
+            ("domains", Json.Int options.domains) ]
+        "listening";
+      Ds_obs.Log.heartbeat ~force:true ~phase:"listening" ~done_:0 ~total:0 ();
+      while not (Atomic.get draining) do
+        match Unix.select [ lfd ] [] [] 0.25 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | [], _, _ ->
+            (* idle tick: liveness heartbeat (rate-limited) *)
+            Ds_obs.Log.heartbeat ~phase:"idle" ~done_:state.served
+              ~total:state.served ()
+        | _ :: _, _, _ -> (
+            match Unix.accept lfd with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception
+                Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                ()
+            | fd, _ ->
+                Fun.protect
+                  ~finally:(fun () ->
+                    try Unix.close fd with Unix.Unix_error _ -> ())
+                  (fun () ->
+                    (try
+                       Unix.setsockopt_float fd Unix.SO_RCVTIMEO
+                         options.read_timeout_s
+                     with Unix.Unix_error _ | Invalid_argument _ -> ());
+                    handle_connection state ~max_frame:options.max_frame fd);
+                Ds_obs.Log.heartbeat ~phase:"serve" ~done_:state.served
+                  ~total:state.served ())
+      done;
+      log_serve Ds_obs.Log.Info
+        ~fields:[ ("served", Json.Int state.served) ]
+        "drained";
+      Ds_obs.Log.heartbeat ~force:true ~phase:"drained" ~done_:state.served
+        ~total:state.served ();
+      130
+
+(* ------------------------------------------------------------------ *)
+(* a minimal blocking client, shared by `schedtool client`, the bench
+   load generator and the protocol tests *)
+
+let request_once ?(max_frame = Frame.default_max_bytes) ~socket payload =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Unix.error_message err)
+  | fd -> (
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | exception Unix.Unix_error (err, _, _) ->
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" socket
+               (Unix.error_message err))
+      | () -> (
+          match Frame.write fd payload with
+          | exception Unix.Unix_error (err, _, _) ->
+              Error ("write failed: " ^ Unix.error_message err)
+          | () -> (
+              match Frame.read ~max_bytes:max_frame (Frame.reader fd) with
+              | Ok response -> Ok response
+              | Error e -> Error (Frame.error_to_string e))))

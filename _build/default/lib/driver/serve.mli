@@ -1,0 +1,140 @@
+(** Scheduling as a service: a resident daemon on a Unix socket, with
+    the content-addressed {!Cache} in front of the batch pipeline.
+
+    {b Protocol.}  One request per connection: the client connects,
+    sends one length-prefixed JSON frame ({!Ds_obs.Frame}), reads one
+    response frame, and the connection closes.  Connections are
+    serviced sequentially — a request's parallelism lives inside it, on
+    the daemon's resident domain pool ({!Batch.run_on} reuse) — so N
+    concurrent clients queue on the listen backlog and every response
+    is deterministic.  Schemas are documented in docs/FORMAT.md
+    ("serve protocol").
+
+    Requests: [{"op": "ping"}], [{"op": "stats"}], or a schedule
+    request [{"op": "schedule", "block": <asm text>, "builder": ...,
+    "strategy": ..., "model": ...}] ([op] defaults to ["schedule"];
+    builder/strategy/model default to the CLI defaults).  A schedule
+    response carries the request's DAG fingerprint, the timing-free
+    batch report and the per-block schedules; the {e entire} response
+    text is what the cache stores, so a warm response is byte-identical
+    to the cold response that populated it (pinned by the differential
+    suite).  Every failure — unparseable JSON, bad fields, unparseable
+    assembly, an exception out of the pipeline (including the
+    [DAGSCHED_SERVE_FAIL] injection knob) — answers a typed JSON error
+    and leaves the daemon alive; only frame-level damage (malformed or
+    oversized header, peer death) additionally drops that connection.
+
+    {b Drain.}  SIGINT sets a flag: the in-flight request finishes and
+    its response is written, the listener closes, the socket file is
+    unlinked, and {!run} returns [130] for the CLI to [exit] with —
+    the same discipline as the fleet's Ctrl-C path. *)
+
+(** {1 Crash injection} *)
+
+(** [DAGSCHED_SERVE_FAIL=raise:n] makes the first [n] schedule-request
+    pipelines raise — the daemon must answer a typed [internal] error
+    and keep serving (regression-tested like the fleet's
+    [DAGSCHED_WORKER_FAIL]). *)
+val fail_env : string
+
+(** {1 Requests and responses (the codec is exposed for tests)} *)
+
+type request =
+  | Ping
+  | Stats
+  | Schedule of {
+      text : string;
+      builder : Ds_dag.Builder.algorithm;
+      strategy : Ds_dag.Disambiguate.t;
+      model : Ds_machine.Latency.t;
+    }
+
+(** Total over arbitrary JSON; typed path errors name the offending
+    field (unknown [op], unknown builder/strategy/model, missing
+    [block], wrong types). *)
+val request_of_json :
+  ?path:string list ->
+  Ds_obs.Json.t ->
+  (request, Ds_obs.Json.error) result
+
+val request_to_json : request -> Ds_obs.Json.t
+
+(** Error kinds a response can carry:
+    ["parse"] (request JSON does not parse),
+    ["bad-request"] (request shape/fields),
+    ["block-parse"] (assembly text does not parse),
+    ["oversized"] / ["malformed-frame"] (frame layer, connection drops),
+    ["internal"] (pipeline exception; the daemon survives). *)
+type error_kind =
+  | Parse
+  | Bad_request
+  | Block_parse
+  | Oversized
+  | Malformed_frame
+  | Internal
+
+val error_kind_to_string : error_kind -> string
+
+(** [{"status": "error", "error": {"kind": ..., "message": ...}}] as
+    text, framed and sent as-is. *)
+val error_response : error_kind -> string -> string
+
+(** {1 Daemon state} *)
+
+type t
+
+(** [create ~domains ~chunk ~max_entries ~max_bytes ()] builds the
+    resident state: the domain pool (shared by every request) and the
+    result cache.  Defaults: 1 domain, default chunk, cache defaults. *)
+val create :
+  ?domains:int ->
+  ?chunk:int ->
+  ?max_entries:int ->
+  ?max_bytes:int ->
+  unit ->
+  t
+
+(** Shut the resident pool down (idempotent). *)
+val destroy : t -> unit
+
+val cache : t -> Cache.t
+
+(** Requests served so far (any op, errors included). *)
+val served : t -> int
+
+(** [handle_text t payload] is the full request->response path minus
+    the wire: parse, cache lookup, pipeline on miss, encode, cache
+    fill.  Never raises.  This is what the daemon runs per frame and
+    what the differential tests call in-process. *)
+val handle_text : t -> string -> string
+
+(** {1 The daemon} *)
+
+type options = {
+  domains : int;          (** pool size (determinism: part of reports) *)
+  chunk : int;            (** blocks per pool task; 0 = default *)
+  max_entries : int;      (** cache entry bound *)
+  max_bytes : int;        (** cache byte bound *)
+  max_frame : int;        (** request frame cap, bytes *)
+  read_timeout_s : float; (** per-connection receive timeout *)
+  backlog : int;          (** listen(2) backlog — queued clients *)
+}
+
+val default_options : options
+
+(** [run ~options ~socket ()] binds [socket] (unlinking a stale file
+    first), then serves until SIGINT, then drains and returns the
+    process exit code (130 after a drain; 125 if the socket cannot be
+    bound, with the reason on stderr).  Installs a SIGINT handler for
+    its lifetime and restores the previous one on return. *)
+val run : ?options:options -> socket:string -> unit -> int
+
+(** {1 Client} *)
+
+(** [request_once ~socket payload] performs one whole protocol exchange
+    — connect, send one frame, read one frame, close — and returns the
+    response text.  [Error] carries a human-readable reason (no daemon,
+    write failure, frame damage).  This is [schedtool client], the
+    bench load generator and the over-the-wire tests. *)
+val request_once :
+  ?max_frame:int -> socket:string -> string -> (string, string) result

@@ -1,0 +1,1 @@
+lib/obs/frame.ml: Bytes Printf String Unix

@@ -1,0 +1,1 @@
+lib/obs/frame.mli: Unix

@@ -1,0 +1,1 @@
+test/test_cache_props.ml: Alcotest Array Cache Char Dagsched Int64 List Option Printf Prng String Sys

@@ -1,0 +1,1 @@
+test/test_serve_proto.ml: Alcotest Array Batch Block Buffer Builder Cache Cfg_builder Dagsched Disambiguate Format Frame Fun Gen Json Latency List Opts Parser Printf Prng Serve String Unix

@@ -316,4 +316,60 @@ grep -q 'progress: worker ' "$TMP/fo.err" \
 "$TOOL" batch --log /nonexistent-dir/x.jsonl "$TMP/grep.s" 2>/dev/null && rc=0 || rc=$?
 [ "$rc" -eq 125 ] || fail "batch --log unwritable: exit $rc, want 125"
 
+# serve/client: the scheduling daemon over a Unix socket.  Flag
+# validation first — an empty socket is a CLI error (124) before any
+# work runs, an unbindable one an I/O error (125)
+"$TOOL" serve --socket "" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" -eq 124 ] || fail "serve --socket '': exit $rc, want 124"
+"$TOOL" serve --socket /nonexistent-dir/d.sock 2>/dev/null && rc=0 || rc=$?
+[ "$rc" -eq 125 ] || fail "serve --socket unbindable: exit $rc, want 125"
+"$TOOL" client --socket "" --ping 2>/dev/null && rc=0 || rc=$?
+[ "$rc" -eq 124 ] || fail "client --socket '': exit $rc, want 124"
+"$TOOL" client --socket "$TMP/no-daemon.sock" --ping 2>/dev/null && rc=0 || rc=$?
+[ "$rc" -eq 125 ] || fail "client without daemon: exit $rc, want 125"
+
+# smoke: daemon up, ping answered, schedule served
+SOCK="$TMP/serve.sock"
+"$TOOL" serve --socket "$SOCK" --metrics 2> "$TMP/serve.err" &
+SRV=$!
+for _ in $(seq 1 100); do
+  "$TOOL" client --socket "$SOCK" --ping >/dev/null 2>&1 && break
+  sleep 0.05
+done
+"$TOOL" client --socket "$SOCK" --ping | grep -q '"op": "pong"' \
+  || fail "serve: no pong"
+
+# the result cache: a repeated request is a hit and the response bytes
+# are identical to the cold ones (nothing in the reply betrays the
+# cache), and the stats op exposes the counters
+"$TOOL" client --socket "$SOCK" "$TMP/linpack.s" > "$TMP/cold.json" \
+  || fail "client schedule failed"
+grep -q '"status": "ok"' "$TMP/cold.json" || fail "client: no ok status"
+grep -q '"fingerprint": ' "$TMP/cold.json" || fail "client: no fingerprint"
+"$TOOL" client --socket "$SOCK" "$TMP/linpack.s" > "$TMP/warm.json" \
+  || fail "warm client schedule failed"
+cmp -s "$TMP/cold.json" "$TMP/warm.json" || fail "warm response != cold response"
+"$TOOL" client --socket "$SOCK" --stats > "$TMP/stats.json" \
+  || fail "client --stats failed"
+grep -q '"hits": 1' "$TMP/stats.json" || fail "stats: wrong hit count"
+grep -q '"misses": 1' "$TMP/stats.json" || fail "stats: wrong miss count"
+
+# a typed error response is exit 1 (distinct from transport's 125)
+printf 'frobnicate %%o1\n' > "$TMP/bad.s"
+"$TOOL" client --socket "$SOCK" "$TMP/bad.s" > "$TMP/err.json" 2>/dev/null \
+  && rc=0 || rc=$?
+[ "$rc" -eq 1 ] || fail "client on bad asm: exit $rc, want 1"
+grep -q '"kind": "block-parse"' "$TMP/err.json" \
+  || fail "client error: wrong kind"
+
+# SIGINT drains: exit 130, socket unlinked, cache counters in the
+# --metrics dump on stderr
+kill -INT "$SRV"
+wait "$SRV" && rc=0 || rc=$?
+[ "$rc" -eq 130 ] || fail "serve SIGINT: exit $rc, want 130"
+[ ! -e "$SOCK" ] || fail "serve: socket not unlinked on drain"
+grep -q 'cache.hits' "$TMP/serve.err" || fail "serve --metrics: no cache.hits"
+grep -q 'cache.misses' "$TMP/serve.err" || fail "serve --metrics: no cache.misses"
+grep -q 'serve.requests' "$TMP/serve.err" || fail "serve --metrics: no request counter"
+
 echo "CLI TESTS OK"

@@ -1,0 +1,438 @@
+(** Tier-1 suite for the serve layer, wire-free where possible:
+
+    - the frame codec over real socketpairs — round trips (empty,
+      binary, large), several frames through one reader, truncation
+      mid-header and mid-payload, oversized and malformed headers, and
+      the receive-timeout path;
+    - the request codec against adversarial JSON — every error carries
+      a typed path naming the offending field;
+    - [Serve.handle_text] differentially against the in-process
+      {!Batch} pipeline across builders and strategies: the daemon's
+      response must report exactly the schedules [Batch.run] produces,
+      and its fingerprint must be the advertised fold of the per-block
+      DAG fingerprints;
+    - warm responses byte-identical to cold ones, with the cache
+      counters moving exactly as specified;
+    - failure containment: request JSON that does not parse, bad
+      fields, unparseable assembly and an injected pipeline crash
+      ([DAGSCHED_SERVE_FAIL]) each answer their typed error and leave
+      the daemon state serving correctly afterwards.
+
+    The over-the-wire daemon (real process, SIGINT drain, concurrent
+    clients) lives in the slow suite, [test/test_serve.ml]. *)
+
+open Dagsched
+
+let frame_error =
+  Alcotest.testable
+    (fun fmt e -> Format.pp_print_string fmt (Frame.error_to_string e))
+    (fun a b -> a = b)
+
+(* a connected socketpair; the writer side is closed by the test to
+   signal EOF *)
+let with_pair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ a; b ])
+    (fun () -> f a b)
+
+(* ------------------------------------------------------------------ *)
+(* frames *)
+
+let test_frame_roundtrip () =
+  with_pair (fun w r ->
+      let payloads =
+        [ ""; "x"; "{\"op\": \"ping\"}"; String.make 100_000 'q';
+          "\x00\x01\xff binary \n bytes \r\n" ]
+      in
+      List.iter (fun p -> Frame.write w p) payloads;
+      Unix.close w;
+      let reader = Frame.reader r in
+      List.iter
+        (fun expected ->
+          match Frame.read reader with
+          | Ok got ->
+              Alcotest.(check string) "frame round trip" expected got
+          | Error e ->
+              Alcotest.failf "frame read failed: %s" (Frame.error_to_string e))
+        payloads;
+      (* clean EOF after the last frame *)
+      Alcotest.check (Alcotest.result Alcotest.string frame_error)
+        "EOF after last frame" (Error Frame.Closed) (Frame.read reader))
+
+let test_frame_truncated_payload () =
+  with_pair (fun w r ->
+      (* header promises 100 bytes, only 10 arrive *)
+      let torn = "100\n" ^ String.make 10 'x' in
+      ignore (Unix.write_substring w torn 0 (String.length torn));
+      Unix.close w;
+      Alcotest.check (Alcotest.result Alcotest.string frame_error)
+        "torn mid-payload" (Error Frame.Closed)
+        (Frame.read (Frame.reader r)))
+
+let test_frame_truncated_header () =
+  with_pair (fun w r ->
+      ignore (Unix.write_substring w "123" 0 3);
+      Unix.close w;
+      Alcotest.check (Alcotest.result Alcotest.string frame_error)
+        "torn mid-header" (Error Frame.Closed)
+        (Frame.read (Frame.reader r)))
+
+let test_frame_oversized () =
+  with_pair (fun w r ->
+      Frame.write w (String.make 5000 'x');
+      Alcotest.check (Alcotest.result Alcotest.string frame_error)
+        "over the cap" (Error (Frame.Oversized 5000))
+        (Frame.read ~max_bytes:4096 (Frame.reader r)))
+
+let test_frame_malformed () =
+  let malformed header =
+    with_pair (fun w r ->
+        ignore (Unix.write_substring w header 0 (String.length header));
+        Unix.close w;
+        match Frame.read (Frame.reader r) with
+        | Error (Frame.Malformed _) -> ()
+        | Ok p -> Alcotest.failf "header %S read a frame (%d bytes)" header
+                    (String.length p)
+        | Error e ->
+            Alcotest.failf "header %S: expected Malformed, got %s" header
+              (Frame.error_to_string e))
+  in
+  malformed "abc\n";
+  malformed "-5\n";
+  malformed "12x\n";
+  malformed "\n";
+  (* a header longer than any int64 without its newline *)
+  malformed (String.make 32 '9')
+
+let test_frame_timeout () =
+  with_pair (fun _w r ->
+      Unix.setsockopt_float r Unix.SO_RCVTIMEO 0.05;
+      Alcotest.check (Alcotest.result Alcotest.string frame_error)
+        "receive timeout" (Error Frame.Timeout)
+        (Frame.read (Frame.reader r)))
+
+(* ------------------------------------------------------------------ *)
+(* request codec *)
+
+let decode s =
+  match Json.of_string s with
+  | Ok json -> Serve.request_of_json json
+  | Error msg -> Alcotest.failf "test JSON does not parse: %s" msg
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.sub hay i nn = needle || go (i + 1)
+  in
+  go 0
+
+let expect_error s fragment =
+  match decode s with
+  | Ok _ -> Alcotest.failf "decoded %s, expected an error" s
+  | Error e ->
+      let text = Json.error_to_string e in
+      if not (contains ~needle:fragment text) then
+        Alcotest.failf "error %S does not mention %S" text fragment
+
+let test_request_decode_errors () =
+  expect_error {|[1, 2]|} "request object";
+  expect_error {|{"op": 7}|} "expected a string";
+  expect_error {|{"op": "launch"}|} "unknown op";
+  expect_error {|{"op": "schedule"}|} "block";
+  expect_error {|{"block": 3}|} "block";
+  expect_error {|{"block": "nop", "builder": "bogus"}|} "unknown builder";
+  expect_error {|{"block": "nop", "strategy": "bogus"}|} "unknown strategy";
+  expect_error {|{"block": "nop", "model": "bogus"}|} "unknown model";
+  expect_error {|{"block": "nop", "builder": 9}|} "builder"
+
+let test_request_roundtrip () =
+  let requests =
+    [ Serve.Ping; Serve.Stats;
+      Serve.Schedule
+        { text = "add %r1, %r2, %r3\n";
+          builder = Builder.N2_forward;
+          strategy = Disambiguate.Symbolic;
+          model = Latency.simple_risc } ]
+  in
+  (* Latency.t carries closures, so no structural compare across it *)
+  let request_equal a b =
+    match (a, b) with
+    | Serve.Ping, Serve.Ping | Serve.Stats, Serve.Stats -> true
+    | Serve.Schedule a, Serve.Schedule b ->
+        String.equal a.text b.text
+        && a.builder = b.builder && a.strategy = b.strategy
+        && String.equal a.model.Latency.name b.model.Latency.name
+    | _ -> false
+  in
+  List.iter
+    (fun r ->
+      match Serve.request_of_json (Serve.request_to_json r) with
+      | Ok r' when request_equal r r' -> ()
+      | Ok _ -> Alcotest.fail "request round trip changed the request"
+      | Error e ->
+          Alcotest.failf "request round trip failed: %s"
+            (Json.error_to_string e))
+    requests;
+  (* op defaults to schedule, fields default to the CLI defaults *)
+  match decode {|{"block": "nop"}|} with
+  | Ok (Serve.Schedule { builder = Builder.Table_forward;
+                         strategy = Disambiguate.Base_offset; _ }) -> ()
+  | Ok _ -> Alcotest.fail "defaults wrong"
+  | Error e -> Alcotest.failf "defaults: %s" (Json.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* handle_text vs the in-process pipeline *)
+
+let with_serve ?(domains = 1) f =
+  let t = Serve.create ~domains () in
+  Fun.protect ~finally:(fun () -> Serve.destroy t) (fun () -> f t)
+
+let schedule_payload ?(builder = Builder.Table_forward)
+    ?(strategy = Disambiguate.Base_offset) text =
+  Json.to_string
+    (Serve.request_to_json
+       (Serve.Schedule
+          { text; builder; strategy; model = Latency.simple_risc }))
+
+let program_text blocks =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "B%d:\n%s" b.Block.id
+           (Parser.print_program (Block.to_list b))))
+    blocks;
+  Buffer.contents buf
+
+let get_exn ~what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Json.error_to_string e)
+
+let response_json serve payload =
+  let response = Serve.handle_text serve payload in
+  match Json.of_string response with
+  | Ok json -> (response, json)
+  | Error msg -> Alcotest.failf "response does not parse: %s" msg
+
+let check_status json expected =
+  match Json.member "status" json with
+  | Some (Json.String s) when s = expected -> ()
+  | other ->
+      Alcotest.failf "status: expected %S, found %s" expected
+        (match other with
+        | Some v -> Json.to_string v
+        | None -> "nothing")
+
+let check_error_kind json expected =
+  check_status json "error";
+  match Json.member "error" json with
+  | Some err -> (
+      match Json.member "kind" err with
+      | Some (Json.String k) when k = Serve.error_kind_to_string expected -> ()
+      | other ->
+          Alcotest.failf "error kind: expected %S, found %s"
+            (Serve.error_kind_to_string expected)
+            (match other with
+            | Some v -> Json.to_string v
+            | None -> "nothing"))
+  | None -> Alcotest.fail "error response without an error object"
+
+let test_differential () =
+  let text =
+    program_text
+      (let rng = Prng.create 0x5e12ef in
+       List.init 6 (fun i ->
+           Gen.block rng ~params:Gen.fp_loops ~id:i
+             ~size:(8 + Prng.int rng 20) ()))
+  in
+  let combos =
+    [ (Builder.Table_forward, Disambiguate.Base_offset);
+      (Builder.N2_forward, Disambiguate.Symbolic);
+      (Builder.Table_backward, Disambiguate.Serialize_all) ]
+  in
+  with_serve (fun serve ->
+      List.iter
+        (fun (builder, strategy) ->
+          let _, json =
+            response_json serve (schedule_payload ~builder ~strategy text)
+          in
+          check_status json "ok";
+          (* reference: the same pipeline, in process *)
+          let blocks =
+            Cfg_builder.partition (Parser.parse_program text)
+          in
+          let config =
+            { Batch.section6 with
+              Batch.algorithm = builder;
+              opts =
+                { Opts.default with
+                  Opts.model = Latency.simple_risc; strategy } }
+          in
+          let expected = Batch.run ~domains:1 config blocks in
+          let path = [] in
+          let results =
+            get_exn ~what:"results"
+              (Json.get_list ~path "results"
+                 (fun ~path json -> Ok (path, json))
+                 json)
+          in
+          if List.length results <> List.length expected then
+            Alcotest.failf "%d results, expected %d" (List.length results)
+              (List.length expected);
+          List.iter2
+            (fun (path, rj) (e : Batch.result) ->
+              let geti k = get_exn ~what:k (Json.get_int ~path k rj) in
+              Alcotest.(check int) "block_id" e.Batch.block_id
+                (geti "block_id");
+              Alcotest.(check int) "insns" e.Batch.insns (geti "insns");
+              Alcotest.(check int) "arcs" e.Batch.dag_arcs (geti "arcs");
+              Alcotest.(check int) "original_cycles" e.Batch.original_cycles
+                (geti "original_cycles");
+              Alcotest.(check int) "cycles" e.Batch.cycles (geti "cycles");
+              Alcotest.(check int) "stalls" e.Batch.stalls (geti "stalls");
+              Alcotest.(check string) "fingerprint"
+                (Printf.sprintf "%016Lx" e.Batch.fingerprint)
+                (get_exn ~what:"fingerprint"
+                   (Json.get_string ~path "fingerprint" rj));
+              let order =
+                get_exn ~what:"order"
+                  (Json.get_list ~path "order"
+                     (fun ~path json ->
+                       match json with
+                       | Json.Int i -> Ok i
+                       | other ->
+                           Json.decode_error ~path
+                             (Printf.sprintf "expected an int, found %s"
+                                (Json.type_name other)))
+                     rj)
+              in
+              Alcotest.(check (list int)) "order"
+                (Array.to_list e.Batch.order) order)
+            results expected;
+          (* the request fingerprint is the advertised fold *)
+          let combined =
+            List.fold_left
+              (fun h (e : Batch.result) ->
+                Cache.hash_fold_int64 h e.Batch.fingerprint)
+              Cache.hash_seed expected
+          in
+          Alcotest.(check string) "request fingerprint"
+            (Printf.sprintf "%016Lx" combined)
+            (get_exn ~what:"fingerprint"
+               (Json.get_string ~path:[] "fingerprint" json));
+          (* the embedded report matches, with timing zeroed *)
+          let rj =
+            match Json.member "report" json with
+            | Some r -> r
+            | None -> Alcotest.fail "response has no report"
+          in
+          let report =
+            get_exn ~what:"report" (Batch.report_of_json rj)
+          in
+          let expected_report =
+            { (Batch.report ~domains:1 ~wall_s:0.0 expected) with
+              Batch.block_s_mean = 0.0;
+              block_s_max = 0.0 }
+          in
+          if not (Batch.report_equal report expected_report) then
+            Alcotest.fail "embedded report differs from Batch.report")
+        combos)
+
+let test_warm_equals_cold () =
+  let text = "add %r1, %r2, %r3\nsub %r3, %r1, %r4\nld [%r4], %r5\n" in
+  with_serve (fun serve ->
+      let payload = schedule_payload text in
+      let cold, cold_json = response_json serve payload in
+      check_status cold_json "ok";
+      let warm, _ = response_json serve payload in
+      Alcotest.(check string) "warm response byte-identical" cold warm;
+      let s = Cache.stats (Serve.cache serve) in
+      Alcotest.(check int) "one miss (cold)" 1 s.Cache.misses;
+      Alcotest.(check int) "one hit (warm)" 1 s.Cache.hits;
+      Alcotest.(check int) "one entry" 1 s.Cache.entries;
+      (* a different config is a different cache line, even when the
+         schedules (and so the response bytes) happen to coincide *)
+      let other =
+        schedule_payload ~builder:Builder.N2_forward text
+      in
+      let _, other_json = response_json serve other in
+      check_status other_json "ok";
+      let s = Cache.stats (Serve.cache serve) in
+      Alcotest.(check int) "second miss" 2 s.Cache.misses;
+      Alcotest.(check int) "two entries" 2 s.Cache.entries)
+
+let test_stats_op () =
+  with_serve (fun serve ->
+      let _, _ = response_json serve (schedule_payload "nop\n") in
+      let _, json = response_json serve {|{"op": "stats"}|} in
+      check_status json "ok";
+      let cache =
+        match Json.member "cache" json with
+        | Some c -> c
+        | None -> Alcotest.fail "stats without cache object"
+      in
+      let s = Cache.stats (Serve.cache serve) in
+      let geti k = get_exn ~what:k (Json.get_int ~path:[ "cache" ] k cache) in
+      Alcotest.(check int) "hits" s.Cache.hits (geti "hits");
+      Alcotest.(check int) "misses" s.Cache.misses (geti "misses");
+      Alcotest.(check int) "evictions" s.Cache.evictions (geti "evictions");
+      Alcotest.(check int) "bytes" s.Cache.bytes (geti "bytes");
+      Alcotest.(check int) "entries" s.Cache.entries (geti "entries");
+      Alcotest.(check int) "served so far" 2 (Serve.served serve))
+
+let test_error_containment () =
+  with_serve (fun serve ->
+      let _, j = response_json serve "{not json" in
+      check_error_kind j Serve.Parse;
+      let _, j = response_json serve {|{"op": "launch"}|} in
+      check_error_kind j Serve.Bad_request;
+      let _, j = response_json serve (schedule_payload "not assembly !!!") in
+      check_error_kind j Serve.Block_parse;
+      (* after all that abuse, real work still succeeds *)
+      let _, j = response_json serve (schedule_payload "nop\n") in
+      check_status j "ok")
+
+let test_fail_injection () =
+  Unix.putenv Serve.fail_env "raise:2";
+  Fun.protect ~finally:(fun () -> Unix.putenv Serve.fail_env "")
+  @@ fun () ->
+  with_serve (fun serve ->
+      let payload = schedule_payload "nop\n" in
+      let _, j = response_json serve payload in
+      check_error_kind j Serve.Internal;
+      let _, j = response_json serve payload in
+      check_error_kind j Serve.Internal;
+      (* the injection budget is spent: the pipeline works again, and
+         the failed attempts must not have poisoned the cache *)
+      let _, j = response_json serve payload in
+      check_status j "ok";
+      let s = Cache.stats (Serve.cache serve) in
+      Alcotest.(check int) "failed requests never cached" 1 s.Cache.entries)
+
+let suite =
+  [ Alcotest.test_case "frame round trips" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame torn mid-payload" `Quick
+      test_frame_truncated_payload;
+    Alcotest.test_case "frame torn mid-header" `Quick
+      test_frame_truncated_header;
+    Alcotest.test_case "frame over the size cap" `Quick test_frame_oversized;
+    Alcotest.test_case "frame malformed headers" `Quick test_frame_malformed;
+    Alcotest.test_case "frame receive timeout" `Quick test_frame_timeout;
+    Alcotest.test_case "request decode errors are typed" `Quick
+      test_request_decode_errors;
+    Alcotest.test_case "request codec round trips" `Quick
+      test_request_roundtrip;
+    Alcotest.test_case "handle_text = Batch.run (builders x strategies)"
+      `Quick test_differential;
+    Alcotest.test_case "warm response byte-identical to cold" `Quick
+      test_warm_equals_cold;
+    Alcotest.test_case "stats op reports exact counters" `Quick test_stats_op;
+    Alcotest.test_case "typed errors, daemon state survives" `Quick
+      test_error_containment;
+    Alcotest.test_case "DAGSCHED_SERVE_FAIL answers internal errors" `Quick
+      test_fail_injection ]

@@ -34,6 +34,7 @@ type result = {
   block_id : int;
   insns : int;
   dag_arcs : int;
+  fingerprint : int64;
   order : int array;
   annot : Ds_heur.Annot.t;
   original_cycles : int;
@@ -43,8 +44,8 @@ type result = {
 }
 
 let strip_timing r =
-  ( r.block_id, r.insns, r.dag_arcs, r.order, r.annot, r.original_cycles,
-    r.cycles, r.stalls )
+  ( r.block_id, r.insns, r.dag_arcs, r.fingerprint, r.order, r.annot,
+    r.original_cycles, r.cycles, r.stalls )
 
 exception Invalid_schedule of int * string
 
@@ -115,6 +116,7 @@ let run_block config block =
   { block_id = block.Ds_cfg.Block.id;
     insns = Ds_cfg.Block.length block;
     dag_arcs = Ds_dag.Dag.n_arcs dag;
+    fingerprint = Ds_dag.Dag.fingerprint dag;
     order = sched.Schedule.order;
     annot;
     original_cycles = Schedule.original_cycles sched;

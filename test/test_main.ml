@@ -17,6 +17,8 @@ let () =
       ("interp", Test_interp.suite);
       ("extensions", Test_extensions.suite);
       ("driver", Test_driver.suite);
+      ("cache-props", Test_cache_props.suite);
+      ("serve-proto", Test_serve_proto.suite);
       ("tools", Test_tools.suite);
       ("behavior", Test_behavior.suite);
       ("golden", Test_golden.suite);
