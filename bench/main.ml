@@ -1928,6 +1928,57 @@ let serve_bench () =
     let cn, cmean, cp50, cp95, cp99 = summarize cold_us in
     let wn, wmean, wp50, wp95, wp99 = summarize warm_us in
     let speedup = cp50 /. wp50 in
+    (* service-observability overhead: the same warm traffic against a
+       daemon with everything on (windowed metrics, registry counters,
+       JSONL access log) and against --no-service-obs; one sequential
+       client so the delta is the instrumentation, not queueing *)
+    let warm_p50_with extra =
+      let socket = Filename.concat dir "obs.sock" in
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      let pid =
+        Unix.create_process schedtool
+          (Array.append
+             [| schedtool; "serve"; "--socket"; socket; "-j"; "1" |]
+             extra)
+          Unix.stdin devnull devnull
+      in
+      Unix.close devnull;
+      let deadline = Clock.now () +. 10.0 in
+      let rec await () =
+        match Serve.request_once ~socket ping with
+        | Ok _ -> ()
+        | Error _ when Clock.now () < deadline ->
+            Unix.sleepf 0.05;
+            await ()
+        | Error msg -> failwith ("obs bench daemon never came up: " ^ msg)
+      in
+      await ();
+      let request payload =
+        match Serve.request_once ~socket payload with
+        | Ok r -> r
+        | Error msg -> failwith ("obs bench request failed: " ^ msg)
+      in
+      Array.iter (fun p -> ignore (request p)) payloads;
+      let lats = ref [] in
+      for _ = 1 to rounds do
+        Array.iter
+          (fun p ->
+            let t0 = Clock.now () in
+            ignore (request p);
+            lats := (1e6 *. (Clock.now () -. t0)) :: !lats)
+          payloads
+      done;
+      Unix.kill pid Sys.sigint;
+      ignore (Unix.waitpid [] pid);
+      let _, _, p50, _, _ = summarize !lats in
+      p50
+    in
+    let obs_on_p50 =
+      warm_p50_with
+        [| "--metrics"; "--access-log"; Filename.concat dir "access.jsonl" |]
+    in
+    let obs_off_p50 = warm_p50_with [| "--no-service-obs" |] in
+    let obs_overhead = (obs_on_p50 /. obs_off_p50) -. 1.0 in
     let hit_rate =
       if hits + misses <= 0 then 0.0
       else float_of_int hits /. float_of_int (hits + misses)
@@ -1950,6 +2001,10 @@ let serve_bench () =
       speedup hit_rate
       (if mismatches = 0 then "all warm responses byte-identical"
        else Printf.sprintf "%d WARM RESPONSE MISMATCHES" mismatches);
+    Printf.printf
+      "service obs overhead: warm p50 %.0f us on vs %.0f us off \
+       (%+.1f%%, target <= 5%%)\n"
+      obs_on_p50 obs_off_p50 (100.0 *. obs_overhead);
     let phase_json (n, mean, p50, p95, p99) =
       Stats.Json.Obj
         [ ("requests", Stats.Json.Int n);
@@ -1972,7 +2027,12 @@ let serve_bench () =
               [ ("hits", Stats.Json.Int hits);
                 ("misses", Stats.Json.Int misses);
                 ("hit_rate", Stats.Json.Float hit_rate) ] );
-          ("warm_identical", Stats.Json.Bool (mismatches = 0)) ]
+          ("warm_identical", Stats.Json.Bool (mismatches = 0));
+          ( "obs",
+            Stats.Json.Obj
+              [ ("warm_p50_on_us", Stats.Json.Float obs_on_p50);
+                ("warm_p50_off_us", Stats.Json.Float obs_off_p50);
+                ("obs_overhead_p50", Stats.Json.Float obs_overhead) ] ) ]
     in
     let text = Stats.Json.to_string json in
     (match Stats.Json.of_string text with

@@ -75,11 +75,13 @@ type t = {
 }
 
 (* metrics registry counters (gated: no-ops unless --metrics/--trace
-   enabled the registry); cache.bytes is a gauge maintained by deltas *)
+   enabled the registry); cache.bytes and cache.entries are gauges
+   maintained by deltas *)
 let m_hits = Ds_obs.Metrics.counter "cache.hits"
 let m_misses = Ds_obs.Metrics.counter "cache.misses"
 let m_evictions = Ds_obs.Metrics.counter "cache.evictions"
 let m_bytes = Ds_obs.Metrics.counter "cache.bytes"
+let m_entries = Ds_obs.Metrics.counter "cache.entries"
 
 let create ?(max_entries = 4096) ?(max_bytes = 256 * 1024 * 1024) () =
   { max_entries = max 1 max_entries;
@@ -108,84 +110,7 @@ let push_front t e =
   (match t.mru with Some m -> m.prev <- Some e | None -> t.lru <- Some e);
   t.mru <- Some e
 
-(* ---------------- operations ---------------- *)
-
-type hit = { key : key; payload : string }
-
-let find t ~text config =
-  let h = hash_text text in
-  match Tbl.find_opt t.table (h, config) with
-  | Some e when String.equal e.text text && e.ekey.config = config ->
-      unlink t e;
-      push_front t e;
-      t.hits <- t.hits + 1;
-      Ds_obs.Metrics.incr m_hits;
-      Some { key = e.ekey; payload = e.payload }
-  | Some _ | None ->
-      (* a same-address entry whose stored text differs is a genuine
-         64-bit hash collision: refuse to serve it (miss), and the
-         subsequent put will replace it *)
-      t.misses <- t.misses + 1;
-      Ds_obs.Metrics.incr m_misses;
-      None
-
-let remove_entry t e =
-  Tbl.remove t.table (addr_of e);
-  unlink t e;
-  t.entries <- t.entries - 1;
-  t.bytes <- t.bytes - e.ebytes;
-  Ds_obs.Metrics.add m_bytes (-e.ebytes)
-
-let evict_lru t =
-  match t.lru with
-  | None -> ()
-  | Some e ->
-      remove_entry t e;
-      t.evictions <- t.evictions + 1;
-      Ds_obs.Metrics.incr m_evictions
-
-let put t ~text ~fingerprint config ~payload =
-  let text_hash = hash_text text in
-  let ebytes = String.length text + String.length payload + entry_overhead in
-  if ebytes > t.max_bytes then t.rejects <- t.rejects + 1
-  else begin
-    (* replacement (same address) is not an eviction *)
-    (match Tbl.find_opt t.table (text_hash, config) with
-    | Some old -> remove_entry t old
-    | None -> ());
-    let e =
-      { ekey = { text_hash; fingerprint; config }; text; payload; ebytes;
-        prev = None; next = None }
-    in
-    Tbl.replace t.table (addr_of e) e;
-    push_front t e;
-    t.entries <- t.entries + 1;
-    t.bytes <- t.bytes + ebytes;
-    Ds_obs.Metrics.add m_bytes ebytes;
-    while t.entries > t.max_entries || t.bytes > t.max_bytes do
-      evict_lru t
-    done
-  end
-
-type stats = {
-  entries : int;
-  bytes : int;
-  hits : int;
-  misses : int;
-  evictions : int;
-  rejects : int;
-}
-
-let stats (t : t) =
-  { entries = t.entries; bytes = t.bytes; hits = t.hits; misses = t.misses;
-    evictions = t.evictions; rejects = t.rejects }
-
-let items t =
-  let rec go acc = function
-    | None -> List.rev acc
-    | Some e -> go ((e.ekey, e.payload) :: acc) e.next
-  in
-  go [] t.mru
+(* ---------------- selfcheck ---------------- *)
 
 let selfcheck t =
   let ( let* ) = Result.bind in
@@ -228,3 +153,125 @@ let selfcheck t =
   else if t.entries > t.max_entries then Error "entry bound violated"
   else if t.bytes > t.max_bytes then Error "byte bound violated"
   else Ok ()
+
+(* strict mode: re-run [selfcheck] after every mutation and require the
+   Metrics gauge mirrors to equal the recomputed totals.  O(n) per
+   operation, so opt-in (tests, debugging) — never the service path. *)
+let strict =
+  ref
+    (match Sys.getenv_opt "DAGSCHED_CACHE_STRICT" with
+    | Some s when s <> "" && s <> "0" -> true
+    | _ -> false)
+
+let set_strict_checks b = strict := b
+let strict_checks () = !strict
+
+let strict_check t =
+  if !strict then begin
+    (match selfcheck t with
+    | Ok () -> ()
+    | Error msg -> failwith ("Cache strict check: " ^ msg));
+    (* gauge mirrors only move while the registry records, so they are
+       comparable only when it is enabled (and has been for this
+       cache's whole life — the strict harness's responsibility) *)
+    if Ds_obs.Metrics.is_enabled () then begin
+      let gb = Ds_obs.Metrics.value m_bytes in
+      let ge = Ds_obs.Metrics.value m_entries in
+      if gb <> t.bytes then
+        failwith
+          (Printf.sprintf
+             "Cache strict check: cache.bytes gauge %d, recomputed %d" gb
+             t.bytes);
+      if ge <> t.entries then
+        failwith
+          (Printf.sprintf
+             "Cache strict check: cache.entries gauge %d, recomputed %d" ge
+             t.entries)
+    end
+  end
+
+(* ---------------- operations ---------------- *)
+
+type hit = { key : key; payload : string }
+
+let find t ~text config =
+  let result =
+    let h = hash_text text in
+    match Tbl.find_opt t.table (h, config) with
+    | Some e when String.equal e.text text && e.ekey.config = config ->
+        unlink t e;
+        push_front t e;
+        t.hits <- t.hits + 1;
+        Ds_obs.Metrics.incr m_hits;
+        Some { key = e.ekey; payload = e.payload }
+    | Some _ | None ->
+        (* a same-address entry whose stored text differs is a genuine
+           64-bit hash collision: refuse to serve it (miss), and the
+           subsequent put will replace it *)
+        t.misses <- t.misses + 1;
+        Ds_obs.Metrics.incr m_misses;
+        None
+  in
+  strict_check t;
+  result
+
+let remove_entry t e =
+  Tbl.remove t.table (addr_of e);
+  unlink t e;
+  t.entries <- t.entries - 1;
+  t.bytes <- t.bytes - e.ebytes;
+  Ds_obs.Metrics.add m_bytes (-e.ebytes);
+  Ds_obs.Metrics.add m_entries (-1)
+
+let evict_lru t =
+  match t.lru with
+  | None -> ()
+  | Some e ->
+      remove_entry t e;
+      t.evictions <- t.evictions + 1;
+      Ds_obs.Metrics.incr m_evictions
+
+let put t ~text ~fingerprint config ~payload =
+  let text_hash = hash_text text in
+  let ebytes = String.length text + String.length payload + entry_overhead in
+  if ebytes > t.max_bytes then t.rejects <- t.rejects + 1
+  else begin
+    (* replacement (same address) is not an eviction *)
+    (match Tbl.find_opt t.table (text_hash, config) with
+    | Some old -> remove_entry t old
+    | None -> ());
+    let e =
+      { ekey = { text_hash; fingerprint; config }; text; payload; ebytes;
+        prev = None; next = None }
+    in
+    Tbl.replace t.table (addr_of e) e;
+    push_front t e;
+    t.entries <- t.entries + 1;
+    t.bytes <- t.bytes + ebytes;
+    Ds_obs.Metrics.add m_bytes ebytes;
+    Ds_obs.Metrics.add m_entries 1;
+    while t.entries > t.max_entries || t.bytes > t.max_bytes do
+      evict_lru t
+    done
+  end;
+  strict_check t
+
+type stats = {
+  entries : int;
+  bytes : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  rejects : int;
+}
+
+let stats (t : t) =
+  { entries = t.entries; bytes = t.bytes; hits = t.hits; misses = t.misses;
+    evictions = t.evictions; rejects = t.rejects }
+
+let items t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some e -> go ((e.ekey, e.payload) :: acc) e.next
+  in
+  go [] t.mru

@@ -25,10 +25,11 @@
     {b Counters.}  Exact values live in {!stats} (always on — they are
     plain ints, the serve protocol's [stats] op reads them).  The same
     events also bump the {!Ds_obs.Metrics} registry
-    ([cache.hits]/[cache.misses]/[cache.evictions], plus the byte gauge
-    [cache.bytes] maintained by deltas) when metrics are enabled, so
-    [--metrics] tables and shipped fleet snapshots see them; gated off,
-    they cost one atomic read like every other instrumentation site.
+    ([cache.hits]/[cache.misses]/[cache.evictions], plus the occupancy
+    gauges [cache.bytes]/[cache.entries] maintained by deltas) when
+    metrics are enabled, so [--metrics] tables, the serve daemon's
+    [metrics] op and shipped fleet snapshots see them; gated off, they
+    cost one atomic read like every other instrumentation site.
 
     Not thread-safe: the serve daemon services requests sequentially
     (its concurrency lives inside the request, on the domain pool). *)
@@ -101,3 +102,20 @@ val items : t -> (key * string) list
 (** Structural invariants (list/table agreement, byte accounting,
     bounds): [Error] names the first violation.  Test hook. *)
 val selfcheck : t -> (unit, string) result
+
+(** {1 Strict checks}
+
+    With strict checks on, every mutation path ([find] hit or miss,
+    [put] insert/replace/evict/reject) re-runs {!selfcheck} and — when
+    the metrics registry is enabled — requires the mirrored
+    [cache.bytes]/[cache.entries] gauges to equal the recomputed
+    totals, raising [Failure] naming the first divergence.  O(n) per
+    operation, so opt-in: the randomized regression harness turns it
+    on, the service path never does.  The gauge comparison presumes
+    one live cache with metrics enabled for its whole life (the
+    gauges are process-wide).  Also armed by the
+    [DAGSCHED_CACHE_STRICT] environment variable (any value but
+    ["" ]/["0"]). *)
+
+val set_strict_checks : bool -> unit
+val strict_checks : unit -> bool

@@ -13,6 +13,7 @@ let fail_env = "DAGSCHED_SERVE_FAIL"
 type request =
   | Ping
   | Stats
+  | Metrics
   | Schedule of {
       text : string;
       builder : Ds_dag.Builder.algorithm;
@@ -59,6 +60,7 @@ let request_of_json ?(path = []) json =
       match op with
       | "ping" -> Ok Ping
       | "stats" -> Ok Stats
+      | "metrics" -> Ok Metrics
       | "schedule" ->
           let* text = Json.get_string ~path "block" json in
           let* builder =
@@ -93,6 +95,7 @@ let request_of_json ?(path = []) json =
 let request_to_json = function
   | Ping -> Json.Obj [ ("op", Json.String "ping") ]
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Metrics -> Json.Obj [ ("op", Json.String "metrics") ]
   | Schedule { text; builder; strategy; model } ->
       Json.Obj
         [ ("op", Json.String "schedule");
@@ -120,14 +123,21 @@ let error_kind_to_string = function
   | Malformed_frame -> "malformed-frame"
   | Internal -> "internal"
 
-let error_response kind message =
+(* error responses carry the request id for correlation with the
+   access log and trace spans; ok responses never do — a schedule
+   response is the cache payload and must stay byte-identical across
+   requests (and daemon restarts) *)
+let error_response ?id kind message =
   Json.to_string
     (Json.Obj
        [ ("status", Json.String "error");
          ( "error",
            Json.Obj
-             [ ("kind", Json.String (error_kind_to_string kind));
-               ("message", Json.String message) ] ) ])
+             ([ ("kind", Json.String (error_kind_to_string kind));
+                ("message", Json.String message) ]
+             @ match id with
+               | None -> []
+               | Some id -> [ ("id", Json.String id) ]) ) ])
 
 let fingerprint_hex fp = Printf.sprintf "%016Lx" fp
 
@@ -152,6 +162,11 @@ type t = {
   domains : int;
   chunk : int;
   cache : Cache.t;
+  start_s : float;
+  nonce : string;       (* per-daemon-start half of every request id *)
+  mutable seq : int;    (* monotonic half *)
+  window : Ds_obs.Window.t;
+  access : Ds_obs.Log.Sink.t option;
   mutable served : int;
   mutable fail_budget : int;  (* DAGSCHED_SERVE_FAIL=raise:n countdown *)
 }
@@ -165,18 +180,33 @@ let parse_fail_budget () =
           match int_of_string_opt n with Some n -> max 0 n | None -> 0)
       | _ -> 0)
 
-let create ?(domains = 1) ?(chunk = 0) ?max_entries ?max_bytes () =
+let create ?(domains = 1) ?(chunk = 0) ?max_entries ?max_bytes ?access () =
   let domains = max 1 domains in
+  let start_s = Ds_obs.Clock.now () in
   { pool = Ds_util.Pool.create ~domains ();
     domains;
     chunk = (if chunk <= 0 then Ds_util.Pool.default_chunk else chunk);
     cache = Cache.create ?max_entries ?max_bytes ();
+    start_s;
+    nonce =
+      (* distinct across daemon starts, stable within one: two daemons
+         never hand out colliding ids even at the same counter value *)
+      Printf.sprintf "%08x"
+        (Hashtbl.hash (start_s, Unix.getpid ()) land 0x0fffffff);
+    seq = 0;
+    window = Ds_obs.Window.create "serve.request";
+    access;
     served = 0;
     fail_budget = parse_fail_budget () }
 
 let destroy t = Ds_util.Pool.shutdown t.pool
 let cache t = t.cache
 let served t = t.served
+let window t = t.window
+
+let next_id t =
+  t.seq <- t.seq + 1;
+  Printf.sprintf "%s-%d" t.nonce t.seq
 
 (* ------------------------------------------------------------------ *)
 (* request handling *)
@@ -200,6 +230,145 @@ let stats_response t =
 let pong = Json.to_string
     (Json.Obj [ ("status", Json.String "ok"); ("op", Json.String "pong") ])
 
+(* ------------------------------------------------------------------ *)
+(* the metrics op: a full telemetry snapshot, typed both ways so
+   `client --metrics-text` and `schedtool top` decode it *)
+
+type metrics = {
+  uptime_s : float;
+  rss_kb : int;
+  requests : int;
+  cache_entries : int;
+  cache_bytes : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_rejects : int;
+  cache_max_entries : int;
+  cache_max_bytes : int;
+  registry : Ds_obs.Metrics.snapshot;
+  windows : Ds_obs.Window.stats list;
+}
+
+(* the windows every metrics response answers, seconds *)
+let report_windows = [ 1.0; 10.0; 60.0 ]
+
+let metrics_of t =
+  let s = Cache.stats t.cache in
+  { uptime_s = Ds_obs.Clock.since t.start_s;
+    rss_kb = Ds_obs.Log.rss_kb ();
+    requests = t.served;
+    cache_entries = s.Cache.entries;
+    cache_bytes = s.Cache.bytes;
+    cache_hits = s.Cache.hits;
+    cache_misses = s.Cache.misses;
+    cache_evictions = s.Cache.evictions;
+    cache_rejects = s.Cache.rejects;
+    cache_max_entries = Cache.max_entries t.cache;
+    cache_max_bytes = Cache.max_bytes t.cache;
+    registry = Ds_obs.Metrics.snapshot ();
+    windows =
+      List.map
+        (fun w -> Ds_obs.Window.stats t.window ~window_s:w)
+        report_windows }
+
+let metrics_to_json m =
+  Json.Obj
+    [ ("status", Json.String "ok");
+      ("op", Json.String "metrics");
+      ("uptime_s", Json.Float m.uptime_s);
+      ("rss_kb", Json.Int m.rss_kb);
+      ("requests", Json.Int m.requests);
+      ( "cache",
+        Json.Obj
+          [ ("entries", Json.Int m.cache_entries);
+            ("bytes", Json.Int m.cache_bytes);
+            ("hits", Json.Int m.cache_hits);
+            ("misses", Json.Int m.cache_misses);
+            ("evictions", Json.Int m.cache_evictions);
+            ("rejects", Json.Int m.cache_rejects);
+            ("max_entries", Json.Int m.cache_max_entries);
+            ("max_bytes", Json.Int m.cache_max_bytes) ] );
+      ("metrics", Ds_obs.Metrics.snapshot_to_json m.registry);
+      ( "windows",
+        Json.List (List.map Ds_obs.Window.stats_to_json m.windows) ) ]
+
+let metrics_of_json ?(path = []) json =
+  let ( let* ) = Result.bind in
+  let* uptime_s = Json.get_float ~path "uptime_s" json in
+  let* rss_kb = Json.get_int ~path "rss_kb" json in
+  let* requests = Json.get_int ~path "requests" json in
+  let* cache_json = Json.get_field ~path "cache" json in
+  let cpath = path @ [ "cache" ] in
+  let* cache_entries = Json.get_int ~path:cpath "entries" cache_json in
+  let* cache_bytes = Json.get_int ~path:cpath "bytes" cache_json in
+  let* cache_hits = Json.get_int ~path:cpath "hits" cache_json in
+  let* cache_misses = Json.get_int ~path:cpath "misses" cache_json in
+  let* cache_evictions = Json.get_int ~path:cpath "evictions" cache_json in
+  let* cache_rejects = Json.get_int ~path:cpath "rejects" cache_json in
+  let* cache_max_entries = Json.get_int ~path:cpath "max_entries" cache_json in
+  let* cache_max_bytes = Json.get_int ~path:cpath "max_bytes" cache_json in
+  let* registry_json = Json.get_field ~path "metrics" json in
+  let* registry =
+    Ds_obs.Metrics.snapshot_of_json ~path:(path @ [ "metrics" ]) registry_json
+  in
+  let* windows_json = Json.get_field ~path "windows" json in
+  let* windows =
+    match windows_json with
+    | Json.List ws ->
+        let rec go acc i = function
+          | [] -> Ok (List.rev acc)
+          | w :: rest ->
+              let* s =
+                Ds_obs.Window.stats_of_json
+                  ~path:(path @ [ Printf.sprintf "windows[%d]" i ])
+                  w
+              in
+              go (s :: acc) (i + 1) rest
+        in
+        go [] 0 ws
+    | other ->
+        Json.decode_error ~path:(path @ [ "windows" ])
+          (Printf.sprintf "expected a list, found %s" (Json.type_name other))
+  in
+  Ok
+    { uptime_s; rss_kb; requests; cache_entries; cache_bytes; cache_hits;
+      cache_misses; cache_evictions; cache_rejects; cache_max_entries;
+      cache_max_bytes; registry; windows }
+
+let metrics_response t = Json.to_string (metrics_to_json (metrics_of t))
+
+(* cache occupancy and request totals are exposed from the exact
+   always-on stats above; the same events may also live in the gated
+   registry, so drop the duplicates from its rendering *)
+let registry_duplicates =
+  [ "cache.hits"; "cache.misses"; "cache.evictions"; "cache.bytes";
+    "cache.entries"; "serve.requests" ]
+
+let prometheus_of_metrics m =
+  let buf = Buffer.create 4096 in
+  let prefix = "dagsched_" in
+  let module P = Ds_obs.Prom in
+  P.gauge buf ~prefix "uptime_seconds" m.uptime_s;
+  P.gauge buf ~prefix "rss_kilobytes" (float_of_int m.rss_kb);
+  P.counter buf ~prefix "requests" m.requests;
+  P.gauge buf ~prefix "cache_entries" (float_of_int m.cache_entries);
+  P.gauge buf ~prefix "cache_bytes" (float_of_int m.cache_bytes);
+  P.gauge buf ~prefix "cache_entries_limit" (float_of_int m.cache_max_entries);
+  P.gauge buf ~prefix "cache_bytes_limit" (float_of_int m.cache_max_bytes);
+  P.counter buf ~prefix "cache_hits" m.cache_hits;
+  P.counter buf ~prefix "cache_misses" m.cache_misses;
+  P.counter buf ~prefix "cache_evictions" m.cache_evictions;
+  P.counter buf ~prefix "cache_rejects" m.cache_rejects;
+  P.snapshot buf ~prefix
+    { m.registry with
+      Ds_obs.Metrics.counters =
+        List.filter
+          (fun (name, _) -> not (List.mem name registry_duplicates))
+          m.registry.Ds_obs.Metrics.counters };
+  P.windows buf ~prefix m.windows;
+  Buffer.contents buf
+
 (* the cold path: full pipeline on the resident pool, then encode.  The
    response text is entirely deterministic for (text, builder, strategy,
    model, domains) — timing fields are zeroed — so it IS the cache
@@ -210,7 +379,7 @@ let schedule_cold t ~text ~builder ~strategy ~model =
     failwith (fail_env ^ ": injected pipeline failure")
   end;
   match Ds_isa.Parser.parse_program_result text with
-  | Error msg -> Error (error_response Block_parse msg)
+  | Error msg -> Error (Block_parse, msg)
   | Ok insns ->
       let blocks = Ds_cfg.Builder.partition insns in
       let config =
@@ -244,11 +413,20 @@ let schedule_cold t ~text ~builder ~strategy ~model =
 
 let m_requests = Ds_obs.Metrics.counter "serve.requests"
 
-let handle_request t json =
+(* per-request metadata for the access log and windowed RED metrics:
+   op name, cache disposition and outcome (["ok"] or the error kind) *)
+type disposition = { d_op : string; d_cache : string; d_outcome : string }
+
+let ok_disp ~op ?(cache = "-") () = { d_op = op; d_cache = cache; d_outcome = "ok" }
+
+let handle_request t ~id json =
   match request_of_json json with
-  | Error e -> error_response Bad_request (Json.error_to_string e)
-  | Ok Ping -> pong
-  | Ok Stats -> stats_response t
+  | Error e ->
+      ( error_response ~id Bad_request (Json.error_to_string e),
+        { d_op = "-"; d_cache = "-"; d_outcome = "bad-request" } )
+  | Ok Ping -> (pong, ok_disp ~op:"ping" ())
+  | Ok Stats -> (stats_response t, ok_disp ~op:"stats" ())
+  | Ok Metrics -> (metrics_response t, ok_disp ~op:"metrics" ())
   | Ok (Schedule { text; builder; strategy; model }) -> (
       let config =
         { Cache.builder = Ds_dag.Builder.to_string builder;
@@ -256,25 +434,69 @@ let handle_request t json =
           model = model.Ds_machine.Latency.name }
       in
       match Cache.find t.cache ~text config with
-      | Some hit -> hit.Cache.payload
+      | Some hit -> (hit.Cache.payload, ok_disp ~op:"schedule" ~cache:"hit" ())
       | None -> (
           match schedule_cold t ~text ~builder ~strategy ~model with
-          | Error resp -> resp
+          | Error (kind, msg) ->
+              ( error_response ~id kind msg,
+                { d_op = "schedule"; d_cache = "miss";
+                  d_outcome = error_kind_to_string kind } )
           | Ok (fingerprint, payload) ->
               Cache.put t.cache ~text ~fingerprint config ~payload;
-              payload))
+              (payload, ok_disp ~op:"schedule" ~cache:"miss" ())))
 
-let handle_text t payload =
-  let response =
+(* one JSONL access line per request, through the untorn [Log.Sink]
+   writer (single write(2), O_APPEND): survives SIGKILL, shareable *)
+let access_write t ~ts ~id ~op ~cache ~bytes_in ~bytes_out ~dur_us ~outcome =
+  match t.access with
+  | None -> ()
+  | Some sink ->
+      Ds_obs.Log.Sink.write_line sink
+        (Json.to_string
+           (Json.Obj
+              [ ("ts", Json.Float ts);
+                ("id", Json.String id);
+                ("op", Json.String op);
+                ("cache", Json.String cache);
+                ("bytes_in", Json.Int bytes_in);
+                ("bytes_out", Json.Int bytes_out);
+                ("dur_us", Json.Int dur_us);
+                ("outcome", Json.String outcome) ]))
+
+let handle_payload t ~id payload =
+  let t0 = Ds_obs.Clock.now () in
+  let response, disp =
     match Json.of_string payload with
-    | Error msg -> error_response Parse msg
+    | Error msg ->
+        ( error_response ~id Parse msg,
+          { d_op = "-"; d_cache = "-"; d_outcome = "parse" } )
     | Ok json -> (
-        try handle_request t json
-        with e -> error_response Internal (Printexc.to_string e))
+        try handle_request t ~id json
+        with e ->
+          ( error_response ~id Internal (Printexc.to_string e),
+            { d_op = "-"; d_cache = "-"; d_outcome = "internal" } ))
   in
   t.served <- t.served + 1;
   Ds_obs.Metrics.incr m_requests;
+  let dur_s = Ds_obs.Clock.since t0 in
+  let error = disp.d_outcome <> "ok" in
+  Ds_obs.Window.observe_s ~error t.window dur_s;
+  let dur_us = int_of_float (Float.round (dur_s *. 1e6)) in
+  access_write t ~ts:t0 ~id ~op:disp.d_op ~cache:disp.d_cache
+    ~bytes_in:(String.length payload)
+    ~bytes_out:(String.length response)
+    ~dur_us ~outcome:disp.d_outcome;
+  Ds_obs.Log.log Ds_obs.Log.Debug ~scope:"serve"
+    ~fields:
+      [ ("id", Json.String id);
+        ("op", Json.String disp.d_op);
+        ("cache", Json.String disp.d_cache);
+        ("dur_us", Json.Int dur_us);
+        ("outcome", Json.String disp.d_outcome) ]
+    "request";
   response
+
+let handle_text t payload = handle_payload t ~id:(next_id t) payload
 
 (* ------------------------------------------------------------------ *)
 (* the daemon *)
@@ -287,6 +509,8 @@ type options = {
   max_frame : int;
   read_timeout_s : float;
   backlog : int;
+  service_obs : bool;
+  access_log : string option;
 }
 
 let default_options =
@@ -296,7 +520,9 @@ let default_options =
     max_bytes = 256 * 1024 * 1024;
     max_frame = Frame.default_max_bytes;
     read_timeout_s = 10.0;
-    backlog = 128 }
+    backlog = 128;
+    service_obs = true;
+    access_log = None }
 
 let log_serve ?(fields = []) level msg =
   Ds_obs.Log.log level ~scope:"serve" ~fields msg
@@ -305,59 +531,91 @@ let log_serve ?(fields = []) level msg =
    damage answers a typed error when the peer can still hear it; the
    daemon itself never dies for a connection's sake. *)
 let handle_connection t ~max_frame fd =
+  (* the id is minted per connection so frame-level damage (which never
+     reaches request handling) still correlates its error response,
+     log line and access-log line *)
+  let id = next_id t in
+  let t0 = Ds_obs.Clock.now () in
   let respond text =
     try Frame.write fd text
     with Unix.Unix_error _ ->
       (* peer vanished between request and response; nothing to do *)
-      log_serve Ds_obs.Log.Warn "client gone before response"
+      log_serve Ds_obs.Log.Warn
+        ~fields:[ ("id", Json.String id) ]
+        "client gone before response"
+  in
+  let frame_error kind message =
+    respond (error_response ~id kind message);
+    let dur_us =
+      int_of_float (Float.round (Ds_obs.Clock.since t0 *. 1e6))
+    in
+    access_write t ~ts:t0 ~id ~op:"-" ~cache:"-" ~bytes_in:0
+      ~bytes_out:0 ~dur_us ~outcome:(error_kind_to_string kind)
   in
   let reader = Frame.reader fd in
   match Frame.read ~max_bytes:max_frame reader with
   | Ok payload ->
       let response =
         Ds_obs.Trace.with_span ~cat:"serve"
-          ~args:[ ("bytes", Json.Int (String.length payload)) ]
+          ~args:
+            [ ("bytes", Json.Int (String.length payload));
+              ("id", Json.String id) ]
           "request"
-          (fun () -> handle_text t payload)
+          (fun () -> handle_payload t ~id payload)
       in
       respond response
   | Error Frame.Closed ->
       (* disconnect before/inside the request frame: log, move on *)
-      log_serve Ds_obs.Log.Warn "client disconnected mid-request"
-  | Error Frame.Timeout ->
-      respond (error_response Malformed_frame "request read timed out")
+      log_serve Ds_obs.Log.Warn
+        ~fields:[ ("id", Json.String id) ]
+        "client disconnected mid-request"
+  | Error Frame.Timeout -> frame_error Malformed_frame "request read timed out"
   | Error (Frame.Oversized n) ->
-      respond
-        (error_response Oversized
-           (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" n
-              max_frame))
-  | Error (Frame.Malformed msg) ->
-      respond (error_response Malformed_frame msg)
+      frame_error Oversized
+        (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" n
+           max_frame)
+  | Error (Frame.Malformed msg) -> frame_error Malformed_frame msg
 
 let run ?(options = default_options) ~socket () =
   let draining = Atomic.make false in
   match
-    let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try
-       if Sys.file_exists socket then Unix.unlink socket;
-       Unix.bind lfd (Unix.ADDR_UNIX socket);
-       Unix.listen lfd (max 1 options.backlog)
-     with e ->
-       (try Unix.close lfd with Unix.Unix_error _ -> ());
-       raise e);
-    lfd
+    match options.access_log with
+    | None -> Ok None
+    | Some path -> Result.map Option.some (Ds_obs.Log.Sink.open_ ~append:false path)
   with
-  | exception Unix.Unix_error (err, _, _) ->
-      Printf.eprintf "serve: cannot bind %s: %s\n%!" socket
-        (Unix.error_message err);
+  | Error msg ->
+      Printf.eprintf "serve: cannot open access log: %s\n%!" msg;
       125
-  | exception Sys_error msg ->
-      Printf.eprintf "serve: cannot bind %s: %s\n%!" socket msg;
-      125
-  | lfd ->
+  | Ok access -> (
+      let close_access () =
+        match access with Some s -> Ds_obs.Log.Sink.close s | None -> ()
+      in
+      if options.service_obs then Ds_obs.Window.enable ();
+      match
+        let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try
+           if Sys.file_exists socket then Unix.unlink socket;
+           Unix.bind lfd (Unix.ADDR_UNIX socket);
+           Unix.listen lfd (max 1 options.backlog)
+         with e ->
+           (try Unix.close lfd with Unix.Unix_error _ -> ());
+           raise e);
+        lfd
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+          Printf.eprintf "serve: cannot bind %s: %s\n%!" socket
+            (Unix.error_message err);
+          close_access ();
+          125
+      | exception Sys_error msg ->
+          Printf.eprintf "serve: cannot bind %s: %s\n%!" socket msg;
+          close_access ();
+          125
+      | lfd ->
       let state =
         create ~domains:options.domains ~chunk:options.chunk
-          ~max_entries:options.max_entries ~max_bytes:options.max_bytes ()
+          ~max_entries:options.max_entries ~max_bytes:options.max_bytes
+          ?access ()
       in
       let old_sigint =
         match
@@ -373,6 +631,7 @@ let run ?(options = default_options) ~socket () =
         | None -> ());
         (try Unix.close lfd with Unix.Unix_error _ -> ());
         (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ());
+        close_access ();
         destroy state
       in
       Fun.protect ~finally:cleanup @@ fun () ->
@@ -413,7 +672,7 @@ let run ?(options = default_options) ~socket () =
         "drained";
       Ds_obs.Log.heartbeat ~force:true ~phase:"drained" ~done_:state.served
         ~total:state.served ();
-      130
+      130)
 
 (* ------------------------------------------------------------------ *)
 (* a minimal blocking client, shared by `schedtool client`, the bench

@@ -42,6 +42,7 @@ val fail_env : string
 type request =
   | Ping
   | Stats
+  | Metrics
   | Schedule of {
       text : string;
       builder : Ds_dag.Builder.algorithm;
@@ -75,22 +76,31 @@ type error_kind =
 
 val error_kind_to_string : error_kind -> string
 
-(** [{"status": "error", "error": {"kind": ..., "message": ...}}] as
-    text, framed and sent as-is. *)
-val error_response : error_kind -> string -> string
+(** [{"status": "error", "error": {"kind": ..., "message": ..., "id":
+    ...}}] as text, framed and sent as-is.  [?id] is the request id —
+    every error the daemon emits carries one, for correlation with the
+    access log and trace spans.  Ok responses never carry an id: a
+    schedule response is the cache payload and must stay byte-identical
+    across requests and daemon restarts. *)
+val error_response : ?id:string -> error_kind -> string -> string
 
 (** {1 Daemon state} *)
 
 type t
 
-(** [create ~domains ~chunk ~max_entries ~max_bytes ()] builds the
-    resident state: the domain pool (shared by every request) and the
-    result cache.  Defaults: 1 domain, default chunk, cache defaults. *)
+(** [create ~domains ~chunk ~max_entries ~max_bytes ?access ()] builds
+    the resident state: the domain pool (shared by every request), the
+    result cache, the windowed request metrics and the request-id
+    source (a fresh per-start nonce crossed with a monotonic counter).
+    [?access] attaches a JSONL access-log sink — one line per request
+    through {!Ds_obs.Log.Sink} (caller closes it).  Defaults: 1
+    domain, default chunk, cache defaults, no access log. *)
 val create :
   ?domains:int ->
   ?chunk:int ->
   ?max_entries:int ->
   ?max_bytes:int ->
+  ?access:Ds_obs.Log.Sink.t ->
   unit ->
   t
 
@@ -102,11 +112,63 @@ val cache : t -> Cache.t
 (** Requests served so far (any op, errors included). *)
 val served : t -> int
 
+(** The daemon's windowed request metrics (rate/errors/duration over
+    the last 1s/10s/60s).  Records only while {!Ds_obs.Window} is
+    enabled ({!run} enables it unless [options.service_obs] is off;
+    in-process harnesses enable it themselves). *)
+val window : t -> Ds_obs.Window.t
+
 (** [handle_text t payload] is the full request->response path minus
     the wire: parse, cache lookup, pipeline on miss, encode, cache
-    fill.  Never raises.  This is what the daemon runs per frame and
+    fill, windowed metrics, access-log line.  Mints a fresh request
+    id.  Never raises.  This is what the daemon runs per frame and
     what the differential tests call in-process. *)
 val handle_text : t -> string -> string
+
+(** {1 The metrics op}
+
+    [{"op": "metrics"}] answers a full telemetry snapshot: uptime,
+    resident-set size, request total, cache occupancy and limits, the
+    {!Ds_obs.Metrics} registry (when enabled; empty otherwise) and
+    windowed RED stats over the last {!report_windows} seconds.
+    Schema in docs/FORMAT.md ("metrics op"). *)
+
+type metrics = {
+  uptime_s : float;
+  rss_kb : int;
+  requests : int;
+  cache_entries : int;
+  cache_bytes : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_rejects : int;
+  cache_max_entries : int;
+  cache_max_bytes : int;
+  registry : Ds_obs.Metrics.snapshot;
+  windows : Ds_obs.Window.stats list;
+}
+
+(** The windows every metrics response reports, in seconds:
+    [1; 10; 60]. *)
+val report_windows : float list
+
+(** Capture the snapshot an in-process harness would get from the op. *)
+val metrics_of : t -> metrics
+
+val metrics_to_json : metrics -> Ds_obs.Json.t
+
+(** Total reader over an ok metrics {e response} object — what
+    [schedtool client --metrics-text] and [schedtool top] decode. *)
+val metrics_of_json :
+  ?path:string list -> Ds_obs.Json.t -> (metrics, Ds_obs.Json.error) result
+
+(** Prometheus/OpenMetrics text exposition of a snapshot
+    ([dagsched_]-prefixed families; schema in docs/FORMAT.md).  Cache
+    occupancy and request totals come from the exact always-on stats;
+    their gated registry mirrors are dropped from the rendering rather
+    than exposed twice. *)
+val prometheus_of_metrics : metrics -> string
 
 (** {1 The daemon} *)
 
@@ -118,6 +180,13 @@ type options = {
   max_frame : int;        (** request frame cap, bytes *)
   read_timeout_s : float; (** per-connection receive timeout *)
   backlog : int;          (** listen(2) backlog — queued clients *)
+  service_obs : bool;
+  (** enable {!Ds_obs.Window} so the metrics op answers live windowed
+      quantiles (default [true]; [--no-service-obs] turns it off for
+      overhead baselines).  Never affects response bytes. *)
+  access_log : string option;
+  (** JSONL access-log path (truncated at start; [None] = no access
+      log).  Unopenable path: [run] returns 125. *)
 }
 
 val default_options : options

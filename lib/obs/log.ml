@@ -106,43 +106,59 @@ let snapshot () =
 (* ------------------------------------------------------------------ *)
 (* sink: O_APPEND + one write(2) per line = signal-safe write-through.
    POSIX guarantees O_APPEND writes land whole at the end of the file,
-   so orchestrator and workers can share one stream. *)
+   so orchestrator and workers can share one stream.  [Sink] is the
+   reusable untorn-line writer; the module-level sink (below) and the
+   serve daemon's access log both build on it. *)
 
-let sink : (string * Unix.file_descr) option Atomic.t = Atomic.make None
+module Sink = struct
+  type t = { s_path : string; s_fd : Unix.file_descr }
 
-let sink_path () = Option.map fst (Atomic.get sink)
+  let open_ ?(append = true) path =
+    let flags =
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+      @ if append then [] else [ Unix.O_TRUNC ]
+    in
+    match Unix.openfile path flags 0o644 with
+    | exception Unix.Unix_error (e, _, _) ->
+        Stdlib.Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+    | fd -> Ok { s_path = path; s_fd = fd }
+
+  let path t = t.s_path
+
+  let rec write_all fd bytes off len =
+    if len > 0 then
+      match Unix.write fd bytes off len with
+      | n -> if n < len then write_all fd bytes (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          write_all fd bytes off len
+
+  (* best-effort: logging must never take the pipeline down *)
+  let write_line t line =
+    let b = Bytes.of_string (line ^ "\n") in
+    try write_all t.s_fd b 0 (Bytes.length b) with Unix.Unix_error _ -> ()
+
+  let close t = try Unix.close t.s_fd with Unix.Unix_error _ -> ()
+end
+
+let sink : Sink.t option Atomic.t = Atomic.make None
+
+let sink_path () = Option.map Sink.path (Atomic.get sink)
 
 let close_sink () =
   match Atomic.exchange sink None with
   | None -> ()
-  | Some (_, fd) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | Some s -> Sink.close s
 
 let set_sink ~append path =
-  let flags =
-    [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
-    @ if append then [] else [ Unix.O_TRUNC ]
-  in
-  match Unix.openfile path flags 0o644 with
-  | exception Unix.Unix_error (e, _, _) ->
-      Stdlib.Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
-  | fd ->
+  match Sink.open_ ~append path with
+  | Stdlib.Error _ as e -> e
+  | Ok s ->
       close_sink ();
-      Atomic.set sink (Some (path, fd));
+      Atomic.set sink (Some s);
       Ok ()
 
-let rec write_all fd bytes off len =
-  if len > 0 then
-    match Unix.write fd bytes off len with
-    | n -> if n < len then write_all fd bytes (off + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes off len
-
-(* best-effort: logging must never take the pipeline down *)
 let sink_write line =
-  match Atomic.get sink with
-  | None -> ()
-  | Some (_, fd) -> (
-      let b = Bytes.of_string line in
-      try write_all fd b 0 (Bytes.length b) with Unix.Unix_error _ -> ())
+  match Atomic.get sink with None -> () | Some s -> Sink.write_line s line
 
 (* ------------------------------------------------------------------ *)
 (* JSON *)
@@ -232,7 +248,7 @@ let os_pid = lazy (Unix.getpid ())
 
 let emit ev =
   ring_push ev;
-  sink_write (Json.to_string (event_to_json ev) ^ "\n")
+  sink_write (Json.to_string (event_to_json ev))
 
 let make_event ?(fields = []) level ~scope msg =
   { ts_s = Clock.now (); level; scope; msg;

@@ -78,7 +78,30 @@ val snapshot : unit -> event list
     and context are untouched. *)
 val reset : unit -> unit
 
-(** {1 Sink} *)
+(** {1 Sink}
+
+    [Sink] is the reusable untorn-line writer underneath the module
+    sink: an [O_APPEND] descriptor where each {!Sink.write_line} is a
+    single [write(2)] of [line ^ "\n"], so concurrent writers (or a
+    SIGKILL mid-run) never tear a line.  The serve daemon's access log
+    uses it directly for a stream separate from the event log. *)
+
+module Sink : sig
+  type t
+
+  (** [open_ ?append path] opens [path] [O_APPEND] (truncated first
+      unless [append], default [true]).  [Error] carries the system
+      message. *)
+  val open_ : ?append:bool -> string -> (t, string) result
+
+  val path : t -> string
+
+  (** Append [line ^ "\n"] with one [write(2)].  Best-effort: write
+      errors are swallowed (logging must not take the service down). *)
+  val write_line : t -> string -> unit
+
+  val close : t -> unit
+end
 
 (** [set_sink ~append path] opens [path] ([O_APPEND]; truncated first
     unless [append]) and routes every subsequent event to it as one

@@ -92,6 +92,11 @@ let add c n =
 
 let incr c = add c 1
 
+(* exact once recording domains have quiesced, like [snapshot] *)
+let value c =
+  with_registry (fun () ->
+      List.fold_left (fun a cell -> a + cell.cv) 0 !(c.ccells))
+
 let bucket_index v =
   if v <= 0 then 0
   else begin

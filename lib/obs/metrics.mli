@@ -44,6 +44,12 @@ val add : counter -> int -> unit
 
 val incr : counter -> unit
 
+(** Current summed value of a counter's cells.  Like {!snapshot}, exact
+    once recording domains have quiesced; approximate while they are
+    live.  Works whether or not recording is enabled (reads, never
+    writes). *)
+val value : counter -> int
+
 (** {1 Histograms}
 
     Log-bucketed: bucket 0 counts values [<= 0], bucket [i >= 1] counts
@@ -61,6 +67,17 @@ val observe : histogram -> int -> unit
 (** Record a duration in seconds as integer microseconds (clamped
     non-negative, {!Clock.clamp}).  No-op when disabled. *)
 val observe_s : histogram -> float -> unit
+
+(** {1 Bucketing}
+
+    The log-bucket layout, exported so other histogram consumers
+    ({!Window}'s ring slots, Prometheus exposition) bucket identically:
+    [bucket_index v] is the bucket for observation [v], [bucket_le i]
+    the inclusive upper bound of bucket [i]. *)
+
+val n_buckets : int
+val bucket_index : int -> int
+val bucket_le : int -> int
 
 (** {1 Snapshots} *)
 

@@ -1,0 +1,144 @@
+(** Prometheus text exposition rendering.  See prom.mli for the
+    contract. *)
+
+type typ = Counter | Gauge | Histogram
+
+let typ_string = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+let sanitize name =
+  let mapped =
+    String.map
+      (fun c ->
+        if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9') || c = '_'
+        then c
+        else '_')
+      name
+  in
+  if mapped = "" then "_"
+  else if mapped.[0] >= '0' && mapped.[0] <= '9' then "_" ^ mapped
+  else mapped
+
+let value_string v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+(* a counter family's name carries the [_total] suffix on both the
+   TYPE line and its samples *)
+let full_name ~prefix typ name =
+  prefix ^ sanitize name ^ (match typ with Counter -> "_total" | _ -> "")
+
+let family buf ~prefix typ name =
+  Buffer.add_string buf
+    (Printf.sprintf "# TYPE %s %s\n" (full_name ~prefix typ name)
+       (typ_string typ))
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let add_labels buf = function
+  | [] -> ()
+  | labels ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (sanitize k);
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape_label_value v);
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}'
+
+(* [name] arrives pre-suffixed by the caller (counter/histogram pieces
+   append their own suffixes before sampling) *)
+let sample buf ~prefix ?(labels = []) name v =
+  Buffer.add_string buf prefix;
+  Buffer.add_string buf (sanitize name);
+  add_labels buf labels;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (value_string v);
+  Buffer.add_char buf '\n'
+
+let counter buf ~prefix name v =
+  family buf ~prefix Counter name;
+  sample buf ~prefix (name ^ "_total") (float_of_int v)
+
+let gauge buf ~prefix name v =
+  family buf ~prefix Gauge name;
+  sample buf ~prefix name v
+
+let histogram buf ~prefix (h : Metrics.hist_snapshot) =
+  family buf ~prefix Histogram h.name;
+  let cumulative = ref 0 in
+  List.iter
+    (fun (le, n) ->
+      cumulative := !cumulative + n;
+      sample buf ~prefix
+        ~labels:[ ("le", string_of_int le) ]
+        (h.name ^ "_bucket")
+        (float_of_int !cumulative))
+    h.buckets;
+  sample buf ~prefix ~labels:[ ("le", "+Inf") ] (h.name ^ "_bucket")
+    (float_of_int h.count);
+  sample buf ~prefix (h.name ^ "_sum") (float_of_int h.sum);
+  sample buf ~prefix (h.name ^ "_count") (float_of_int h.count)
+
+let snapshot buf ~prefix (s : Metrics.snapshot) =
+  List.iter (fun (name, v) -> counter buf ~prefix name v) s.counters;
+  List.iter (fun h -> histogram buf ~prefix h) s.histograms
+
+let window_label (w : Window.stats) = Printf.sprintf "%gs" w.window_s
+
+let windows buf ~prefix (ws : Window.stats list) =
+  let names =
+    List.fold_left
+      (fun acc (w : Window.stats) ->
+        if List.mem w.name acc then acc else acc @ [ w.name ])
+      [] ws
+  in
+  List.iter
+    (fun name ->
+      let mine =
+        List.filter (fun (w : Window.stats) -> w.name = name) ws
+      in
+      let g suffix value =
+        family buf ~prefix Gauge (name ^ suffix);
+        List.iter
+          (fun w ->
+            sample buf ~prefix
+              ~labels:[ ("window", window_label w) ]
+              (name ^ suffix) (value w))
+          mine
+      in
+      g "_window_count" (fun (w : Window.stats) -> float_of_int w.count);
+      g "_window_rate" (fun (w : Window.stats) -> w.rate);
+      g "_window_error_ratio" (fun (w : Window.stats) -> w.error_ratio);
+      family buf ~prefix Gauge (name ^ "_window_duration_us");
+      List.iter
+        (fun (w : Window.stats) ->
+          List.iter
+            (fun (q, v) ->
+              sample buf ~prefix
+                ~labels:[ ("window", window_label w); ("quantile", q) ]
+                (name ^ "_window_duration_us")
+                (float_of_int v))
+            [ ("0.5", w.p50_us); ("0.95", w.p95_us); ("0.99", w.p99_us) ])
+        mine)
+    names

@@ -1,0 +1,58 @@
+(** Prometheus / OpenMetrics text exposition for the observability
+    registries — the rendering behind the serve daemon's
+    [client --metrics-text] and [schedtool top].
+
+    Pure string building over already-captured data ({!Metrics.snapshot}
+    values, {!Window.stats}, scalar gauges): no registry access, no
+    gating — callers decide what to expose.  Conventions follow the
+    Prometheus text format: one [# TYPE] line per family, metric names
+    sanitized to [[a-zA-Z0-9_]] (the registry's dot namespacing maps
+    ["serve.requests"] to ["serve_requests"]), counters suffixed
+    [_total], histograms rendered as cumulative [_bucket{le="..."}]
+    series capped by [le="+Inf"] plus [_sum]/[_count].  Every family
+    name gets the [prefix] (default ["dagsched_"]). *)
+
+type typ = Counter | Gauge | Histogram
+
+(** Map every character outside [[a-zA-Z0-9_]] to ['_']; prepend ['_']
+    when the result would start with a digit. *)
+val sanitize : string -> string
+
+(** Render a sample value: integral floats without a fraction
+    (["42"]), others via [%g]; non-finite values as ["NaN"] /
+    ["+Inf"] / ["-Inf"] per the exposition format. *)
+val value_string : float -> string
+
+(** [family buf ~prefix typ name] appends the [# TYPE] line.  [name]
+    is sanitized and prefixed; counters get [_total] appended (here
+    and in their samples). *)
+val family : Buffer.t -> prefix:string -> typ -> string -> unit
+
+(** [sample buf ~prefix ?labels name v] appends one sample line.
+    Label values are escaped (backslash, quote, newline). *)
+val sample :
+  Buffer.t -> prefix:string -> ?labels:(string * string) list ->
+  string -> float -> unit
+
+(** Counter family + single sample ([_total]). *)
+val counter : Buffer.t -> prefix:string -> string -> int -> unit
+
+(** Gauge family + single sample. *)
+val gauge : Buffer.t -> prefix:string -> string -> float -> unit
+
+(** Histogram family + cumulative [_bucket{le="..."}] lines (one per
+    populated log bucket, inclusive upper bounds from the snapshot,
+    then [le="+Inf"]) + [_sum] + [_count]. *)
+val histogram : Buffer.t -> prefix:string -> Metrics.hist_snapshot -> unit
+
+(** Every counter (as [_total]) and histogram in a registry
+    snapshot. *)
+val snapshot : Buffer.t -> prefix:string -> Metrics.snapshot -> unit
+
+(** Windowed RED stats, grouped into four gauge families per window
+    name — [<name>_window_count], [<name>_window_rate],
+    [<name>_window_error_ratio] (labelled [window="10s"]) and
+    [<name>_window_duration_us] (labelled [window=...,quantile=...] for
+    0.5/0.95/0.99).  The input order of windows is preserved within
+    each family. *)
+val windows : Buffer.t -> prefix:string -> Window.stats list -> unit

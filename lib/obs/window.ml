@@ -1,0 +1,163 @@
+(** Time-windowed RED metrics over epoch-stamped ring slots.  See
+    window.mli for the contract. *)
+
+let enabled = Atomic.make false
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+type slot = {
+  mutable epoch : int; (* floor (ts / slot_s); -1 = never written *)
+  mutable count : int;
+  mutable errors : int;
+  mutable sum : int;
+  buckets : int array; (* Metrics.n_buckets log buckets *)
+}
+
+type t = {
+  w_name : string;
+  w_slot_s : float;
+  w_slots : slot array;
+  w_lock : Mutex.t;
+}
+
+let create ?(slots = 64) ?(slot_s = 1.0) name =
+  let slots = max 1 slots in
+  let slot_s = if Float.is_finite slot_s && slot_s > 0.0 then slot_s else 1.0 in
+  { w_name = name;
+    w_slot_s = slot_s;
+    w_lock = Mutex.create ();
+    w_slots =
+      Array.init slots (fun _ ->
+          { epoch = -1; count = 0; errors = 0; sum = 0;
+            buckets = Array.make Metrics.n_buckets 0 }) }
+
+let name t = t.w_name
+let span_s t = t.w_slot_s *. float_of_int (Array.length t.w_slots)
+
+let clear_slot s =
+  s.epoch <- -1;
+  s.count <- 0;
+  s.errors <- 0;
+  s.sum <- 0;
+  Array.fill s.buckets 0 (Array.length s.buckets) 0
+
+let reset t =
+  Mutex.lock t.w_lock;
+  Array.iter clear_slot t.w_slots;
+  Mutex.unlock t.w_lock
+
+let epoch_of t now = int_of_float (Float.floor (now /. t.w_slot_s))
+
+let with_lock t f =
+  Mutex.lock t.w_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.w_lock) f
+
+let observe ?now ?(error = false) t v =
+  if Atomic.get enabled then begin
+    let now = match now with Some n -> n | None -> Clock.now () in
+    let e = epoch_of t now in
+    let n = Array.length t.w_slots in
+    with_lock t (fun () ->
+        let s = t.w_slots.(((e mod n) + n) mod n) in
+        if s.epoch <> e then begin
+          clear_slot s;
+          s.epoch <- e
+        end;
+        s.count <- s.count + 1;
+        if error then s.errors <- s.errors + 1;
+        s.sum <- s.sum + max 0 v;
+        let i = Metrics.bucket_index v in
+        s.buckets.(i) <- s.buckets.(i) + 1)
+  end
+
+let observe_s ?now ?error t seconds =
+  observe ?now ?error t
+    (int_of_float (Float.round (Clock.clamp seconds *. 1e6)))
+
+type stats = {
+  name : string;
+  window_s : float;
+  count : int;
+  errors : int;
+  rate : float;
+  error_ratio : float;
+  mean_us : float;
+  p50_us : int;
+  p95_us : int;
+  p99_us : int;
+}
+
+let stats ?now t ~window_s =
+  let now = match now with Some n -> n | None -> Clock.now () in
+  let window_s =
+    if Float.is_finite window_s then
+      Float.max t.w_slot_s (Float.min window_s (span_s t))
+    else span_s t
+  in
+  let k = int_of_float (Float.ceil (window_s /. t.w_slot_s)) in
+  let k = max 1 (min (Array.length t.w_slots) k) in
+  let e = epoch_of t now in
+  let merged = Array.make Metrics.n_buckets 0 in
+  let count = ref 0 and errors = ref 0 and sum = ref 0 in
+  with_lock t (fun () ->
+      Array.iter
+        (fun s ->
+          if s.epoch > e - k && s.epoch <= e then begin
+            count := !count + s.count;
+            errors := !errors + s.errors;
+            sum := !sum + s.sum;
+            Array.iteri (fun i c -> merged.(i) <- merged.(i) + c) s.buckets
+          end)
+        t.w_slots);
+  let buckets = ref [] in
+  for i = Metrics.n_buckets - 1 downto 0 do
+    if merged.(i) > 0 then
+      buckets := (Metrics.bucket_le i, merged.(i)) :: !buckets
+  done;
+  let hist =
+    { Metrics.name = t.w_name; count = !count; sum = !sum;
+      buckets = !buckets }
+  in
+  { name = t.w_name;
+    window_s;
+    count = !count;
+    errors = !errors;
+    rate = float_of_int !count /. window_s;
+    error_ratio =
+      (if !count = 0 then 0.0
+       else float_of_int !errors /. float_of_int !count);
+    mean_us =
+      (if !count = 0 then 0.0
+       else float_of_int !sum /. float_of_int !count);
+    p50_us = Metrics.quantile hist 0.50;
+    p95_us = Metrics.quantile hist 0.95;
+    p99_us = Metrics.quantile hist 0.99 }
+
+let stats_to_json s =
+  Json.Obj
+    [ ("name", Json.String s.name);
+      ("window_s", Json.Float s.window_s);
+      ("count", Json.Int s.count);
+      ("errors", Json.Int s.errors);
+      ("rate", Json.Float s.rate);
+      ("error_ratio", Json.Float s.error_ratio);
+      ("mean_us", Json.Float s.mean_us);
+      ("p50_us", Json.Int s.p50_us);
+      ("p95_us", Json.Int s.p95_us);
+      ("p99_us", Json.Int s.p99_us) ]
+
+let stats_of_json ?(path = []) json =
+  let ( let* ) = Result.bind in
+  let* name = Json.get_string ~path "name" json in
+  let* window_s = Json.get_float ~path "window_s" json in
+  let* count = Json.get_int ~path "count" json in
+  let* errors = Json.get_int ~path "errors" json in
+  let* rate = Json.get_float ~path "rate" json in
+  let* error_ratio = Json.get_float ~path "error_ratio" json in
+  let* mean_us = Json.get_float ~path "mean_us" json in
+  let* p50_us = Json.get_int ~path "p50_us" json in
+  let* p95_us = Json.get_int ~path "p95_us" json in
+  let* p99_us = Json.get_int ~path "p99_us" json in
+  Ok { name; window_s; count; errors; rate; error_ratio; mean_us;
+       p50_us; p95_us; p99_us }

@@ -1,0 +1,81 @@
+(** Time-windowed RED metrics (rate / errors / duration) for resident
+    services — the fourth observability pillar, built for the serve
+    daemon where {!Metrics} histograms are the wrong shape: they
+    accumulate forever, so a daemon serving traffic for a week cannot
+    answer "what is p99 over the last ten seconds?".
+
+    A window is a ring of {e epoch-stamped slots}, one slot per
+    [slot_s] seconds of wall time.  An observation lands in the slot
+    for its epoch ([floor (now / slot_s)]); a slot whose stamp is stale
+    is recycled in place, so memory is fixed ([slots] × 64 log buckets)
+    no matter how long the service runs or how hot it gets.  {!stats}
+    merges the slots younger than the requested window into one
+    {!Metrics.hist_snapshot} and answers count, error ratio, rate, and
+    p50/p95/p99 through the same log-bucket quantile estimator as
+    {!Metrics.quantile} — identical bucket layout by construction
+    ({!Metrics.bucket_index}/{!Metrics.bucket_le}).
+
+    Same gating discipline as the other pillars: disabled by default,
+    {!observe} is a single atomic read when off, and nothing a window
+    records is ever observable in report bytes.  Slot updates take a
+    per-window mutex — windows live on the service control path (one
+    observation per request), not in the scheduling hot loops.
+
+    Tests inject [?now] everywhere wall time is read, so windowed
+    behaviour (slot rollover, expiry, partial windows) is exercised
+    deterministically. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+type t
+
+(** [create ?slots ?slot_s name] — a ring of [slots] (default [64],
+    min 1) buckets of [slot_s] seconds each (default [1.0]); the
+    longest answerable window is [slots * slot_s] (64 s covers the
+    1s/10s/60s triple the daemon reports). *)
+val create : ?slots:int -> ?slot_s:float -> string -> t
+
+val name : t -> string
+
+(** Longest answerable window, [slots * slot_s], in seconds. *)
+val span_s : t -> float
+
+(** [observe ?now ?error t v] records one event with integer duration
+    [v] (microseconds by convention; negative values clamp to 0 in the
+    sum and land in bucket 0, like {!Metrics.observe}).  [~error:true]
+    also counts it toward the error ratio.  No-op when disabled. *)
+val observe : ?now:float -> ?error:bool -> t -> int -> unit
+
+(** Duration in seconds, recorded as integer microseconds. *)
+val observe_s : ?now:float -> ?error:bool -> t -> float -> unit
+
+(** Drop all recorded slots (enablement untouched). *)
+val reset : t -> unit
+
+type stats = {
+  name : string;
+  window_s : float;   (** the window actually answered (clamped) *)
+  count : int;        (** events in the window *)
+  errors : int;
+  rate : float;       (** events per second, [count / window_s] *)
+  error_ratio : float;(** [errors / count]; [0.] on an empty window *)
+  mean_us : float;    (** [0.] on an empty window *)
+  p50_us : int;
+  p95_us : int;
+  p99_us : int;
+}
+
+(** [stats ?now t ~window_s] over the slots covering the last
+    [window_s] seconds.  [window_s] is clamped to
+    [[slot_s, span_s t]]; the clamped value is reported back in the
+    result (so asking a 64 s ring for 120 s answers 64 s and says so).
+    The current (partial) slot is included. *)
+val stats : ?now:float -> t -> window_s:float -> stats
+
+(** Schema in docs/FORMAT.md ("window stats").  Total reader, exact
+    round trip, like every other reader in the tree. *)
+val stats_to_json : stats -> Json.t
+
+val stats_of_json : ?path:string list -> Json.t -> (stats, Json.error) result

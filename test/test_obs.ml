@@ -604,6 +604,213 @@ let test_log_tail () =
       | [ e ] -> check_string "incremental" "two" e.Log.msg
       | l -> Alcotest.failf "expected 1 new event, got %d" (List.length l))
 
+(* a reader tailing while a writer appends torn/partial final lines:
+   completed lines are delivered exactly once, partials never *)
+let test_log_tail_concurrent_appends () =
+  let event_line msg =
+    Printf.sprintf
+      "{\"ts\": 1.0, \"level\": \"info\", \"scope\": \"w\", \"msg\": %S}" msg
+  in
+  let path = Filename.temp_file "dagsched_test_tail_conc" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* deterministic torn-write interleaving through a raw fd *)
+      let t = Log.tail_create path in
+      Fun.protect ~finally:(fun () -> Log.tail_close t) @@ fun () ->
+      let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+      Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+      let raw s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+      let l1 = event_line "one" and l2 = event_line "two" in
+      let l3 = event_line "three" in
+      (* half a line: nothing must be delivered *)
+      raw (String.sub l1 0 (String.length l1 / 2));
+      check_int "partial line withheld" 0 (List.length (Log.tail_poll t));
+      (* complete it, add a whole line, start a third *)
+      raw (String.sub l1 (String.length l1 / 2)
+             (String.length l1 - (String.length l1 / 2)));
+      raw "\n";
+      raw (l2 ^ "\n");
+      raw (String.sub l3 0 5);
+      (match Log.tail_poll t with
+      | [ a; b ] ->
+          check_string "first completed line" "one" a.Log.msg;
+          check_string "second completed line" "two" b.Log.msg
+      | l -> Alcotest.failf "expected 2 events, got %d" (List.length l));
+      (* the buffered partial must not be redelivered or dropped *)
+      check_int "still withheld" 0 (List.length (Log.tail_poll t));
+      raw (String.sub l3 5 (String.length l3 - 5));
+      raw "\n";
+      (match Log.tail_poll t with
+      | [ e ] -> check_string "completed third" "three" e.Log.msg
+      | l -> Alcotest.failf "expected 1 event, got %d" (List.length l));
+      (* racing writer: a domain appending through the untorn sink
+         while we poll — every line arrives exactly once, in order *)
+      let total = 200 in
+      let sink =
+        match Log.Sink.open_ ~append:true path with
+        | Ok s -> s
+        | Error msg -> Alcotest.failf "sink open: %s" msg
+      in
+      let writer =
+        Domain.spawn (fun () ->
+            for i = 0 to total - 1 do
+              Log.Sink.write_line sink (event_line (string_of_int i))
+            done)
+      in
+      let seen = ref [] in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while
+        List.length !seen < total && Unix.gettimeofday () < deadline
+      do
+        List.iter
+          (fun e -> seen := e.Log.msg :: !seen)
+          (Log.tail_poll t)
+      done;
+      Domain.join writer;
+      Log.Sink.close sink;
+      List.iter (fun e -> seen := e.Log.msg :: !seen) (Log.tail_poll t);
+      Alcotest.(check (list string))
+        "every line exactly once, in order"
+        (List.init total string_of_int)
+        (List.rev !seen))
+
+(* ------------------------------------------------------------------ *)
+(* the Sink submodule: the reusable untorn-line writer *)
+
+let test_log_sink_module () =
+  let path = Filename.temp_file "dagsched_test_sink" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let s =
+        match Log.Sink.open_ ~append:false path with
+        | Ok s -> s
+        | Error msg -> Alcotest.failf "open: %s" msg
+      in
+      check_string "path recorded" path (Log.Sink.path s);
+      Log.Sink.write_line s "alpha";
+      Log.Sink.write_line s "beta";
+      (* write-through: on disk before close *)
+      check_string "two whole lines, no buffering" "alpha\nbeta\n"
+        (In_channel.with_open_bin path In_channel.input_all);
+      Log.Sink.close s;
+      (* append extends, truncate wipes *)
+      let s2 =
+        match Log.Sink.open_ ~append:true path with
+        | Ok s -> s
+        | Error msg -> Alcotest.failf "append open: %s" msg
+      in
+      Log.Sink.write_line s2 "gamma";
+      Log.Sink.close s2;
+      check_string "append kept prior lines" "alpha\nbeta\ngamma\n"
+        (In_channel.with_open_bin path In_channel.input_all);
+      let s3 =
+        match Log.Sink.open_ ~append:false path with
+        | Ok s -> s
+        | Error msg -> Alcotest.failf "truncate open: %s" msg
+      in
+      Log.Sink.close s3;
+      check_string "truncate wiped" ""
+        (In_channel.with_open_bin path In_channel.input_all);
+      (* unopenable path: typed error, not an exception *)
+      match Log.Sink.open_ "/nonexistent-dir/x.log" with
+      | Ok _ -> Alcotest.fail "bogus path accepted"
+      | Error msg ->
+          check_bool "path in error" true (contains msg "/nonexistent-dir"))
+
+(* ------------------------------------------------------------------ *)
+(* windowed RED metrics *)
+
+let window_off () = Window.disable ()
+
+let with_window f =
+  window_off ();
+  Window.enable ();
+  Fun.protect ~finally:window_off f
+
+let test_window_disabled_is_invisible () =
+  window_off ();
+  let w = Window.create "test.req" in
+  Window.observe ~now:1000.0 w 10;
+  let s = Window.stats ~now:1000.0 w ~window_s:10.0 in
+  check_int "nothing recorded" 0 s.Window.count;
+  check_int "p99 empty" 0 s.Window.p99_us
+
+let test_window_basic_stats () =
+  with_window @@ fun () ->
+  let w = Window.create "test.req" in
+  Window.observe ~now:1000.2 w 10;
+  Window.observe ~now:1000.5 ~error:true w 20;
+  Window.observe ~now:1000.8 w 30;
+  let s = Window.stats ~now:1000.9 w ~window_s:10.0 in
+  check_int "count" 3 s.Window.count;
+  check_int "errors" 1 s.Window.errors;
+  check_float "rate" 0.3 s.Window.rate;
+  check_float "error ratio" (1.0 /. 3.0) s.Window.error_ratio;
+  check_float "mean" 20.0 s.Window.mean_us;
+  (* log-bucket inclusive upper bounds: 10 -> 15, 20/30 -> 31 *)
+  check_bool "quantiles ordered" true
+    (s.Window.p50_us <= s.Window.p95_us && s.Window.p95_us <= s.Window.p99_us);
+  check_int "p99 in the top bucket" 31 s.Window.p99_us;
+  check_string "name through" "test.req" s.Window.name
+
+let test_window_rollover_and_expiry () =
+  with_window @@ fun () ->
+  let w = Window.create ~slots:64 ~slot_s:1.0 "test.req" in
+  check_float "span" 64.0 (Window.span_s w);
+  Window.observe ~now:1000.5 w 100;
+  check_int "in the 1s window at its own second" 1
+    (Window.stats ~now:1000.9 w ~window_s:1.0).Window.count;
+  check_int "out of the 1s window two seconds on" 0
+    (Window.stats ~now:1002.5 w ~window_s:1.0).Window.count;
+  check_int "still in the 10s window" 1
+    (Window.stats ~now:1002.5 w ~window_s:10.0).Window.count;
+  check_int "expired from the 60s window after 100s" 0
+    (Window.stats ~now:1100.5 w ~window_s:60.0).Window.count;
+  (* ring reuse: 64 slots at 1s — an observation 64s later lands on the
+     same slot and must displace the stale epoch, not merge with it *)
+  Window.observe ~now:1064.5 w 7;
+  let s = Window.stats ~now:1064.9 w ~window_s:64.0 in
+  check_int "stale epoch displaced" 1 s.Window.count;
+  check_int "sum is the new observation" 7 (int_of_float s.Window.mean_us);
+  (* reset drops everything *)
+  Window.reset w;
+  check_int "reset" 0 (Window.stats ~now:1064.9 w ~window_s:64.0).Window.count
+
+let test_window_clamps () =
+  with_window @@ fun () ->
+  let w = Window.create ~slots:64 ~slot_s:1.0 "test.req" in
+  Window.observe ~now:1000.5 w 1;
+  let s = Window.stats ~now:1000.5 w ~window_s:1000.0 in
+  check_float "window clamped to the span" 64.0 s.Window.window_s;
+  let s = Window.stats ~now:1000.5 w ~window_s:0.001 in
+  check_float "window clamped up to one slot" 1.0 s.Window.window_s;
+  check_int "tiny window still answers" 1 s.Window.count
+
+let test_window_json_roundtrip () =
+  with_window @@ fun () ->
+  let w = Window.create "test.req" in
+  Window.observe ~now:2000.1 w 5;
+  Window.observe ~now:2000.2 ~error:true w 500;
+  let s = Window.stats ~now:2000.5 w ~window_s:10.0 in
+  let text = Stats.Json.to_string (Window.stats_to_json s) in
+  (match Stats.Json.of_string text with
+  | Error msg -> Alcotest.failf "does not parse back: %s" msg
+  | Ok json -> (
+      match Window.stats_of_json json with
+      | Ok s' -> check_bool "round trips exactly" true (s = s')
+      | Error e -> Alcotest.failf "decode: %s" (Stats.Json.error_to_string e)));
+  (* adversarial: totality with a typed path *)
+  match
+    Stats.Json.of_string "{\"name\": \"x\", \"window_s\": 1.0}"
+    |> Result.get_ok |> Window.stats_of_json
+  with
+  | Ok _ -> Alcotest.fail "incomplete stats accepted"
+  | Error e ->
+      check_bool "field located" true
+        (contains (Stats.Json.error_to_string e) "count")
+
 (* ------------------------------------------------------------------ *)
 (* resource profiling *)
 
@@ -825,6 +1032,13 @@ let suite =
     quick "log: sink write-through" test_log_sink_write_through;
     quick "log: heartbeat" test_log_heartbeat;
     quick "log: tail" test_log_tail;
+    quick "log: tail under concurrent appends" test_log_tail_concurrent_appends;
+    quick "log: sink module" test_log_sink_module;
+    quick "window: disabled is invisible" test_window_disabled_is_invisible;
+    quick "window: basic RED stats" test_window_basic_stats;
+    quick "window: rollover and expiry" test_window_rollover_and_expiry;
+    quick "window: window_s clamping" test_window_clamps;
+    quick "window: stats JSON round trip" test_window_json_roundtrip;
     quick "resource: disabled is invisible" test_resource_disabled_is_invisible;
     quick "resource: with_phase records" test_resource_with_phase_records;
     quick "resource: records on exception" test_resource_records_on_exception;

@@ -414,6 +414,186 @@ let test_fail_injection () =
       let s = Cache.stats (Serve.cache serve) in
       Alcotest.(check int) "failed requests never cached" 1 s.Cache.entries)
 
+(* ------------------------------------------------------------------ *)
+(* service observability: metrics op, request ids, access log *)
+
+let test_metrics_op () =
+  Window.disable ();
+  Window.enable ();
+  Fun.protect ~finally:(fun () -> Window.disable ())
+  @@ fun () ->
+  with_serve (fun serve ->
+      let payload = schedule_payload "nop\n" in
+      let _, _ = response_json serve payload in
+      let _, _ = response_json serve payload in
+      let _, json = response_json serve {|{"op": "metrics"}|} in
+      check_status json "ok";
+      let m =
+        get_exn ~what:"metrics response" (Serve.metrics_of_json json)
+      in
+      Alcotest.(check int) "requests counted" 2 m.Serve.requests;
+      Alcotest.(check int) "cache entries" 1 m.Serve.cache_entries;
+      Alcotest.(check int) "cache hits" 1 m.Serve.cache_hits;
+      Alcotest.(check int) "cache misses" 1 m.Serve.cache_misses;
+      let s = Cache.stats (Serve.cache serve) in
+      Alcotest.(check int) "cache bytes exact" s.Cache.bytes m.Serve.cache_bytes;
+      Alcotest.(check bool) "uptime advances" true (m.Serve.uptime_s >= 0.0);
+      Alcotest.(check bool) "rss read" true (m.Serve.rss_kb >= 0);
+      (* every advertised window, in order, with the two requests in *)
+      Alcotest.(check (list (float 1e-9)))
+        "windows as advertised" Serve.report_windows
+        (List.map (fun (w : Window.stats) -> w.Window.window_s)
+           m.Serve.windows);
+      List.iter
+        (fun (w : Window.stats) ->
+          Alcotest.(check int)
+            (Printf.sprintf "window %gs sees both requests"
+               w.Window.window_s)
+            2 w.Window.count;
+          Alcotest.(check int)
+            (Printf.sprintf "window %gs error-free" w.Window.window_s)
+            0 w.Window.errors)
+        m.Serve.windows;
+      (* the metrics op itself is served but was not yet counted when
+         the snapshot was taken *)
+      Alcotest.(check int) "served after" 3 (Serve.served serve))
+
+let test_error_responses_carry_ids () =
+  with_serve (fun serve ->
+      let id_of json =
+        match Json.member "error" json with
+        | Some err -> (
+            match Json.member "id" err with
+            | Some (Json.String id) -> id
+            | _ -> Alcotest.fail "error response without an id")
+        | None -> Alcotest.fail "no error object"
+      in
+      let _, j1 = response_json serve "{not json" in
+      let _, j2 = response_json serve {|{"op": "launch"}|} in
+      let id1 = id_of j1 and id2 = id_of j2 in
+      Alcotest.(check bool) "ids distinct" true (id1 <> id2);
+      (* nonce-seq shape: one dash, decimal sequence *)
+      (match String.split_on_char '-' id1 with
+      | [ nonce; seq ] ->
+          Alcotest.(check bool) "nonce nonempty" true (String.length nonce > 0);
+          Alcotest.(check bool) "sequence decimal" true
+            (match int_of_string_opt seq with Some n -> n > 0 | None -> false)
+      | _ -> Alcotest.failf "id %S is not nonce-seq" id1);
+      (* ok responses never carry an id (cache-payload byte identity) *)
+      let ok, _ = response_json serve (schedule_payload "nop\n") in
+      Alcotest.(check bool) "ok response id-free" false
+        (contains ~needle:"\"id\"" ok))
+
+let test_access_log () =
+  let path = Filename.temp_file "dagsched_test_access" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let sink =
+    match Log.Sink.open_ ~append:false path with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "sink: %s" msg
+  in
+  let t = Serve.create ~access:sink () in
+  Fun.protect ~finally:(fun () ->
+      Serve.destroy t;
+      Log.Sink.close sink)
+  @@ fun () ->
+  let payload = schedule_payload "nop\n" in
+  ignore (Serve.handle_text t payload);          (* miss *)
+  ignore (Serve.handle_text t payload);          (* hit *)
+  ignore (Serve.handle_text t {|{"op": "ping"}|});
+  ignore (Serve.handle_text t "{not json");
+  let lines =
+    In_channel.with_open_bin path In_channel.input_lines
+    |> List.map (fun l ->
+           match Json.of_string l with
+           | Ok j -> j
+           | Error msg -> Alcotest.failf "access line %S: %s" l msg)
+  in
+  Alcotest.(check int) "one line per request" 4 (List.length lines);
+  let field name j =
+    match Json.member name j with
+    | Some (Json.String s) -> s
+    | Some v -> Json.to_string v
+    | None -> Alcotest.failf "access line without %S" name
+  in
+  (match lines with
+  | [ miss; hit; ping; bad ] ->
+      Alcotest.(check string) "miss op" "schedule" (field "op" miss);
+      Alcotest.(check string) "miss cache" "miss" (field "cache" miss);
+      Alcotest.(check string) "miss outcome" "ok" (field "outcome" miss);
+      Alcotest.(check string) "hit cache" "hit" (field "cache" hit);
+      Alcotest.(check string) "ping op" "ping" (field "op" ping);
+      Alcotest.(check string) "ping cache" "-" (field "cache" ping);
+      Alcotest.(check string) "parse outcome" "parse" (field "outcome" bad);
+      (* ids are distinct and shaped like the error-response ids *)
+      let ids = List.map (field "id") lines in
+      Alcotest.(check int) "ids distinct" 4
+        (List.length (List.sort_uniq compare ids));
+      List.iter
+        (fun j ->
+          let geti k =
+            get_exn ~what:k (Json.get_int ~path:[] k j)
+          in
+          Alcotest.(check bool) "bytes_in positive" true (geti "bytes_in" > 0);
+          Alcotest.(check bool) "bytes_out positive" true
+            (geti "bytes_out" > 0);
+          Alcotest.(check bool) "duration non-negative" true
+            (geti "dur_us" >= 0))
+        lines
+  | _ -> Alcotest.fail "unreachable")
+
+let test_prometheus_exposition () =
+  Window.disable ();
+  Window.enable ();
+  Fun.protect ~finally:(fun () -> Window.disable ())
+  @@ fun () ->
+  with_serve (fun serve ->
+      ignore (Serve.handle_text serve (schedule_payload "nop\n"));
+      ignore (Serve.handle_text serve (schedule_payload "nop\n"));
+      let text = Serve.prometheus_of_metrics (Serve.metrics_of serve) in
+      let expect needle =
+        if not (contains ~needle text) then
+          Alcotest.failf "exposition lacks %S" needle
+      in
+      expect "# TYPE dagsched_uptime_seconds gauge";
+      expect "# TYPE dagsched_requests_total counter";
+      expect "dagsched_requests_total 2";
+      expect "dagsched_cache_entries 1";
+      expect "dagsched_cache_hits_total 1";
+      expect "dagsched_cache_misses_total 1";
+      expect "dagsched_cache_bytes_limit";
+      expect "dagsched_serve_request_window_count{window=\"1s\"} 2";
+      expect "dagsched_serve_request_window_rate{window=\"60s\"}";
+      expect "window=\"10s\",quantile=\"0.99\"";
+      (* families render once: the registry mirrors of the exact
+         counters are dropped, not exposed twice *)
+      let occurrences needle =
+        let n = String.length needle in
+        let rec go i acc =
+          if i + n > String.length text then acc
+          else if String.sub text i n = needle then go (i + 1) (acc + 1)
+          else go (i + 1) acc
+        in
+        go 0 0
+      in
+      Alcotest.(check int) "cache_hits family once" 1
+        (occurrences "# TYPE dagsched_cache_hits_total");
+      Alcotest.(check int) "requests family once" 1
+        (occurrences "# TYPE dagsched_requests_total");
+      (* every line is a comment or `name{labels} value` *)
+      String.split_on_char '\n' text
+      |> List.iter (fun line ->
+             if line <> "" && line.[0] <> '#' then
+               match String.rindex_opt line ' ' with
+               | None -> Alcotest.failf "unparseable line %S" line
+               | Some i ->
+                   let v = String.sub line (i + 1)
+                             (String.length line - i - 1) in
+                   if float_of_string_opt v = None then
+                     Alcotest.failf "non-numeric value in %S" line))
+
 let suite =
   [ Alcotest.test_case "frame round trips" `Quick test_frame_roundtrip;
     Alcotest.test_case "frame torn mid-payload" `Quick
@@ -435,4 +615,12 @@ let suite =
     Alcotest.test_case "typed errors, daemon state survives" `Quick
       test_error_containment;
     Alcotest.test_case "DAGSCHED_SERVE_FAIL answers internal errors" `Quick
-      test_fail_injection ]
+      test_fail_injection;
+    Alcotest.test_case "metrics op: exact snapshot + windows" `Quick
+      test_metrics_op;
+    Alcotest.test_case "error responses carry request ids" `Quick
+      test_error_responses_carry_ids;
+    Alcotest.test_case "access log: one JSONL line per request" `Quick
+      test_access_log;
+    Alcotest.test_case "prometheus exposition well-formed" `Quick
+      test_prometheus_exposition ]
