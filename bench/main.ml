@@ -15,7 +15,9 @@
     DAGSCHED_BENCH_WORKERS; schedtool path with DAGSCHED_SCHEDTOOL);
     [obs] measures the batch pipeline with tracing+metrics disabled vs
     enabled over the same corpus and writes BENCH_obs.json (target:
-    under 5% overhead enabled); [pool] compares the old central-queue
+    under 5% overhead enabled); [explain] does the same for the
+    decision-provenance recorder and writes BENCH_explain.json (same
+    5% target); [pool] compares the old central-queue
     dispatcher against the work-stealing deque pool (per-block and
     chunked, chunk size overridable with DAGSCHED_BENCH_CHUNK) over the
     same corpus and writes BENCH_pool.json (target: >= 10x lower total
@@ -970,6 +972,92 @@ let obs_bench () =
   | Ok _ -> ()
   | Error msg -> failwith ("BENCH_obs.json does not parse back: " ^ msg));
   let path = "BENCH_obs.json" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc text;
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* explain overhead: the decision-provenance recorder off vs fully on
+   over the Table-3 corpus, with a machine-readable BENCH_explain.json *)
+
+let explain_bench () =
+  heading "Explain overhead: decision recorder off vs on";
+  let corpus = Profiles.corpus Profiles.benchmarks in
+  let blocks = List.concat_map snd corpus in
+  Printf.printf
+    "(full batch pipeline over the Table-3 corpus — %d programs, %d blocks —\n\
+    \ single domain, mean of %d runs; target: enabled overhead under 5%%;\n\
+    \ schedules differentially checked against the unrecorded run)\n"
+    (List.length corpus) (List.length blocks) runs;
+  let all_off () =
+    Explain.disable ();
+    Explain.reset ()
+  in
+  (* same pairing discipline as the obs benchmark: reset before each
+     timed run, interleave the two configurations within an iteration so
+     shared-host drift cancels *)
+  let timed_run ~mode =
+    all_off ();
+    (match mode with `Off -> () | `On -> Explain.enable ());
+    let t0 = Clock.now () in
+    let r = Batch.run ~domains:1 Batch.section6 blocks in
+    (Clock.since t0, r)
+  in
+  ignore (timed_run ~mode:`Off);
+  let off_total = ref 0.0 and on_total = ref 0.0 in
+  let off_results = ref [] and on_results = ref [] in
+  for _ = 1 to runs do
+    let d, r = timed_run ~mode:`Off in
+    off_total := !off_total +. d;
+    off_results := r;
+    let d, r = timed_run ~mode:`On in
+    on_total := !on_total +. d;
+    on_results := r
+  done;
+  let off_s = !off_total /. float_of_int runs
+  and on_s = !on_total /. float_of_int runs in
+  (* the last timed run was recorded, so the registry holds exactly one
+     corpus run's decisions *)
+  let stats = Explain.snapshot () in
+  all_off ();
+  List.iter2
+    (fun (a : Batch.result) (b : Batch.result) ->
+      assert (Batch.strip_timing a = Batch.strip_timing b))
+    !off_results !on_results;
+  let overhead_pct = 100.0 *. ((on_s /. Float.max 1e-9 off_s) -. 1.0) in
+  let t = Table.create ~title:"" [ "config"; "ms/run"; "overhead %" ] in
+  Table.add_row t [ "disabled"; Table.fmt_float (1000.0 *. off_s); "-" ];
+  Table.add_row t
+    [ "explain"; Table.fmt_float (1000.0 *. on_s);
+      Table.fmt_float overhead_pct ];
+  Table.print t;
+  let decisions =
+    List.fold_left (fun a (s : Explain.strategy_stat) -> a + s.Explain.decisions)
+      0 stats
+  in
+  Printf.printf "%d decisions across %d strategies recorded per run\n"
+    decisions (List.length stats);
+  if overhead_pct > 5.0 then
+    Printf.printf
+      "(overhead above the 5%% target on this host — one registry update\n\
+      \ per issued instruction; the target is judged on an unloaded host)\n";
+  let json =
+    Stats.Json.Obj
+      [ ("experiment", Stats.Json.String "explain");
+        ("runs", Stats.Json.Int runs);
+        ("blocks", Stats.Json.Int (List.length blocks));
+        ("disabled_s", Stats.Json.Float off_s);
+        ("enabled_s", Stats.Json.Float on_s);
+        ("overhead_pct", Stats.Json.Float overhead_pct);
+        ("decisions", Stats.Json.Int decisions);
+        ("decisiveness", Explain.to_json stats) ]
+  in
+  let text = Stats.Json.to_string json in
+  (match Stats.Json.of_string text with
+  | Ok _ -> ()
+  | Error msg -> failwith ("BENCH_explain.json does not parse back: " ^ msg));
+  let path = "BENCH_explain.json" in
   Out_channel.with_open_text path (fun oc ->
       output_string oc text;
       output_char oc '\n');
@@ -2060,8 +2148,8 @@ let experiments =
     ("attributes", attributes); ("reservation", reservation_bench);
     ("structure", structure); ("pressure", pressure);
     ("parallel", parallel); ("shard", shard_bench); ("fleet", fleet_bench);
-    ("obs", obs_bench); ("pool", pool_bench); ("dag", dag_bench);
-    ("serve", serve_bench); ("micro", micro) ]
+    ("obs", obs_bench); ("explain", explain_bench); ("pool", pool_bench);
+    ("dag", dag_bench); ("serve", serve_bench); ("micro", micro) ]
 
 let () =
   let requested =

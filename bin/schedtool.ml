@@ -154,6 +154,19 @@ let resource_arg =
               with $(b,--trace) — emit heap/GC counter tracks into the \
               trace timeline.")
 
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:"Record heuristic decisiveness while scheduling: per rank, \
+              how often each heuristic was consulted, how many candidates \
+              it eliminated and how often it settled the choice, plus \
+              forced decisions, program-order tie-breaks and \
+              priority-weight overrules.  Printed per strategy on stderr \
+              after the run and exported as an $(b,explain) field in the \
+              report JSON.  Schedules are unchanged; without this flag \
+              report bytes are untouched.")
+
 let log_path_conv =
   let parse s =
     if s = "" then Error (`Msg "log path must not be empty") else Ok s
@@ -203,10 +216,12 @@ let progress_arg =
 (* --trace also turns the metrics registry on, so a traced fleet ships a
    uniform obs payload home from every worker; only --metrics prints the
    registry *)
-let obs_enable ~trace ~metrics ?(resource = false) ?log ?log_level () =
+let obs_enable ~trace ~metrics ?(resource = false) ?(explain = false) ?log
+    ?log_level () =
   if trace <> None then Trace.enable ();
   if metrics || trace <> None then Metrics.enable ();
   if resource then Obs_resource.enable ();
+  if explain then Explain.enable ();
   (match (log_level, log) with
   | None, None -> ()
   | lvl, _ -> Log.set_level (Some (Option.value lvl ~default:Log.Info)));
@@ -246,10 +261,54 @@ let with_resource json =
         Json.Obj (fields @ [ ("resource", rj) ])
     | other -> other
 
+(* Same discipline for the decisiveness statistics: an "explain" field
+   appended only when the registry is live, round-trip checked. *)
+let with_explain json =
+  if not (Explain.enabled ()) then json
+  else
+    match json with
+    | Json.Obj fields ->
+        let stats = Explain.snapshot () in
+        let ej = Explain.to_json stats in
+        (match Explain.of_json ej with
+        | Ok stats' when Explain.equal stats stats' -> ()
+        | _ ->
+            Printf.eprintf "internal error: explain JSON round trip mismatch\n";
+            exit 3);
+        Json.Obj (fields @ [ ("explain", ej) ])
+    | other -> other
+
+let explain_tables () =
+  List.iter
+    (fun (st : Explain.strategy_stat) ->
+      Printf.eprintf
+        "decisiveness: %s\n  %d decisions: %d forced, %d program-order \
+         tie-breaks, %d weight-overruled\n"
+        st.Explain.signature st.Explain.decisions st.Explain.forced
+        st.Explain.tie_breaks st.Explain.overruled;
+      let t =
+        Table.create ~title:"ranks"
+          [ "rank"; "heuristic"; "consulted"; "decided"; "eliminated" ]
+      in
+      List.iter
+        (fun (r : Explain.rank_stat) ->
+          Table.add_row t
+            [ string_of_int r.Explain.rank; r.Explain.heuristic;
+              string_of_int r.Explain.consulted;
+              string_of_int r.Explain.decided;
+              string_of_int r.Explain.eliminated ])
+        st.Explain.ranks;
+      prerr_string (Table.render t);
+      match Explain.never_consulted st with
+      | [] -> ()
+      | dead ->
+          Printf.eprintf "  never consulted: %s\n" (String.concat ", " dead))
+    (Explain.snapshot ())
+
 (* After the run: write the Chrome trace (with the same round-trip
    self-check discipline as the report writers) and print the per-phase,
-   metrics and resource summaries on stderr. *)
-let obs_finish ~trace ~metrics ?(resource = false) () =
+   metrics, resource and decisiveness summaries on stderr. *)
+let obs_finish ~trace ~metrics ?(resource = false) ?(explain = false) () =
   (match trace with
   | None -> ()
   | Some path ->
@@ -342,7 +401,8 @@ let obs_finish ~trace ~metrics ?(resource = false) () =
         rows;
       prerr_string (Table.render rt)
     end
-  end
+  end;
+  if explain then explain_tables ()
 
 (* ------------------------------------------------------------------ *)
 (* gen *)
@@ -584,8 +644,8 @@ let chain_cmd =
 
 let batch_cmd =
   let run alg model strategy jobs chunk json_path quiet trace metrics resource
-      log log_level progress file =
-    obs_enable ~trace ~metrics ~resource ?log ?log_level ();
+      explain log log_level progress file =
+    obs_enable ~trace ~metrics ~resource ~explain ?log ?log_level ();
     if progress then Log.set_heartbeat ~echo:true ~interval_s:0.5 ();
     let blocks = span_parse file (fun () -> load_blocks file) in
     let config =
@@ -608,7 +668,8 @@ let batch_cmd =
     | Some path ->
         let text =
           span_encode (fun () ->
-              Stats.Json.to_string (with_resource (Batch.report_to_json report))
+              Stats.Json.to_string
+                (with_explain (with_resource (Batch.report_to_json report)))
               ^ "\n")
         in
         (* the report must round-trip through the reader before we ship
@@ -635,7 +696,7 @@ let batch_cmd =
       "batch: %d blocks, %d domains, %d -> %d cycles, %.1f ms wall\n"
       report.Batch.blocks report.Batch.domains report.Batch.original_cycles
       report.Batch.scheduled_cycles (1000.0 *. report.Batch.wall_s);
-    obs_finish ~trace ~metrics ~resource ()
+    obs_finish ~trace ~metrics ~resource ~explain ()
   in
   let jobs =
     Arg.(
@@ -668,8 +729,8 @@ let batch_cmd =
           of $(b,--jobs) and $(b,--chunk)).")
     Term.(
       const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ chunk
-      $ json_path $ quiet $ trace_arg $ metrics_arg $ resource_arg $ log_arg
-      $ log_level_arg $ progress_arg $ file_arg)
+      $ json_path $ quiet $ trace_arg $ metrics_arg $ resource_arg
+      $ explain_arg $ log_arg $ log_level_arg $ progress_arg $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* shard: a whole corpus across a fleet of batch drivers *)
@@ -689,8 +750,8 @@ let policy_conv =
 
 let shard_cmd =
   let run alg model strategy jobs chunk shards policy json_path quiet trace
-      metrics resource log log_level progress files =
-    obs_enable ~trace ~metrics ~resource ?log ?log_level ();
+      metrics resource explain log log_level progress files =
+    obs_enable ~trace ~metrics ~resource ~explain ?log ?log_level ();
     if progress then Log.set_heartbeat ~echo:true ~interval_s:0.5 ();
     let files = if files = [] then [ "-" ] else files in
     let corpus =
@@ -721,7 +782,7 @@ let shard_cmd =
         let text =
           span_encode (fun () ->
               Stats.Json.to_string
-                (with_resource (Shard.merged_to_json merged))
+                (with_explain (with_resource (Shard.merged_to_json merged)))
               ^ "\n")
         in
         (* same self-check as batch: the merged report must round-trip
@@ -750,7 +811,7 @@ let shard_cmd =
     if progress then
       Log.heartbeat ~force:true ~phase:"done" ~done_:agg.Batch.blocks
         ~total:agg.Batch.blocks ();
-    obs_finish ~trace ~metrics ~resource ()
+    obs_finish ~trace ~metrics ~resource ~explain ()
   in
   let jobs =
     Arg.(
@@ -808,7 +869,8 @@ let shard_cmd =
     Term.(
       const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ chunk
       $ shards $ policy $ json_path $ quiet $ trace_arg $ metrics_arg
-      $ resource_arg $ log_arg $ log_level_arg $ progress_arg $ files)
+      $ resource_arg $ explain_arg $ log_arg $ log_level_arg $ progress_arg
+      $ files)
 
 (* ------------------------------------------------------------------ *)
 (* worker: one fleet shard, driven by a manifest file *)
@@ -884,7 +946,7 @@ let worker_cmd =
       if
         not
           (Trace.enabled () || Metrics.is_enabled ()
-          || Obs_resource.is_enabled ())
+          || Obs_resource.is_enabled () || Explain.enabled ())
       then json
       else
         match json with
@@ -894,10 +956,13 @@ let worker_cmd =
                   Trace.to_json ~counters:(Trace.snapshot_counters ())
                     (Trace.snapshot ()) );
                 ("metrics", Metrics.snapshot_to_json (Metrics.snapshot ())) ]
+              @ (if Obs_resource.is_enabled () then
+                   [ ( "resource",
+                       Obs_resource.to_json (Obs_resource.snapshot ()) ) ]
+                 else [])
               @
-              if Obs_resource.is_enabled () then
-                [ ("resource", Obs_resource.to_json (Obs_resource.snapshot ()))
-                ]
+              if Explain.enabled () then
+                [ ("explain", Explain.to_json (Explain.snapshot ())) ]
               else []
             in
             Json.Obj (fields @ [ ("obs", Json.Obj obs_fields) ])
@@ -942,10 +1007,11 @@ let retries_conv =
 
 let fleet_cmd =
   let run alg model strategy jobs workers timeout retries backoff policy
-      json_path quiet trace metrics resource log log_level progress files =
+      json_path quiet trace metrics resource explain log log_level progress
+      files =
     (* enabling before Fleet.run makes the orchestrator export
        DAGSCHED_OBS (and the log stream variables) to its workers *)
-    obs_enable ~trace ~metrics ~resource ?log ?log_level ();
+    obs_enable ~trace ~metrics ~resource ~explain ?log ?log_level ();
     let files = if files = [] then [ "-" ] else files in
     let domains = if jobs <= 0 then Pool.recommended () else jobs in
     let workers = if workers <= 0 then List.length files else workers in
@@ -1002,7 +1068,9 @@ let fleet_cmd =
     | Some path ->
         let text =
           span_encode (fun () ->
-              Stats.Json.to_string (with_resource (Fleet.to_json t)) ^ "\n")
+              Stats.Json.to_string
+                (with_explain (with_resource (Fleet.to_json t)))
+              ^ "\n")
         in
         (* same self-check as batch/shard: the full report must
            round-trip through the reader before we ship it *)
@@ -1037,7 +1105,7 @@ let fleet_cmd =
       | fs ->
           Printf.sprintf ", %d shard%s FAILED" (List.length fs)
             (if List.length fs = 1 then "" else "s"));
-    obs_finish ~trace ~metrics ~resource ();
+    obs_finish ~trace ~metrics ~resource ~explain ();
     if Fleet.failed_shards t <> [] then exit 4
   in
   let jobs =
@@ -1115,8 +1183,8 @@ let fleet_cmd =
     Term.(
       const run $ builder_arg $ model_arg $ strategy_arg $ jobs $ workers
       $ timeout $ retries $ backoff $ policy $ json_path $ quiet $ trace_arg
-      $ metrics_arg $ resource_arg $ log_arg $ log_level_arg $ progress_arg
-      $ files)
+      $ metrics_arg $ resource_arg $ explain_arg $ log_arg $ log_level_arg
+      $ progress_arg $ files)
 
 (* ------------------------------------------------------------------ *)
 (* serve: the scheduling daemon, and its client *)
@@ -1466,6 +1534,448 @@ let gantt_cmd =
     Term.(const run $ spec $ model_arg $ strategy_arg $ file_arg)
 
 (* ------------------------------------------------------------------ *)
+(* explain: decision provenance — per-block narrative, corpus
+   decisiveness for every published strategy, JSONL/DOT/timeline
+   exports and the optimality-gap report *)
+
+let export_path_conv =
+  let parse s =
+    if s = "" then Error (`Msg "export path must not be empty") else Ok s
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+(* Oracle feasibility pre-filter: beyond this size the branch-and-bound
+   burns its whole budget without finishing, so --gap skips the search
+   outright and reports the block as skipped. *)
+let gap_max_insns = 32
+
+(* One-line instruction text: a label prefix ("B0:\n\t...") would break
+   the narrative's and the timeline's one-event-per-line shape. *)
+let insn_line dag i =
+  let s = String.trim (Insn.to_string (Dag.insn dag i)) in
+  match String.rindex_opt s '\n' with
+  | None -> s
+  | Some k -> String.trim (String.sub s (k + 1) (String.length s - k - 1))
+
+let explain_cmd =
+  let run spec model strategy block_idx quiet jsonl_path dot_path
+      timeline_path gap budget json_path file =
+    let blocks = load_blocks file in
+    if blocks = [] then begin
+      Printf.eprintf "explain error: no blocks in input\n";
+      exit 2
+    end;
+    let block =
+      match List.find_opt (fun b -> b.Block.id = block_idx) blocks with
+      | Some b -> b
+      | None ->
+          Printf.eprintf "explain error: no block %d (have %d blocks)\n"
+            block_idx (List.length blocks);
+          exit 124
+    in
+    let opts = opts_of model strategy in
+    let config = Published.engine_config spec in
+    let write_export what path text =
+      if path = "-" then print_string text
+      else
+        try Out_channel.with_open_text path (fun oc -> output_string oc text)
+        with Sys_error msg ->
+          Printf.eprintf "%s error: %s\n" what msg;
+          exit 125
+    in
+    (* -- narrative: one block, the chosen scheduler, every decision -- *)
+    (* the full static pass (not compute_for) so the DOT export below
+       can highlight the slack-0 critical path *)
+    let dag = Builder.build (Published.builder spec) opts block in
+    let annot = Static_pass.compute dag in
+    let order, decisions = Engine.run_traced config ~annot dag in
+    let schedule =
+      let s = Schedule.make dag order in
+      if spec.Published.postpass_fixup then Fixup.run s else s
+    in
+    if not quiet then begin
+      Printf.printf "block %d: %s, %d instructions, %d decisions\n\n"
+        block.Block.id spec.Published.name (Block.length block)
+        (List.length decisions);
+      let insn i = insn_line dag i in
+      List.iter
+        (fun (d : Engine.decision) ->
+          Printf.printf "t=%-3d candidates: {%s}\n" d.Engine.time
+            (String.concat ", " (List.map string_of_int d.Engine.candidates));
+          List.iter
+            (fun (h, best, survivors) ->
+              Printf.printf "      %-36s best %4d -> {%s}\n"
+                (Heuristic.to_string h) best
+                (String.concat ", " (List.map string_of_int survivors)))
+            d.Engine.trail;
+          if d.Engine.tie_break then
+            Printf.printf "      program-order tie-break\n";
+          Printf.printf "      issued %d%s: %s\n" d.Engine.chosen
+            (if d.Engine.trail = [] then " (forced)" else "")
+            (insn d.Engine.chosen))
+        decisions;
+      Printf.printf "\nissue timeline:\n%s" (Gantt.render schedule)
+    end;
+    (* -- DOT export: the narrative block's DAG, critical path marked - *)
+    (match dot_path with
+    | None -> ()
+    | Some path ->
+        let critical =
+          List.filter
+            (fun i -> annot.Annot.slack.(i) = 0)
+            (List.init (Dag.length dag) Fun.id)
+        in
+        write_export "dot" path
+          (Dot.render
+             ~name:(Printf.sprintf "block%d" block.Block.id)
+             ~highlight:critical dag));
+    (* -- JSONL decision trace: the chosen scheduler, whole corpus ---- *)
+    (match jsonl_path with
+    | None -> ()
+    | Some path ->
+        let sg = Engine.signature config in
+        let ds =
+          List.concat_map
+            (fun b ->
+              let dag = Builder.build (Published.builder spec) opts b in
+              let annot =
+                Static_pass.compute_for (Published.heuristics_of spec) dag
+              in
+              let _, decisions = Engine.run_traced config ~annot dag in
+              List.map
+                (fun (d : Engine.decision) ->
+                  { Explain.block = b.Block.id;
+                    strategy = sg;
+                    time = d.Engine.time;
+                    candidates = d.Engine.candidates;
+                    steps =
+                      List.map
+                        (fun (h, best, survivors) ->
+                          { Explain.heuristic = Heuristic.to_string h;
+                            best; survivors })
+                        d.Engine.trail;
+                    chosen = d.Engine.chosen;
+                    tie_break = d.Engine.tie_break })
+                decisions)
+            blocks
+        in
+        let text = Explain.decisions_to_jsonl ds in
+        (match Explain.decisions_of_jsonl text with
+        | Ok ds' when ds' = ds -> ()
+        | _ ->
+            Printf.eprintf
+              "internal error: decision JSONL round trip mismatch\n";
+            exit 3);
+        write_export "jsonl" path text);
+    (* -- timeline export: issue cycles as Chrome trace events -------- *)
+    (match timeline_path with
+    | None -> ()
+    | Some path ->
+        let spans =
+          List.concat_map
+            (fun b ->
+              let s = Published.run ~opts spec b in
+              let sim = Schedule.simulate s in
+              let dag = s.Schedule.dag in
+              let model = Dag.model dag in
+              Array.to_list
+                (Array.mapi
+                   (fun k node ->
+                     { Trace.name = insn_line dag node;
+                       cat = "issue";
+                       ts_us = float_of_int sim.Pipeline.issue_cycle.(k);
+                       dur_us =
+                         float_of_int
+                           (max 1 (model.Latency.exec_time (Dag.insn dag node)));
+                       pid = b.Block.id;
+                       tid = 0;
+                       args = [ ("node", Json.Int node) ] })
+                   s.Schedule.order))
+            blocks
+        in
+        let pid_names =
+          List.map
+            (fun b ->
+              (b.Block.id, Printf.sprintf "block %d" b.Block.id))
+            blocks
+        in
+        let json = Trace.to_json ~pid_names spans in
+        let text = Stats.Json.to_string json ^ "\n" in
+        (match Stats.Json.of_string text with
+        | Ok j
+          when (match Trace.events_of_json j with
+               | Ok spans' -> spans' = spans
+               | Error _ -> false) -> ()
+        | _ ->
+            Printf.eprintf
+              "internal error: timeline JSON round trip mismatch\n";
+            exit 3);
+        write_export "timeline" path text);
+    (* -- decisiveness: every published strategy over the corpus ------ *)
+    Explain.enable ();
+    Explain.reset ();
+    List.iter
+      (fun sp ->
+        List.iter (fun b -> ignore (Published.run ~opts sp b)) blocks)
+      Published.all;
+    let stats = Explain.snapshot () in
+    Explain.disable ();
+    Explain.reset ();
+    if not quiet then
+      List.iter
+        (fun sp ->
+          let sg = Engine.signature (Published.engine_config sp) in
+          match
+            List.find_opt (fun st -> st.Explain.signature = sg) stats
+          with
+          | None -> ()
+          | Some st ->
+              Printf.printf
+                "\ndecisiveness: %s (%s)\n  %d decisions: %d forced, %d \
+                 program-order tie-breaks, %d weight-overruled\n"
+                sp.Published.name sg st.Explain.decisions st.Explain.forced
+                st.Explain.tie_breaks st.Explain.overruled;
+              let t =
+                Table.create ~title:""
+                  [ "rank"; "heuristic"; "consulted"; "decided";
+                    "eliminated" ]
+              in
+              List.iter
+                (fun (r : Explain.rank_stat) ->
+                  Table.add_row t
+                    [ string_of_int r.Explain.rank; r.Explain.heuristic;
+                      string_of_int r.Explain.consulted;
+                      string_of_int r.Explain.decided;
+                      string_of_int r.Explain.eliminated ])
+                st.Explain.ranks;
+              print_string (Table.render t);
+              (match Explain.never_consulted st with
+              | [] -> ()
+              | dead ->
+                  Printf.printf "  never consulted: %s\n"
+                    (String.concat ", " dead)))
+        Published.all;
+    (* -- optimality gap: oracle vs every strategy, same cost model --- *)
+    let gap_json = ref Json.Null in
+    if gap then begin
+      (* one oracle run per distinct (block, builder) — specs sharing a
+         builder share the search *)
+      let oracle_cache : (int * Builder.algorithm, Optimal.result option)
+          Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let oracle key dag =
+        match Hashtbl.find_opt oracle_cache key with
+        | Some r -> r
+        | None ->
+            let r =
+              if Dag.length dag > gap_max_insns then None
+              else
+                let res = Optimal.run ~budget dag in
+                if res.Optimal.optimal then Some res else None
+            in
+            Hashtbl.add oracle_cache key r;
+            r
+      in
+      let strategies =
+        List.map
+          (fun sp ->
+            let per_block =
+              List.filter_map
+                (fun b ->
+                  let alg = Published.builder sp in
+                  let dag = Builder.build alg opts b in
+                  match oracle (b.Block.id, alg) dag with
+                  | None -> None
+                  | Some res ->
+                      let s = Published.run_on_dag sp dag in
+                      let heur = Optimal.evaluate dag s.Schedule.order in
+                      Some (b.Block.id, Dag.length dag, heur,
+                            res.Optimal.cycles))
+                blocks
+            in
+            (sp, per_block))
+          Published.all
+      in
+      let pct heur opt =
+        100.0 *. float_of_int (heur - opt) /. float_of_int (max 1 opt)
+      in
+      if not quiet then begin
+        Printf.printf "\noptimality gap (budget %d, blocks <= %d insns):\n"
+          budget gap_max_insns;
+        let t =
+          Table.create ~title:""
+            [ "scheduler"; "feasible"; "skipped"; "cycles"; "optimal";
+              "gap %"; "optimal hits" ]
+        in
+        List.iter
+          (fun (sp, per_block) ->
+            let feasible = List.length per_block in
+            let heur =
+              List.fold_left (fun a (_, _, h, _) -> a + h) 0 per_block
+            in
+            let opt =
+              List.fold_left (fun a (_, _, _, o) -> a + o) 0 per_block
+            in
+            let hits =
+              List.length
+                (List.filter (fun (_, _, h, o) -> h = o) per_block)
+            in
+            Table.add_row t
+              [ sp.Published.short; string_of_int feasible;
+                string_of_int (List.length blocks - feasible);
+                string_of_int heur; string_of_int opt;
+                Printf.sprintf "%.2f" (pct heur opt);
+                string_of_int hits ])
+          strategies;
+        print_string (Table.render t)
+      end;
+      gap_json :=
+        Json.Obj
+          [ ("budget", Json.Int budget);
+            ("max_insns", Json.Int gap_max_insns);
+            ("blocks", Json.Int (List.length blocks));
+            ( "strategies",
+              Json.List
+                (List.map
+                   (fun (sp, per_block) ->
+                     let heur =
+                       List.fold_left (fun a (_, _, h, _) -> a + h) 0
+                         per_block
+                     in
+                     let opt =
+                       List.fold_left (fun a (_, _, _, o) -> a + o) 0
+                         per_block
+                     in
+                     Json.Obj
+                       [ ("scheduler", Json.String sp.Published.short);
+                         ( "signature",
+                           Json.String
+                             (Engine.signature (Published.engine_config sp))
+                         );
+                         ("feasible", Json.Int (List.length per_block));
+                         ( "skipped",
+                           Json.Int
+                             (List.length blocks - List.length per_block) );
+                         ("heuristic_cycles", Json.Int heur);
+                         ("optimal_cycles", Json.Int opt);
+                         ("gap_pct", Json.Float (pct heur opt));
+                         ( "per_block",
+                           Json.List
+                             (List.map
+                                (fun (id, insns, h, o) ->
+                                  Json.Obj
+                                    [ ("block", Json.Int id);
+                                      ("insns", Json.Int insns);
+                                      ("heuristic", Json.Int h);
+                                      ("optimal", Json.Int o) ])
+                                per_block) ) ])
+                   strategies) ) ]
+    end;
+    (* -- machine-readable report: decisiveness (+ gap), self-checked - *)
+    match json_path with
+    | None -> ()
+    | Some path ->
+        let fields =
+          [ ("explain", Explain.to_json stats) ]
+          @ if gap then [ ("gap", !gap_json) ] else []
+        in
+        let text = Stats.Json.to_string (Json.Obj fields) ^ "\n" in
+        (match Stats.Json.of_string text with
+        | Ok j
+          when (match Json.member "explain" j with
+               | Some e -> (
+                   match Explain.of_json e with
+                   | Ok stats' -> Explain.equal stats stats'
+                   | Error _ -> false)
+               | None -> false) -> ()
+        | _ ->
+            Printf.eprintf "internal error: explain JSON round trip mismatch\n";
+            exit 3);
+        write_export "json" path text
+  in
+  let spec =
+    Arg.(
+      value
+      & opt scheduler_conv Published.warren
+      & info [ "A"; "scheduler" ] ~docv:"SCHED"
+          ~doc:"Published algorithm for the narrative and exports \
+                (decisiveness and $(b,--gap) always cover all six).")
+  in
+  let block_idx =
+    Arg.(
+      value & opt int 0
+      & info [ "n"; "block" ] ~docv:"N"
+          ~doc:"Block to narrate and $(b,--dot)-export.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ]
+          ~doc:"Suppress the narrative and tables (exports still run).")
+  in
+  let jsonl_path =
+    Arg.(
+      value
+      & opt (some export_path_conv) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Write the decision trace of $(b,-A) over the whole corpus \
+                as JSONL, one decision object per line ('-' for stdout; \
+                schema in docs/FORMAT.md).")
+  in
+  let dot_path =
+    Arg.(
+      value
+      & opt (some export_path_conv) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Export block $(b,-n)'s dependence DAG as Graphviz DOT with \
+                arc kinds styled and the slack-0 critical path highlighted \
+                ('-' for stdout).")
+  in
+  let timeline_path =
+    Arg.(
+      value
+      & opt (some export_path_conv) None
+      & info [ "timeline" ] ~docv:"FILE"
+          ~doc:"Export issue cycles as a Chrome trace-event timeline (one \
+                process lane per block, loadable in Perfetto; '-' for \
+                stdout).")
+  in
+  let gap =
+    Arg.(
+      value & flag
+      & info [ "gap" ]
+          ~doc:"Run the branch-and-bound oracle on every oracle-feasible \
+                block and report per-strategy optimality gaps in the same \
+                cost model.")
+  in
+  let budget =
+    Arg.(
+      value & opt int Optimal.default_budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Search-node budget per oracle run (with $(b,--gap)).")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some export_path_conv) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write decisiveness statistics (and the $(b,--gap) report) \
+                as JSON ('-' for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain scheduling decisions: a per-block decision narrative \
+          with its issue timeline, corpus-wide heuristic decisiveness for \
+          all six published strategies, JSONL/DOT/Perfetto exports, and \
+          an optimality-gap report against the branch-and-bound oracle.")
+    Term.(
+      const run $ spec $ model_arg $ strategy_arg $ block_idx $ quiet
+      $ jsonl_path $ dot_path $ timeline_path $ gap $ budget $ json_path
+      $ file_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "DAG construction and heuristic instruction scheduling (MICRO-24 1991 reproduction)" in
@@ -1475,4 +1985,5 @@ let () =
        (Cmd.group info
           [ gen_cmd; stats_cmd; build_cmd; schedule_cmd; compare_cmd;
             optimal_cmd; chain_cmd; batch_cmd; shard_cmd; worker_cmd;
-            fleet_cmd; serve_cmd; client_cmd; top_cmd; dot_cmd; gantt_cmd ]))
+            fleet_cmd; serve_cmd; client_cmd; top_cmd; dot_cmd; gantt_cmd;
+            explain_cmd ]))

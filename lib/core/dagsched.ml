@@ -56,6 +56,7 @@ module Window = Ds_obs.Window
 module Prom = Ds_obs.Prom
 module Frame = Ds_obs.Frame
 module Obs_resource = Ds_obs.Resource
+module Explain = Ds_obs.Explain
 module Obs = Ds_obs.Obs
 
 (* ISA *)

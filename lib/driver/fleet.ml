@@ -296,6 +296,12 @@ let absorb_worker_obs ~shard json =
           match Ds_obs.Resource.of_json r with
           | Ok rows -> Ds_obs.Resource.absorb rows
           | Error _ -> ())
+      | None -> ());
+      (match Json.member "explain" obs with
+      | Some e -> (
+          match Ds_obs.Explain.of_json e with
+          | Ok s -> Ds_obs.Explain.absorb s
+          | Error _ -> ())
       | None -> ())
 
 let parse_output slot =

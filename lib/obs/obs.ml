@@ -1,7 +1,8 @@
 (** Cross-process enablement: [schedtool fleet --trace/--metrics/
     --resource] advertises the observability state to its worker
     children through the [DAGSCHED_OBS] environment variable (a
-    comma-separated subset of "trace", "metrics", "resource"), and
+    comma-separated subset of "trace", "metrics", "resource",
+    "explain"), and
     [schedtool worker] re-enables the matching recorders before doing
     any work.  Unknown tokens are ignored.  {!init_from_env} also
     applies {!Log}'s own variables ([DAGSCHED_LOG] /
@@ -12,14 +13,20 @@
 let env_var = "DAGSCHED_OBS"
 
 let env_value () =
-  match (Trace.enabled (), Metrics.is_enabled (), Resource.is_enabled ()) with
-  | false, false, false -> None
-  | t, m, r ->
+  match
+    ( Trace.enabled (),
+      Metrics.is_enabled (),
+      Resource.is_enabled (),
+      Explain.enabled () )
+  with
+  | false, false, false, false -> None
+  | t, m, r, e ->
       Some
         (String.concat ","
            ((if t then [ "trace" ] else [])
            @ (if m then [ "metrics" ] else [])
-           @ if r then [ "resource" ] else []))
+           @ (if r then [ "resource" ] else [])
+           @ if e then [ "explain" ] else []))
 
 let init_from_env () =
   (match Sys.getenv_opt env_var with
@@ -31,6 +38,7 @@ let init_from_env () =
           | "trace" -> Trace.enable ()
           | "metrics" -> Metrics.enable ()
           | "resource" -> Resource.enable ()
+          | "explain" -> Explain.enable ()
           | _ -> ())
         (String.split_on_char ',' s));
   Log.init_from_env ()

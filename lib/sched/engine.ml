@@ -65,8 +65,10 @@ let pick_winnowing direction keys ~annot ~st candidates =
   narrow candidates keys
 
 (* Priority function: rank-weighted sum of signed values; earlier ranks
-   dominate by an order of magnitude. *)
-let pick_priority direction keys ~annot ~st candidates =
+   dominate by an order of magnitude.  [priority_best] returns the full
+   top-priority tie set so the tracer can tell when the program-order
+   fallback fired. *)
+let priority_best keys ~annot ~st candidates =
   let nkeys = List.length keys in
   let weight rank = int_of_float (10.0 ** float_of_int (nkeys - rank)) in
   let priority i =
@@ -86,31 +88,36 @@ let pick_priority direction keys ~annot ~st candidates =
       end
       else if p = !best_p then best := i :: !best)
     candidates;
-  order_tie direction !best
+  !best
 
-let pick config ~annot ~st candidates =
-  match config.mode with
-  | Winnowing -> pick_winnowing config.direction config.keys ~annot ~st candidates
-  | Priority_fn -> pick_priority config.direction config.keys ~annot ~st candidates
+let pick_priority direction keys ~annot ~st candidates =
+  order_tie direction (priority_best keys ~annot ~st candidates)
 
 (* ------------------------------------------------------------------ *)
 (* decision tracing: which heuristic actually decided each issue *)
 
 (** One scheduling decision: the ready candidates at [time], the
     winnowing trail (survivors after each applied heuristic, with the
-    winning value), and the chosen node.  For priority-fn configs the
-    trail has a single pseudo-step with the top-priority tie set. *)
+    winning value), the chosen node, and whether the program-order
+    tie-break made the final call.  A forced decision (single ready
+    candidate) has an empty trail.  Priority-fn configs report a
+    *restricted narrowing* trail — each rank keeps the best of the
+    previous rank's survivors — which matches the weighted sum except
+    when a low rank's magnitude overflows its weight. *)
 type decision = {
   time : int;
   candidates : int list;
   trail : (Heuristic.t * int * int list) list;
       (* heuristic, best signed value, survivors *)
   chosen : int;
+  tie_break : bool;
 }
 
 let winnow_trail direction keys ~annot ~st candidates =
   let rec narrow acc candidates = function
-    | [] -> (List.rev acc, order_tie direction candidates)
+    | [] ->
+        (List.rev acc, order_tie direction candidates,
+         match candidates with [] | [ _ ] -> false | _ -> true)
     | k :: rest ->
         let best =
           List.fold_left
@@ -122,27 +129,150 @@ let winnow_trail direction keys ~annot ~st candidates =
         in
         let acc = (k.heuristic, best, survivors) :: acc in
         (match survivors with
-        | [ only ] -> (List.rev acc, only)
+        | [ only ] -> (List.rev acc, only, false)
         | several -> narrow acc several rest)
   in
   narrow [] candidates keys
 
+(* Restricted narrowing for a priority function: the same lexicographic
+   walk, run alongside the real weighted-sum winner.  [overruled] marks
+   decisions where the weighted sum's winner is not among the narrowing
+   survivors — i.e. a lower rank's value magnitude overflowed the 10×
+   weight separation and beat the rank order. *)
+let priority_trail direction keys ~annot ~st candidates =
+  let best_set = priority_best keys ~annot ~st candidates in
+  let chosen = order_tie direction best_set in
+  let tie_break = match best_set with [] | [ _ ] -> false | _ -> true in
+  let rec narrow acc survivors = function
+    | [] -> (List.rev acc, survivors)
+    | k :: rest ->
+        let best =
+          List.fold_left
+            (fun b i -> max b (signed_value k ~annot ~st i))
+            min_int survivors
+        in
+        let survivors =
+          List.filter (fun i -> signed_value k ~annot ~st i = best) survivors
+        in
+        let acc = (k.heuristic, best, survivors) :: acc in
+        (match survivors with
+        | [ _ ] -> (List.rev acc, survivors)
+        | several -> narrow acc several rest)
+  in
+  let trail, final = narrow [] candidates keys in
+  let overruled = not (List.mem chosen final) in
+  (trail, chosen, tie_break, overruled)
+
+(* [traced_pick] returns (trail, chosen, tie_break, overruled); the
+   chosen node is always identical to what the untraced [pick] would
+   return on the same state. *)
 let traced_pick config ~annot ~st candidates =
+  match candidates with
+  | [ only ] -> ([], only, false, false)
+  | _ -> (
+      match config.mode with
+      | Winnowing ->
+          let trail, chosen, tie_break =
+            winnow_trail config.direction config.keys ~annot ~st candidates
+          in
+          (trail, chosen, tie_break, false)
+      | Priority_fn ->
+          priority_trail config.direction config.keys ~annot ~st candidates)
+
+(* ------------------------------------------------------------------ *)
+(* decisiveness registry hookup (Ds_obs.Explain) *)
+
+(* A strategy's registry key is derived from the config itself — the
+   engine has no notion of a strategy name — and embeds the key order,
+   so colliding signatures always agree on ranks. *)
+(* Display names already carry their natural direction ("max path
+   length to a leaf"), so only a non-default sense is annotated. *)
+let key_label k =
+  let base = Heuristic.to_string k.heuristic in
+  if k.sense = Heuristic.default_sense k.heuristic then base
+  else
+    match k.sense with
+    | Heuristic.Maximize -> base ^ " (maximized)"
+    | Heuristic.Minimize -> base ^ " (minimized)"
+
+let key_labels config = List.map key_label config.keys
+
+let signature_of config =
+  (match config.direction with
+  | Dyn_state.Forward -> "forward"
+  | Dyn_state.Backward -> "backward")
+  ^ "/"
+  ^ (match config.mode with
+    | Winnowing -> "winnowing"
+    | Priority_fn -> "priority")
+  ^ ": "
+  ^ String.concat " > " (key_labels config)
+
+(* Signature strings are built once per (domain, config) — the cache is
+   domain-local so no lock is taken on the pick path. *)
+let signature_cache : (config, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let signature config =
+  let tbl = Domain.DLS.get signature_cache in
+  match Hashtbl.find_opt tbl config with
+  | Some s -> s
+  | None ->
+      let s = signature_of config in
+      Hashtbl.add tbl config s;
+      s
+
+let explain_observe config ~ncand ~trail ~forced ~tie_break ~overruled =
+  Ds_obs.Explain.observe ~signature:(signature config)
+    ~keys:(key_labels config) ~candidates:ncand
+    ~survivor_counts:(List.map (fun (_, _, s) -> List.length s) trail)
+    ~forced ~tie_break ~overruled ()
+
+(* Per-block handle: the scheduling loop resolves the strategy's
+   registry accumulator once and records per pick with no hashing. *)
+let explain_cell config =
+  if Ds_obs.Explain.enabled () then
+    Some
+      (Ds_obs.Explain.cell ~signature:(signature config)
+         ~keys:(key_labels config))
+  else None
+
+let explain_record cell ~ncand ~trail ~forced ~tie_break ~overruled =
+  Ds_obs.Explain.record cell ~candidates:ncand
+    ~survivor_counts:(List.map (fun (_, _, s) -> List.length s) trail)
+    ~forced ~tie_break ~overruled
+
+(* Choose the best candidate.  The singleton fast path skips the key
+   walk entirely — both modes trivially return the only candidate — and
+   is what the decisiveness stats count as a *forced* decision.  When
+   the explain registry is live the trail is computed so the decision's
+   shape can be recorded; otherwise this is one atomic read on top of
+   the bare winnowing/priority pick. *)
+let bare_pick config ~annot ~st candidates =
   match config.mode with
   | Winnowing ->
-      let trail, chosen =
-        winnow_trail config.direction config.keys ~annot ~st candidates
-      in
-      (trail, chosen)
+      pick_winnowing config.direction config.keys ~annot ~st candidates
   | Priority_fn ->
-      (* one pseudo-step per key showing its signed value for the winner *)
-      let chosen = pick_priority config.direction config.keys ~annot ~st candidates in
-      let trail =
-        List.map
-          (fun k -> (k.heuristic, signed_value k ~annot ~st chosen, [ chosen ]))
-          config.keys
-      in
-      (trail, chosen)
+      pick_priority config.direction config.keys ~annot ~st candidates
+
+let pick config ~annot ~st candidates =
+  match candidates with
+  | [ only ] ->
+      if Ds_obs.Explain.enabled () then
+        explain_observe config ~ncand:1 ~trail:[] ~forced:true
+          ~tie_break:false ~overruled:false;
+      only
+  | _ ->
+      if not (Ds_obs.Explain.enabled ()) then
+        bare_pick config ~annot ~st candidates
+      else begin
+        let trail, chosen, tie_break, overruled =
+          traced_pick config ~annot ~st candidates
+        in
+        explain_observe config ~ncand:(List.length candidates) ~trail
+          ~forced:false ~tie_break ~overruled;
+        chosen
+      end
 
 (* observability: per-issue ready-list lengths, stall-cycle totals and
    the accumulated dynamic-heuristic (pick) time — all no-ops unless
@@ -166,6 +296,9 @@ let run_impl ?seed ?recorder config ~annot dag =
        (disabled) path costs two atomic reads per run_impl call *)
     let metrics_on = Ds_obs.Metrics.is_enabled () in
     let trace_on = Ds_obs.Trace.enabled () in
+    (* decisiveness accumulator resolved once per block; [None] when the
+       explain registry is off, leaving the pick path untouched *)
+    let expl = explain_cell config in
     let picks = ref 0 and pick_first = ref 0.0 and pick_total = ref 0.0 in
     let order = ref [] in
     while not (Dyn_state.complete st) do
@@ -185,11 +318,42 @@ let run_impl ?seed ?recorder config ~annot dag =
           st.time <- next
       | _ ->
           let do_pick () =
-            match recorder with
-            | None -> pick config ~annot ~st ready
-            | Some record ->
-                let trail, chosen = traced_pick config ~annot ~st ready in
-                record { time = st.time; candidates = ready; trail; chosen };
+            match (recorder, expl) with
+            | None, None -> (
+                match ready with
+                | [ only ] -> only
+                | _ -> bare_pick config ~annot ~st ready)
+            | None, Some cell -> (
+                match ready with
+                | [ only ] ->
+                    Ds_obs.Explain.record cell ~candidates:1
+                      ~survivor_counts:[] ~forced:true ~tie_break:false
+                      ~overruled:false;
+                    only
+                | _ ->
+                    let trail, chosen, tie_break, overruled =
+                      traced_pick config ~annot ~st ready
+                    in
+                    explain_record cell ~ncand:(List.length ready) ~trail
+                      ~forced:false ~tie_break ~overruled;
+                    chosen)
+            | Some record, _ ->
+                let trail, chosen, tie_break, overruled =
+                  traced_pick config ~annot ~st ready
+                in
+                (* the recorder branch bypasses [pick], so feed the
+                   decisiveness registry here (no double count) *)
+                (match expl with
+                | Some cell ->
+                    let forced =
+                      match ready with [ _ ] -> true | _ -> false
+                    in
+                    explain_record cell ~ncand:(List.length ready) ~trail
+                      ~forced ~tie_break ~overruled
+                | None -> ());
+                record
+                  { time = st.time; candidates = ready; trail; chosen;
+                    tie_break };
                 chosen
           in
           let chosen =

@@ -32,6 +32,9 @@ val default_builder : Ds_dag.Builder.algorithm
 val builder : spec -> Ds_dag.Builder.algorithm
 val engine_config : spec -> Engine.config
 
+(** The heuristics the spec's keys rank (for [Static_pass.compute_for]). *)
+val heuristics_of : spec -> Heuristic.t list
+
 (** Build the spec's DAG for a block and run its scheduling pass (plus
     fixup when the algorithm uses one).  The intermediate pass computes
     only the annotations the spec's heuristics need. *)

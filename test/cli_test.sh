@@ -479,4 +479,125 @@ kill -INT "$SRV"
 wait "$SRV" && rc=0 || rc=$?
 [ "$rc" -eq 130 ] || fail "bare serve SIGINT: exit $rc, want 130"
 
+# ------------------------------------------------------------------
+# explain: decision provenance.  Flag validation first — the whole
+# exit-code taxonomy (124 CLI error, 125 unwritable export, 2 bad
+# input) must hold before any narrative work runs.
+for bad in "--no-such-flag" "-n abc" "--budget abc" "-A nosuchsched" \
+           "--dot \"\"" "--jsonl \"\"" "--timeline \"\"" "--json \"\""; do
+  # shellcheck disable=SC2086
+  eval "\"$TOOL\" explain $bad \"$TMP/opt.s\"" 2>/dev/null && rc=0 || rc=$?
+  [ "$rc" -eq 124 ] || fail "explain $bad: exit $rc, want 124"
+done
+"$TOOL" explain -n 99 -q "$TMP/opt.s" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" -eq 124 ] || fail "explain -n 99: exit $rc, want 124"
+for exp in dot jsonl timeline json; do
+  "$TOOL" explain -q --$exp /nonexistent-dir/x "$TMP/opt.s" 2>/dev/null \
+    && rc=0 || rc=$?
+  [ "$rc" -eq 125 ] || fail "explain --$exp unwritable: exit $rc, want 125"
+done
+"$TOOL" explain "$TMP/empty.s" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" -eq 2 ] || fail "explain on empty input: exit $rc, want 2"
+
+# narrative grep matrix: header, ready sets, winnowing trail, forced
+# issues, the issue timeline and the per-strategy decisiveness tables
+"$TOOL" explain "$TMP/opt.s" > "$TMP/exp.out" || fail "explain failed"
+grep -q "block 0: Warren, 3 instructions, 3 decisions" "$TMP/exp.out" \
+  || fail "explain: no narrative header"
+grep -q "t=0   candidates: {0, 2}" "$TMP/exp.out" \
+  || fail "explain: no ready set"
+grep -q "max total delay to a leaf" "$TMP/exp.out" \
+  || fail "explain: no winnowing trail"
+grep -q "issued 2 (forced)" "$TMP/exp.out" || fail "explain: no forced issue"
+grep -q "issue timeline:" "$TMP/exp.out" || fail "explain: no timeline"
+grep -q "completion: 3 cycles" "$TMP/exp.out" || fail "explain: no completion"
+grep -cq "decisiveness: " "$TMP/exp.out" || fail "explain: no decisiveness"
+[ "$(grep -c "^decisiveness: " "$TMP/exp.out")" -eq 6 ] \
+  || fail "explain: decisiveness tables != 6 strategies"
+grep -q "decisions: .* forced, .* program-order tie-breaks, .* weight-overruled" \
+  "$TMP/exp.out" || fail "explain: no decision summary line"
+grep -q "rank  heuristic" "$TMP/exp.out" || fail "explain: no rank table"
+grep -q "never consulted: " "$TMP/exp.out" \
+  || fail "explain: no never-consulted line"
+
+# the -A narrative follows the requested scheduler
+"$TOOL" explain -A tiemann "$TMP/opt.s" | grep -q "block 0: Tiemann" \
+  || fail "explain -A tiemann: wrong scheduler in narrative"
+
+# JSONL trace: one self-describing object per line, strategy signature
+# embedded, and the tool's own reader already round-tripped it (exit 3
+# otherwise)
+"$TOOL" explain -q --jsonl - "$TMP/opt.s" > "$TMP/exp.jsonl" \
+  || fail "explain --jsonl failed"
+[ "$(wc -l < "$TMP/exp.jsonl")" -eq 3 ] || fail "explain jsonl: want 3 lines"
+grep -q '"strategy": "forward/winnowing: earliest execution time' \
+  "$TMP/exp.jsonl" || fail "explain jsonl: no strategy signature"
+grep -q '"candidates": \[0, 2\]' "$TMP/exp.jsonl" \
+  || fail "explain jsonl: no ready set"
+grep -q '"steps": \[\]' "$TMP/exp.jsonl" \
+  || fail "explain jsonl: no forced decision"
+grep -q '"tie_break": false' "$TMP/exp.jsonl" \
+  || fail "explain jsonl: no tie_break field"
+
+# DOT export: critical path highlighted, off-path node plain
+"$TOOL" explain -q --dot - "$TMP/opt.s" > "$TMP/exp.dot" \
+  || fail "explain --dot failed"
+grep -q "digraph block0" "$TMP/exp.dot" || fail "explain dot: no digraph"
+grep -q 'n0 \[label="0: ld \[%fp - 8\], %o1", style=filled, fillcolor=lightyellow\]' \
+  "$TMP/exp.dot" || fail "explain dot: critical path not highlighted"
+grep -q 'n2 \[label="2: add %o3, 1, %o4"\];' "$TMP/exp.dot" \
+  || fail "explain dot: off-path node not plain"
+grep -q "RAW 2" "$TMP/exp.dot" || fail "explain dot: no arc label"
+
+# timeline export: Chrome trace events, one lane per block, issue spans
+"$TOOL" explain -q --timeline - "$TMP/opt.s" > "$TMP/exp.tl" \
+  || fail "explain --timeline failed"
+grep -q '"traceEvents": \[' "$TMP/exp.tl" || fail "explain timeline: no events"
+grep -q '"name": "process_name"' "$TMP/exp.tl" \
+  || fail "explain timeline: no block lane metadata"
+grep -q '"cat": "issue"' "$TMP/exp.tl" || fail "explain timeline: no issue spans"
+
+# optimality gap: the 3-insn block is oracle-feasible for all six
+# strategies and every one of them finds the optimum here
+"$TOOL" explain --gap --json "$TMP/exp.json" "$TMP/opt.s" > "$TMP/gap.out" \
+  || fail "explain --gap failed"
+grep -q "optimality gap (budget " "$TMP/gap.out" || fail "gap: no table header"
+for sched in gibbons-muchnick krishnamurthy schlansker shieh-papachristou \
+             tiemann warren; do
+  grep -q "$sched " "$TMP/gap.out" || fail "gap: no $sched row"
+done
+grep -cq " 0.00 " "$TMP/gap.out" || fail "gap: no zero-gap row"
+grep -q '"explain": \[' "$TMP/exp.json" || fail "explain json: no stats"
+grep -q '"gap": {' "$TMP/exp.json" || fail "explain json: no gap report"
+grep -q '"gap_pct": 0.0' "$TMP/exp.json" || fail "explain json: nonzero gap"
+grep -q '"per_block": \[' "$TMP/exp.json" || fail "explain json: no per-block"
+
+# --explain on the drivers: stdout must stay byte-identical (provenance
+# never perturbs a schedule) and the decisiveness block must land in
+# both the stderr tables and the JSON report
+"$TOOL" batch --jobs 2 --explain --json "$TMP/be.json" "$TMP/grep.s" \
+  > "$TMP/be.out" 2> "$TMP/be.err" || fail "batch --explain failed"
+cmp -s "$TMP/b1.out" "$TMP/be.out" || fail "batch stdout changed under --explain"
+grep -q "decisiveness: " "$TMP/be.err" || fail "batch --explain: no stderr table"
+grep -q "program-order tie-breaks" "$TMP/be.err" \
+  || fail "batch --explain: no summary line"
+grep -q '"explain": \[' "$TMP/be.json" || fail "batch json: no explain section"
+grep -q '"ranks": \[' "$TMP/be.json" || fail "batch json: no rank stats"
+"$TOOL" shard --jobs 2 --shards 3 --explain --json "$TMP/se.json" \
+  "$TMP/grep.s" "$TMP/linpack.s" > "$TMP/se.out" 2>/dev/null \
+  || fail "shard --explain failed"
+cmp -s "$TMP/sj2.out" "$TMP/se.out" || fail "shard stdout changed under --explain"
+grep -q '"explain": \[' "$TMP/se.json" || fail "shard json: no explain section"
+"$TOOL" fleet -q --workers 2 --explain --json "$TMP/fe.json" \
+  "$TMP/grep.s" "$TMP/linpack.s" > "$TMP/fe.out" 2>/dev/null \
+  || fail "fleet --explain failed"
+cmp -s "$TMP/f1.out" "$TMP/fe.out" || fail "fleet summary changed under --explain"
+grep -q '"explain": \[' "$TMP/fe.json" \
+  || fail "fleet json: workers' explain stats not absorbed"
+# the fleet's absorbed decision count covers the whole corpus: equal to
+# the batch run's count over the same blocks scaled by corpus size is
+# not portable, but it must at least be nonzero and well-formed
+grep -q '"decisions": 0' "$TMP/fe.json" \
+  && fail "fleet json: zero decisions absorbed"
+
 echo "CLI TESTS OK"

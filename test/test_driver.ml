@@ -546,6 +546,63 @@ let test_profile_generation_cross_domain () =
   check_string "profile generation domain-independent" (summarize ())
     (Domain.join d)
 
+(* ------------------------------------------------------------------ *)
+(* explain differential: the decision recorder must never change a
+   schedule, a statistic or a report — only add its own registry *)
+
+let test_explain_differential () =
+  let blocks =
+    List.mapi
+      (fun i seed -> { (random_block seed) with Block.id = i })
+      [ 101; 211; 307; 401 ]
+  in
+  let strip (r : Batch.report) =
+    { r with Batch.domains = 0; wall_s = 0.0; block_s_mean = 0.0;
+      block_s_max = 0.0 }
+  in
+  Explain.disable ();
+  Explain.reset ();
+  let off, off_rep =
+    Batch.run_with_report ~domains:test_domains Batch.section6 blocks
+  in
+  check_int "recorder stayed empty" 0 (List.length (Explain.snapshot ()));
+  let on, on_rep, stats =
+    Explain.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Explain.disable ();
+        Explain.reset ())
+      (fun () ->
+        let on, rep =
+          Batch.run_with_report ~domains:test_domains Batch.section6 blocks
+        in
+        (on, rep, Explain.snapshot ()))
+  in
+  List.iter2
+    (fun a b ->
+      if Batch.strip_timing a <> Batch.strip_timing b then
+        Alcotest.failf "explain changed the result of block %d" a.Batch.block_id)
+    off on;
+  check_bool "identical report" true (strip off_rep = strip on_rep);
+  (* and the registry actually saw the corpus: every strategy consulted,
+     counts internally consistent *)
+  check_bool "stats recorded" true (stats <> []);
+  let insns =
+    List.fold_left (fun a (b : Block.t) -> a + Block.length b) 0 blocks
+  in
+  List.iter
+    (fun (s : Explain.strategy_stat) ->
+      check_bool "one decision per issued node" true
+        (s.Explain.decisions mod insns = 0);
+      check_bool "forced within decisions" true
+        (s.Explain.forced <= s.Explain.decisions);
+      List.iter
+        (fun (r : Explain.rank_stat) ->
+          check_bool "consulted within non-forced decisions" true
+            (r.Explain.consulted <= s.Explain.decisions - s.Explain.forced))
+        s.Explain.ranks)
+    stats
+
 let suite =
   [ quick "differential: builders x strategies" test_differential_cross_product;
     qcheck ~count:120 "differential: random batches (>= 100 seeds)"
@@ -572,4 +629,5 @@ let suite =
     quick "no exception escapes the readers" test_json_no_exception_escapes;
     quick "random_block equal across domains" test_generation_cross_domain;
     quick "profile generation equal across domains"
-      test_profile_generation_cross_domain ]
+      test_profile_generation_cross_domain;
+    quick "differential: explain off vs on" test_explain_differential ]

@@ -100,7 +100,64 @@ let test_golden_figure1_annotations () =
   check_int "critical path" 24 a.Annot.critical_path_length;
   Alcotest.(check (array int)) "descendants" [| 2; 1; 0 |] a.Annot.num_descendants
 
+let test_golden_dot () =
+  (* the DOT export of the same DAG, critical-path chain highlighted —
+     pinned byte-for-byte so label/arc formatting can't drift silently *)
+  let dag = dag_of_asm asm in
+  let annot = Static_pass.compute dag in
+  let critical =
+    List.filter
+      (fun i -> annot.Annot.slack.(i) = 0)
+      (List.init (Dag.length dag) Fun.id)
+  in
+  Alcotest.(check (list int)) "critical chain" [ 0; 1; 2 ] critical;
+  check_string "dot"
+    "digraph block0 {\n\
+    \  node [shape=box, fontname=\"monospace\", fontsize=10];\n\
+    \  rankdir=TB;\n\
+    \  n0 [label=\"0: ld [%fp - 8], %o1\", style=filled, \
+     fillcolor=lightyellow];\n\
+    \  n1 [label=\"1: add %o1, 1, %o2\", style=filled, \
+     fillcolor=lightyellow];\n\
+    \  n2 [label=\"2: st %o2, [%fp - 16]\", style=filled, \
+     fillcolor=lightyellow];\n\
+    \  n3 [label=\"3: add %o3, 1, %o4\"];\n\
+    \  n0 -> n1 [label=\"RAW 2\", color=black];\n\
+    \  n1 -> n2 [label=\"RAW 1\", color=black];\n\
+     }\n"
+    (Dot.render ~name:"block0" ~highlight:critical dag)
+
+let test_golden_timeline_roundtrip () =
+  (* the explain --timeline export shape: one issue span per
+     instruction, built from the pipeline simulation, through
+     Trace.to_json and back via the total reader *)
+  let dag = dag_of_asm asm in
+  let s = Published.run_on_dag Published.warren dag in
+  let sim = Schedule.simulate s in
+  let model = Dag.model dag in
+  let spans =
+    List.map
+      (fun node ->
+        {
+          Trace.name = String.trim (Insn.to_string (Dag.insn dag node));
+          cat = "issue";
+          ts_us = float_of_int sim.Pipeline.issue_cycle.(node);
+          dur_us =
+            float_of_int (max 1 (model.Latency.exec_time (Dag.insn dag node)));
+          pid = 0;
+          tid = 0;
+          args = [ ("node", Json.Int node) ];
+        })
+      (Array.to_list s.Schedule.order)
+  in
+  let json = Trace.to_json ~pid_names:[ (0, "block 0") ] spans in
+  match Trace.events_of_json json with
+  | Ok spans' -> check_bool "timeline round trip" true (spans = spans')
+  | Error e -> Alcotest.fail (Json.error_to_string e)
+
 let suite =
   [ quick "all heuristics, fresh state" test_golden_fresh;
     quick "after first issue" test_golden_after_first_issue;
-    quick "figure 1 annotations" test_golden_figure1_annotations ]
+    quick "figure 1 annotations" test_golden_figure1_annotations;
+    quick "DOT export" test_golden_dot;
+    quick "timeline export round trip" test_golden_timeline_roundtrip ]

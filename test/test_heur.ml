@@ -258,6 +258,310 @@ let test_evaluate_dispatch () =
   check_int "exec time via evaluate" 2
     (Evaluate.value Heuristic.Execution_time ~annot ~st 0)
 
+(* ------------------------------------------------------------------ *)
+(* Table 1 completeness audit: every heuristic reachable through
+   [Evaluate.value] is compared against an independently written slow
+   specification — memoized recursion over the arc lists instead of the
+   production sweeps and counters — on reference blocks, at every step of
+   a partial schedule so the dynamic heuristics are exercised against
+   live state. *)
+
+module Slow = struct
+  let memo n f =
+    let cache = Array.make n None in
+    let rec g i =
+      match cache.(i) with
+      | Some v -> v
+      | None ->
+          let v = f g i in
+          cache.(i) <- Some v;
+          v
+    in
+    g
+
+  type t = {
+    exec : int -> int;
+    path_to_leaf : int -> int;
+    delay_to_leaf : int -> int;
+    path_from_root : int -> int;
+    delay_from_root : int -> int;
+    est : int -> int;
+    lst : int -> int;
+    descendants : int -> int list;
+    regs : Liveness.result;
+  }
+
+  let make dag =
+    let n = Dag.length dag in
+    let model = Dag.model dag in
+    let exec i = model.Latency.exec_time (Dag.insn dag i) in
+    let over_succs f base self i =
+      List.fold_left (fun m (a : Dag.arc) -> f m a (self a.Dag.dst)) (base i)
+        (Dag.succs dag i)
+    in
+    let over_preds f base self i =
+      List.fold_left (fun m (a : Dag.arc) -> f m a (self a.Dag.src)) (base i)
+        (Dag.preds dag i)
+    in
+    let path_to_leaf =
+      memo n (over_succs (fun m _ v -> max m (v + 1)) (fun _ -> 0))
+    in
+    let delay_to_leaf =
+      memo n (over_succs (fun m a v -> max m (v + a.Dag.latency)) exec)
+    in
+    let path_from_root =
+      memo n (over_preds (fun m _ v -> max m (v + 1)) (fun _ -> 0))
+    in
+    let delay_from_root =
+      memo n (over_preds (fun m a v -> max m (v + a.Dag.latency)) (fun _ -> 0))
+    in
+    let est =
+      memo n (over_preds (fun m a v -> max m (v + a.Dag.latency)) (fun _ -> 0))
+    in
+    let cp = ref 0 in
+    for i = 0 to n - 1 do
+      cp := max !cp (est i + exec i)
+    done;
+    let cp = !cp in
+    let lst =
+      memo n
+        (over_succs
+           (fun m a v -> min m (v - a.Dag.latency))
+           (fun i -> cp - exec i))
+    in
+    let descendants i =
+      let seen = Array.make n false in
+      let rec visit j =
+        List.iter
+          (fun (a : Dag.arc) ->
+            if not seen.(a.Dag.dst) then begin
+              seen.(a.Dag.dst) <- true;
+              visit a.Dag.dst
+            end)
+          (Dag.succs dag j)
+      in
+      visit i;
+      seen.(i) <- false;
+      let out = ref [] in
+      for j = n - 1 downto 0 do
+        if seen.(j) then out := j :: !out
+      done;
+      !out
+    in
+    let regs = Liveness.compute (Array.init n (Dag.insn dag)) in
+    { exec; path_to_leaf; delay_to_leaf; path_from_root; delay_from_root;
+      est; lst; descendants; regs }
+
+  (* scheduling-direction helpers, recomputed from the raw arc lists *)
+  let dir_succs (st : Dyn_state.t) i =
+    match st.Dyn_state.direction with
+    | Dyn_state.Forward -> Dag.succs st.Dyn_state.dag i
+    | Dyn_state.Backward -> Dag.preds st.Dyn_state.dag i
+
+  let dir_peer (st : Dyn_state.t) (a : Dag.arc) =
+    match st.Dyn_state.direction with
+    | Dyn_state.Forward -> a.Dag.dst
+    | Dyn_state.Backward -> a.Dag.src
+
+  let dir_preds (st : Dyn_state.t) i =
+    match st.Dyn_state.direction with
+    | Dyn_state.Forward -> Dag.preds st.Dyn_state.dag i
+    | Dyn_state.Backward -> Dag.succs st.Dyn_state.dag i
+
+  let unscheduled_dir_preds st p =
+    List.length
+      (List.filter
+         (fun (a : Dag.arc) ->
+           let parent =
+             match st.Dyn_state.direction with
+             | Dyn_state.Forward -> a.Dag.src
+             | Dyn_state.Backward -> a.Dag.dst
+           in
+           not st.Dyn_state.scheduled.(parent))
+         (dir_preds st p))
+
+  (* earliest execution time from first principles: the latest
+     (issue time + arc delay) over scheduled direction-predecessors *)
+  let eet st i =
+    List.fold_left
+      (fun m (a : Dag.arc) ->
+        let p =
+          match st.Dyn_state.direction with
+          | Dyn_state.Forward -> a.Dag.src
+          | Dyn_state.Backward -> a.Dag.dst
+        in
+        if st.Dyn_state.scheduled.(p) then
+          max m (st.Dyn_state.sched_time.(p) + a.Dag.latency)
+        else m)
+      0 (dir_preds st i)
+
+  let single_parent_arcs st i =
+    List.filter (fun a -> unscheduled_dir_preds st (dir_peer st a) = 1)
+      (dir_succs st i)
+
+  let value (h : Heuristic.t) slow (st : Dyn_state.t) i =
+    let dag = st.Dyn_state.dag in
+    let model = Dag.model dag in
+    let succs = Dag.succs dag i and preds = Dag.preds dag i in
+    let lats arcs = List.map (fun (a : Dag.arc) -> a.Dag.latency) arcs in
+    let sum = List.fold_left ( + ) 0 in
+    let maxl = List.fold_left max 0 in
+    match h with
+    | Heuristic.Interlock_with_previous -> (
+        match st.Dyn_state.last with
+        | None -> 0
+        | Some last ->
+            if
+              List.exists
+                (fun (a : Dag.arc) ->
+                  dir_peer st a = i && a.Dag.latency > 1)
+                (dir_succs st last)
+            then 1
+            else 0)
+    | Heuristic.Earliest_execution_time -> eet st i
+    | Heuristic.Interlock_with_child ->
+        if List.exists (fun (a : Dag.arc) -> a.Dag.latency > 1) succs then 1
+        else 0
+    | Heuristic.Execution_time -> slow.exec i
+    | Heuristic.Alternate_type -> (
+        match st.Dyn_state.last with
+        | None -> 0
+        | Some last ->
+            if
+              Funit.of_insn (Dag.insn dag i)
+              <> Funit.of_insn (Dag.insn dag last)
+            then 1
+            else 0)
+    | Heuristic.Fp_unit_busy ->
+        let insn = Dag.insn dag i in
+        if model.Latency.fp_busy insn > 0 then begin
+          (* replay the unit reservations from the schedule so far *)
+          let u = Funit.of_insn insn in
+          let free = ref 0 in
+          for j = 0 to Dag.length dag - 1 do
+            let ij = Dag.insn dag j in
+            let busy = model.Latency.fp_busy ij in
+            if st.Dyn_state.scheduled.(j) && busy > 0 && Funit.of_insn ij = u
+            then free := max !free (st.Dyn_state.sched_time.(j) + busy)
+          done;
+          max 0 (!free - st.Dyn_state.time)
+        end
+        else 0
+    | Heuristic.Max_path_to_leaf -> slow.path_to_leaf i
+    | Heuristic.Max_delay_to_leaf -> slow.delay_to_leaf i
+    | Heuristic.Max_path_from_root -> slow.path_from_root i
+    | Heuristic.Max_delay_from_root -> slow.delay_from_root i
+    | Heuristic.Earliest_start_time -> slow.est i
+    | Heuristic.Latest_start_time -> slow.lst i
+    | Heuristic.Slack -> slow.lst i - slow.est i
+    | Heuristic.Num_children -> List.length succs
+    | Heuristic.Delays_to_children Heuristic.Sum -> sum (lats succs)
+    | Heuristic.Delays_to_children Heuristic.Max -> maxl (lats succs)
+    | Heuristic.Num_single_parent_children ->
+        List.length (single_parent_arcs st i)
+    | Heuristic.Sum_delays_to_single_parent_children ->
+        sum (lats (single_parent_arcs st i))
+    | Heuristic.Num_uncovered_children ->
+        List.length
+          (List.filter
+             (fun (a : Dag.arc) ->
+               a.Dag.latency <= 1
+               && eet st (dir_peer st a) <= st.Dyn_state.time + 1)
+             (single_parent_arcs st i))
+    | Heuristic.Num_parents -> List.length preds
+    | Heuristic.Delays_from_parents Heuristic.Sum -> sum (lats preds)
+    | Heuristic.Delays_from_parents Heuristic.Max -> maxl (lats preds)
+    | Heuristic.Num_descendants -> List.length (slow.descendants i)
+    | Heuristic.Sum_exec_of_descendants ->
+        sum (List.map slow.exec (slow.descendants i))
+    | Heuristic.Registers_born -> slow.regs.Liveness.born.(i)
+    | Heuristic.Registers_killed -> slow.regs.Liveness.killed.(i)
+    | Heuristic.Liveness -> slow.regs.Liveness.net.(i)
+    | Heuristic.Birthing_instruction -> (
+        match st.Dyn_state.last with
+        | None -> 0
+        | Some last ->
+            (* a RAW arc between [last] and [i] in the scheduling
+               direction: backward, [i] is a RAW parent of [last];
+               forward (mirrored), a RAW child *)
+            if
+              List.exists
+                (fun (a : Dag.arc) ->
+                  a.Dag.kind = Dep.Raw && dir_peer st a = i)
+                (dir_succs st last)
+            then 1
+            else 0)
+    | Heuristic.Original_order -> i
+end
+
+(* Every constructor [Evaluate.value] dispatches on: the 26 Table-1 rows
+   (Sum forms), the Max forms of the two φ rows, and the tie-break. *)
+let all_evaluable =
+  Heuristic.Original_order
+  :: Heuristic.Delays_to_children Heuristic.Max
+  :: Heuristic.Delays_from_parents Heuristic.Max
+  :: Heuristic.all_26
+
+let audit_dag dag direction =
+  let annot = Static_pass.compute dag in
+  let slow = Slow.make dag in
+  let st = Dyn_state.create dag direction in
+  let audit_step step =
+    for i = 0 to Dag.length dag - 1 do
+      List.iter
+        (fun h ->
+          let fast = Evaluate.value h ~annot ~st i in
+          let want = Slow.value h slow st i in
+          if fast <> want then
+            Alcotest.failf "step %d, node %d, %s: fast %d, slow spec %d" step
+              i (Heuristic.to_string h) fast want)
+        all_evaluable
+    done
+  in
+  (* audit against the empty schedule, then after every issue of a
+     greedy lowest-index list schedule *)
+  audit_step (-1);
+  let step = ref 0 in
+  while not (Dyn_state.complete st) do
+    let picked = ref false in
+    for i = 0 to Dag.length dag - 1 do
+      if (not !picked) && Dyn_state.ready st i then begin
+        picked := true;
+        Dyn_state.schedule st i ~at:st.Dyn_state.time;
+        audit_step !step;
+        incr step
+      end
+    done;
+    st.Dyn_state.time <- st.Dyn_state.time + 1
+  done
+
+let audit_asm =
+  "ld [%fp - 8], %o1\n\
+   add %o1, 1, %o2\n\
+   fdivd %f0, %f2, %f4\n\
+   faddd %f4, %f6, %f8\n\
+   st %o2, [%fp - 16]\n\
+   fdivd %f8, %f10, %f12\n\
+   add %o3, %o2, %o4\n\
+   st %o4, [%fp - 24]"
+
+let test_table1_audit_forward () =
+  let opts = { Opts.default with Opts.model = Latency.deep_fp } in
+  audit_dag (dag_of_asm ~opts audit_asm) Dyn_state.Forward
+
+let test_table1_audit_backward () =
+  let opts = { Opts.default with Opts.model = Latency.deep_fp } in
+  audit_dag (dag_of_asm ~opts audit_asm) Dyn_state.Backward
+
+let test_table1_audit_random () =
+  List.iter
+    (fun seed ->
+      let b = random_block seed in
+      let dag = Builder.build Builder.Table_forward Opts.default b in
+      audit_dag dag Dyn_state.Forward;
+      audit_dag dag Dyn_state.Backward)
+    [ 7; 1991; 90210 ]
+
 let suite =
   [ quick "26 heuristics" test_26_heuristics;
     quick "category counts" test_category_counts;
@@ -282,4 +586,7 @@ let suite =
     quick "alternate type" test_alternate_type;
     quick "fp unit busy" test_fp_unit_busy;
     quick "birthing" test_birthing;
-    quick "evaluate dispatch" test_evaluate_dispatch ]
+    quick "evaluate dispatch" test_evaluate_dispatch;
+    quick "table 1 audit (forward)" test_table1_audit_forward;
+    quick "table 1 audit (backward)" test_table1_audit_backward;
+    quick "table 1 audit (random blocks)" test_table1_audit_random ]

@@ -334,19 +334,25 @@ let test_obs_env_value () =
   check_bool "both" true (Obs.env_value () = Some "trace,metrics");
   Trace.disable ();
   check_bool "metrics only" true (Obs.env_value () = Some "metrics");
+  Explain.enable ();
+  check_bool "explain token appended" true
+    (Obs.env_value () = Some "metrics,explain");
+  Explain.disable ();
   obs_off ()
 
 let test_obs_init_from_env () =
   obs_off ();
-  Unix.putenv Obs.env_var "trace,metrics,unknown-token";
+  Unix.putenv Obs.env_var "trace,metrics,explain,unknown-token";
   Fun.protect
     ~finally:(fun () ->
       Unix.putenv Obs.env_var "";
+      Explain.disable ();
       obs_off ())
     (fun () ->
       Obs.init_from_env ();
       check_bool "trace enabled" true (Trace.enabled ());
-      check_bool "metrics enabled" true (Metrics.is_enabled ()))
+      check_bool "metrics enabled" true (Metrics.is_enabled ());
+      check_bool "explain enabled" true (Explain.enabled ()))
 
 (* ------------------------------------------------------------------ *)
 (* pool instrumentation *)
@@ -1001,6 +1007,199 @@ let test_full_obs_differential () =
   check_bool "resource off" true (not (Obs_resource.is_enabled ()));
   check_int "log rings empty" 0 (List.length (Log.snapshot ()))
 
+(* ------------------------------------------------------------------ *)
+(* explain: decision traces and the decisiveness registry *)
+
+let explain_off () =
+  Explain.disable ();
+  Explain.reset ()
+
+let with_explain f =
+  explain_off ();
+  Explain.enable ();
+  Fun.protect ~finally:explain_off f
+
+let sample_decisions =
+  [ {
+      Explain.block = 3;
+      strategy = "forward/winnowing: a > b";
+      time = 2;
+      candidates = [ 1; 4; 7 ];
+      steps =
+        [ { Explain.heuristic = "a"; best = 5; survivors = [ 1; 4 ] };
+          { Explain.heuristic = "b"; best = -2; survivors = [ 4 ] } ];
+      chosen = 4;
+      tie_break = false;
+    };
+    {
+      Explain.block = 3;
+      strategy = "forward/winnowing: a > b";
+      time = 3;
+      candidates = [ 7 ];
+      steps = [];
+      chosen = 7;
+      tie_break = false;
+    } ]
+
+let test_explain_disabled_is_invisible () =
+  explain_off ();
+  Explain.observe ~signature:"s" ~keys:[ "a" ] ~candidates:3
+    ~survivor_counts:[ 1 ] ~forced:false ~tie_break:false ~overruled:false ();
+  check_int "nothing recorded" 0 (List.length (Explain.snapshot ()))
+
+let test_explain_observe_aggregates () =
+  with_explain (fun () ->
+      let obs ?(forced = false) ?(tie = false) ?(over = false) cands counts =
+        Explain.observe ~signature:"f/test: A > B" ~keys:[ "A"; "B" ]
+          ~candidates:cands ~survivor_counts:counts ~forced ~tie_break:tie
+          ~overruled:over ()
+      in
+      obs 4 [ 2; 1 ];                   (* B settles it *)
+      obs 3 [ 3; 2 ] ~tie:true;         (* trail leaves two, order decides *)
+      obs 2 [ 1 ];                      (* A settles it, B never reached *)
+      obs 1 [] ~forced:true;            (* single candidate *)
+      obs 5 [ 2; 1 ] ~over:true;        (* weights overruled the trail *)
+      match Explain.snapshot () with
+      | [ s ] ->
+          check_string "signature" "f/test: A > B" s.Explain.signature;
+          Alcotest.(check (list string)) "keys" [ "A"; "B" ] s.Explain.keys;
+          check_int "decisions" 5 s.Explain.decisions;
+          check_int "forced" 1 s.Explain.forced;
+          check_int "tie breaks" 1 s.Explain.tie_breaks;
+          check_int "overruled" 1 s.Explain.overruled;
+          (match s.Explain.ranks with
+          | [ a; b ] ->
+              check_int "rank a" 1 a.Explain.rank;
+              check_string "heuristic a" "A" a.Explain.heuristic;
+              check_int "A consulted" 4 a.Explain.consulted;
+              check_int "A decided" 1 a.Explain.decided;
+              check_int "A eliminated" 6 a.Explain.eliminated;
+              check_int "B consulted" 3 b.Explain.consulted;
+              check_int "B decided" 1 b.Explain.decided;
+              check_int "B eliminated" 3 b.Explain.eliminated
+          | _ -> Alcotest.fail "expected two ranks");
+          Alcotest.(check (list string))
+            "all consulted" [] (Explain.never_consulted s)
+      | s -> Alcotest.failf "expected one strategy, got %d" (List.length s))
+
+let test_explain_decision_roundtrip () =
+  List.iter
+    (fun d ->
+      match Explain.decision_of_json (Explain.decision_to_json d) with
+      | Ok d' -> check_bool "decision round trip" true (d = d')
+      | Error e -> Alcotest.fail (Json.error_to_string e))
+    sample_decisions;
+  let text = Explain.decisions_to_jsonl sample_decisions in
+  (match Explain.decisions_of_jsonl text with
+  | Ok ds -> check_bool "jsonl round trip" true (ds = sample_decisions)
+  | Error e -> Alcotest.fail e);
+  (* blank lines are skipped *)
+  match Explain.decisions_of_jsonl ("\n" ^ text ^ "\n\n") with
+  | Ok ds -> check_bool "blank lines skipped" true (ds = sample_decisions)
+  | Error e -> Alcotest.fail e
+
+let test_explain_decision_adversarial () =
+  let fail_with json needle =
+    match Explain.decision_of_json json with
+    | Ok _ -> Alcotest.failf "decode should fail (%s)" needle
+    | Error e ->
+        let msg = Json.error_to_string e in
+        check_bool (Printf.sprintf "%S names %S" msg needle) true
+          (contains msg needle)
+  in
+  fail_with (Json.Obj []) "block";
+  fail_with
+    (Json.Obj
+       [ ("block", Json.Int 0); ("strategy", Json.String "s");
+         ("time", Json.Int 0); ("candidates", Json.List []);
+         ("steps", Json.List []); ("chosen", Json.Int 0);
+         ("tie_break", Json.Int 1) ])
+    "tie_break";
+  fail_with
+    (Json.Obj
+       [ ("block", Json.Int 0); ("strategy", Json.String "s");
+         ("time", Json.Int 0); ("candidates", Json.List []);
+         ("steps",
+          Json.List
+            [ Json.Obj
+                [ ("heuristic", Json.String "h"); ("best", Json.Int 0);
+                  ("survivors", Json.String "nope") ] ]);
+         ("chosen", Json.Int 0); ("tie_break", Json.Bool false) ])
+    "survivors";
+  (* the JSONL reader reports 1-based line numbers *)
+  (match Explain.decisions_of_jsonl "{\"block\":1}\n" with
+  | Ok _ -> Alcotest.fail "should fail"
+  | Error e -> check_bool e true (contains e "line 1"));
+  let good = Explain.decisions_to_jsonl sample_decisions in
+  match Explain.decisions_of_jsonl (good ^ "not json\n") with
+  | Ok _ -> Alcotest.fail "should fail"
+  | Error e ->
+      check_bool e true
+        (contains e (Printf.sprintf "line %d" (List.length sample_decisions + 1)))
+
+let test_explain_stats_roundtrip_and_absorb () =
+  let s =
+    with_explain (fun () ->
+        Explain.observe ~signature:"sig1" ~keys:[ "A"; "B" ] ~candidates:4
+          ~survivor_counts:[ 2; 1 ] ~forced:false ~tie_break:false
+          ~overruled:false ();
+        Explain.observe ~signature:"sig2" ~keys:[ "C" ] ~candidates:2
+          ~survivor_counts:[ 2 ] ~forced:false ~tie_break:true
+          ~overruled:false ();
+        Explain.snapshot ())
+  in
+  check_int "two strategies" 2 (List.length s);
+  (match Explain.of_json (Explain.to_json s) with
+  | Ok s' -> check_bool "stats round trip" true (Explain.equal s s')
+  | Error e -> Alcotest.fail (Json.error_to_string e));
+  (* absorb is aggregation: not gated on enablement *)
+  explain_off ();
+  Explain.absorb s;
+  check_bool "absorbed once" true (Explain.equal s (Explain.snapshot ()));
+  Explain.absorb s;
+  let doubled = Explain.snapshot () in
+  List.iter2
+    (fun (a : Explain.strategy_stat) (b : Explain.strategy_stat) ->
+      check_int "decisions doubled" (2 * a.Explain.decisions)
+        b.Explain.decisions;
+      List.iter2
+        (fun (ra : Explain.rank_stat) (rb : Explain.rank_stat) ->
+          check_int "eliminated doubled" (2 * ra.Explain.eliminated)
+            rb.Explain.eliminated)
+        a.Explain.ranks b.Explain.ranks)
+    s doubled;
+  check_bool "merge agrees with double absorb" true
+    (Explain.equal (Explain.merge s s) doubled);
+  Explain.reset ();
+  check_int "reset empties" 0 (List.length (Explain.snapshot ()))
+
+let test_explain_never_consulted () =
+  with_explain (fun () ->
+      Explain.observe ~signature:"s" ~keys:[ "A"; "B"; "C" ] ~candidates:3
+        ~survivor_counts:[ 1 ] ~forced:false ~tie_break:false
+        ~overruled:false ();
+      match Explain.snapshot () with
+      | [ s ] ->
+          Alcotest.(check (list string))
+            "later ranks never reached" [ "B"; "C" ]
+            (Explain.never_consulted s)
+      | _ -> Alcotest.fail "expected one strategy")
+
+let test_explain_stats_adversarial () =
+  (match Explain.of_json (Json.String "nope") with
+  | Ok _ -> Alcotest.fail "should fail"
+  | Error e ->
+      check_bool "names the type" true
+        (contains (Json.error_to_string e) "list"));
+  match
+    Explain.of_json
+      (Json.List [ Json.Obj [ ("signature", Json.String "s") ] ])
+  with
+  | Ok _ -> Alcotest.fail "should fail"
+  | Error e ->
+      check_bool "names the field" true
+        (contains (Json.error_to_string e) "keys")
+
 let suite =
   [ quick "clock: monotonic" test_clock_monotonic;
     quick "clock: clamping" test_clock_clamp;
@@ -1047,4 +1246,13 @@ let suite =
     quick "resource: trace counter tracks" test_resource_trace_counters;
     quick "trace: counter JSON round trip" test_trace_counters_json_roundtrip;
     quick "metrics: quantiles" test_metrics_quantiles;
-    quick "differential: full obs stack" test_full_obs_differential ]
+    quick "differential: full obs stack" test_full_obs_differential;
+    quick "explain: disabled is invisible" test_explain_disabled_is_invisible;
+    quick "explain: observe aggregates" test_explain_observe_aggregates;
+    quick "explain: decision round trip" test_explain_decision_roundtrip;
+    quick "explain: decision adversarial decode"
+      test_explain_decision_adversarial;
+    quick "explain: stats round trip + absorb"
+      test_explain_stats_roundtrip_and_absorb;
+    quick "explain: never consulted" test_explain_never_consulted;
+    quick "explain: stats adversarial decode" test_explain_stats_adversarial ]

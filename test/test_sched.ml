@@ -254,6 +254,108 @@ let test_published_on_kernels () =
         blocks)
     Kernels.all
 
+(* ------------------------------------------------------------------ *)
+(* tie-break determinism: when every ranked heuristic ties, the engine
+   must fall back to program order — lowest index forward, highest index
+   backward (the output is reversed, so program order is preserved) — in
+   BOTH combining modes, with and without the explain recorder. *)
+
+let tie_asm = "add %o1, 1, %o2\nadd %o3, 1, %o4\nadd %o5, 1, %l0"
+
+let tie_config direction mode =
+  {
+    Engine.direction;
+    mode;
+    keys =
+      [ Engine.key Heuristic.Max_delay_to_leaf;
+        Engine.key Heuristic.Num_children ];
+  }
+
+let with_explain_on f =
+  Explain.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Explain.disable ();
+      Explain.reset ())
+    f
+
+let test_pick_tie_break_pinned () =
+  let dag = dag_of_asm tie_asm in
+  let annot = Static_pass.compute dag in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun (direction, dirname, expected) ->
+          let config = tie_config direction mode in
+          let name =
+            Printf.sprintf "%s/%s" dirname
+              (match mode with
+              | Engine.Winnowing -> "winnowing"
+              | Engine.Priority_fn -> "priority")
+          in
+          let st = Dyn_state.create dag direction in
+          check_int name expected (Engine.pick config ~annot ~st [ 0; 1; 2 ]);
+          (* the traced path must choose identically *)
+          with_explain_on (fun () ->
+              check_int (name ^ " (explain on)") expected
+                (Engine.pick config ~annot ~st [ 0; 1; 2 ])))
+        [ (Dyn_state.Forward, "forward", 0); (Dyn_state.Backward, "backward", 2) ])
+    [ Engine.Winnowing; Engine.Priority_fn ]
+
+let test_run_tie_break_program_order () =
+  let dag = dag_of_asm tie_asm in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun direction ->
+          let order = Engine.schedule (tie_config direction mode) dag in
+          Alcotest.(check (array int)) "program order" [| 0; 1; 2 |] order)
+        [ Dyn_state.Forward; Dyn_state.Backward ])
+    [ Engine.Winnowing; Engine.Priority_fn ]
+
+let test_traced_matches_untraced () =
+  (* run_traced and run agree, and enabling the recorder never changes
+     the schedule, across all six published configs *)
+  List.iter
+    (fun seed ->
+      let b = random_block seed in
+      List.iter
+        (fun spec ->
+          let dag = Builder.build (Published.builder spec) Opts.default b in
+          let annot = Static_pass.compute dag in
+          let config = Published.engine_config spec in
+          let plain = Engine.run config ~annot dag in
+          let traced, decisions = Engine.run_traced config ~annot dag in
+          Alcotest.(check (array int))
+            (spec.Published.short ^ " traced = untraced") plain traced;
+          check_int "one decision per node" (Dag.length dag)
+            (List.length decisions);
+          with_explain_on (fun () ->
+              Alcotest.(check (array int))
+                (spec.Published.short ^ " explain on = off") plain
+                (Engine.run config ~annot dag)))
+        Published.all)
+    [ 42; 5150; 90210 ]
+
+let test_signature_pins () =
+  check_string "warren signature"
+    "forward/winnowing: earliest execution time > alternate type > max \
+     total delay to a leaf > liveness (minimized) > #uncovered children > \
+     original order"
+    (Engine.signature (Published.engine_config Published.warren));
+  check_string "tiemann signature"
+    "backward/priority: max total delay from root > birthing instruction > \
+     original order (maximized)"
+    (Engine.signature (Published.engine_config Published.tiemann));
+  List.iter
+    (fun spec ->
+      let config = Published.engine_config spec in
+      check_int
+        (spec.Published.short ^ " one label per key")
+        (List.length spec.Published.keys)
+        (List.length (Engine.key_labels config)))
+    Published.all
+
 let suite =
   [ quick "engine empty block" test_engine_empty_block;
     quick "engine single" test_engine_single;
@@ -279,4 +381,8 @@ let suite =
     quick "krishnamurthy figure 1" test_krishnamurthy_figure1;
     quick "tiemann backward program order" test_tiemann_backward_produces_program_order;
     quick "warren uses liveness" test_warren_uses_liveness;
-    quick "published on kernels" test_published_on_kernels ]
+    quick "published on kernels" test_published_on_kernels;
+    quick "pick tie-break pinned" test_pick_tie_break_pinned;
+    quick "run tie-break program order" test_run_tie_break_program_order;
+    quick "traced matches untraced" test_traced_matches_untraced;
+    quick "signature pins" test_signature_pins ]
